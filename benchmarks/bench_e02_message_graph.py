@@ -1,0 +1,12 @@
+"""Benchmark E2 — Theorem 2: message graphs - finite => DFA extraction, infinite => n log n witness.
+
+Regenerates the E2 table from EXPERIMENTS.md (full sweep) and asserts
+the claimed shape.  See src/repro/experiments/e02_message_graph.py for the
+sweep definition.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def bench_e2_message_graph(benchmark):
+    run_experiment_benchmark(benchmark, "E2")

@@ -1,0 +1,12 @@
+"""Benchmark E3 — Theorem 3: multi-pass O(n) algorithms compile to an O(n) single pass.
+
+Regenerates the E3 table from EXPERIMENTS.md (full sweep) and asserts
+the claimed shape.  See src/repro/experiments/e03_multipass_compile.py for the
+sweep definition.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def bench_e3_multipass_compile(benchmark):
+    run_experiment_benchmark(benchmark, "E3")

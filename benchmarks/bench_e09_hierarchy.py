@@ -1,0 +1,12 @@
+"""Benchmark E9 — Paragraph 7(3): the L_g hierarchy tracks Theta(g(n)).
+
+Regenerates the E9 table from EXPERIMENTS.md (full sweep) and asserts
+the claimed shape.  See src/repro/experiments/e09_hierarchy.py for the
+sweep definition.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def bench_e9_hierarchy(benchmark):
+    run_experiment_benchmark(benchmark, "E9")

@@ -1,0 +1,12 @@
+"""Benchmark E10 — Paragraph 7(4): known n brings the hierarchy down to Theta(n).
+
+Regenerates the E10 table from EXPERIMENTS.md (full sweep) and asserts
+the claimed shape.  See src/repro/experiments/e10_known_n.py for the
+sweep definition.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def bench_e10_known_n(benchmark):
+    run_experiment_benchmark(benchmark, "E10")

@@ -1,0 +1,12 @@
+"""Benchmark E11 — Paragraph 7(5): two passes at (2k+1)n vs one pass at (k+2^k-1)n.
+
+Regenerates the E11 table from EXPERIMENTS.md (full sweep) and asserts
+the claimed shape.  See src/repro/experiments/e11_passes_tradeoff.py for the
+sweep definition.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def bench_e11_passes_tradeoff(benchmark):
+    run_experiment_benchmark(benchmark, "E11")

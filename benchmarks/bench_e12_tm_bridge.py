@@ -1,0 +1,12 @@
+"""Benchmark E12 — Summary section: the TM->ring transformation.
+
+Regenerates the E12 table from EXPERIMENTS.md (full sweep) and asserts the
+claimed shape.  See src/repro/experiments/e12_tm_bridge.py for the sweep
+definition.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def bench_e12_tm_bridge(benchmark):
+    run_experiment_benchmark(benchmark, "E12")

@@ -1,0 +1,106 @@
+"""Micro-benchmarks for the substrates underneath the experiments.
+
+Not tied to a paper table — these time the building blocks (ring message
+throughput, DFA minimization, token serialization, the Theorem 7 catalog
+construction) so performance regressions in the simulator show up
+independently of the experiment sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.automata.minimize import minimize
+from repro.automata.regex import compile_regex, regex_to_nfa
+from repro.core.bidi_to_unidi import BidiToUnidiCompiler
+from repro.core.comparison import CopyRecognizer
+from repro.core.regular_bidirectional import BidirectionalDFARecognizer
+from repro.core.regular_onepass import DFARecognizer
+from repro.languages import CopyLanguage
+from repro.languages.regular import parity_language
+from repro.ring import run_bidirectional, run_unidirectional
+from repro.ring.line import ring_to_line
+from repro.ring.token import serialize_to_token
+
+
+def bench_unidirectional_ring_throughput(benchmark):
+    """One-pass DFA recognizer on a 512-node ring."""
+    algorithm = DFARecognizer(parity_language().dfa)
+    word = "ab" * 256
+
+    def run():
+        return run_unidirectional(algorithm, word)
+
+    trace = benchmark(run)
+    assert trace.decision is True
+
+
+def bench_bidirectional_ring_throughput(benchmark):
+    """Same recognizer through the scheduler-driven bidirectional ring."""
+    algorithm = BidirectionalDFARecognizer(parity_language().dfa)
+    word = "ab" * 128
+
+    def run():
+        return run_bidirectional(algorithm, word)
+
+    trace = benchmark(run)
+    assert trace.decision is True
+
+
+def bench_quadratic_recognizer(benchmark):
+    """The w c w recognizer at n=257 (buffer grows to 128 letters)."""
+    language = CopyLanguage()
+    algorithm = CopyRecognizer()
+    word = language.sample_member(257, random.Random(1))
+
+    def run():
+        return run_unidirectional(algorithm, word)
+
+    trace = benchmark(run)
+    assert trace.decision is True
+
+
+def bench_dfa_minimization(benchmark):
+    """Hopcroft minimization of a subset-construction DFA."""
+    nfa = regex_to_nfa("(a|b)*a(a|b)(a|b)(a|b)(a|b)", "ab")
+    dfa = nfa.determinize()  # 2^5-ish states
+
+    minimal = benchmark(minimize, dfa)
+    assert len(minimal.states) <= len(dfa.states)
+
+
+def bench_regex_compilation(benchmark):
+    """Regex -> NFA -> DFA -> minimal pipeline."""
+    pattern = "((a|b)*abb|a+b?a*)((ab)*|b+)"
+
+    dfa = benchmark(compile_regex, pattern, "ab")
+    assert dfa.accepts("abb")
+
+
+def bench_token_serialization(benchmark):
+    """Causal token serialization of a 256-message execution."""
+    algorithm = DFARecognizer(parity_language().dfa)
+    trace = run_unidirectional(algorithm, "ab" * 128)
+
+    token = benchmark(serialize_to_token, trace)
+    assert token.preserves_payloads()
+
+
+def bench_ring_to_line_transformation(benchmark):
+    """The Theorem 5 transformation on a 256-node execution."""
+    algorithm = DFARecognizer(parity_language().dfa)
+    trace = run_unidirectional(algorithm, "ab" * 128)
+
+    result = benchmark(ring_to_line, trace)
+    assert result.ratio <= 4.0
+
+
+def bench_theorem7_catalog_construction(benchmark):
+    """Catalog build (exhaustive line runs, horizon 6) for Theorem 7."""
+    source = BidirectionalDFARecognizer(parity_language().dfa)
+
+    compiler = benchmark.pedantic(
+        BidiToUnidiCompiler, args=(source,), kwargs={"horizon": 6}, rounds=1,
+        iterations=1,
+    )
+    assert len(compiler.catalog) > 0

@@ -1,0 +1,25 @@
+"""Shared helper for the benchmark harness.
+
+Each ``bench_eNN_*.py`` regenerates one experiment's table (the paper has
+no numbered tables/figures, so the experiment suite E1-E11 — one per
+theorem / §7 note — is the set of "tables" this harness reproduces; see
+DESIGN.md §4 and EXPERIMENTS.md).  The experiment runs once inside
+pytest-benchmark's timer (rounds=1: these are end-to-end sweeps, not
+microseconds), prints the regenerated table, and asserts the paper's
+claimed shape held.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import get_experiment
+
+
+def run_experiment_benchmark(benchmark, exp_id: str, quick: bool = False):
+    """Time one full experiment, print its table, and assert it passed."""
+    result = benchmark.pedantic(
+        get_experiment(exp_id), args=(quick,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    result.require_passed()
+    return result

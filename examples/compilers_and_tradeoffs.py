@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""The paper's compilers at work, plus the pass/bit trade-off.
+
+Three demonstrations:
+
+1. **Theorem 3** — compile a two-pass algorithm into a single pass by
+   enumerating candidate message sequences; watch the constant explode
+   while the growth stays linear.
+2. **Theorem 7** — take a *bidirectional* recognizer, embed it on a line,
+   enumerate accepting information states, and obtain a unidirectional
+   algorithm that agrees with it everywhere.
+3. **§7(5)** — the trade-off table: two passes cost ``(2k+1) n`` bits, one
+   pass ``(k + 2^k - 1) n``; the crossover sits at ``k = 3``.
+
+Run::
+
+    python examples/compilers_and_tradeoffs.py
+"""
+
+import itertools
+import random
+
+from repro.analysis import format_table
+from repro.core import (
+    BidirectionalDFARecognizer,
+    BidiToUnidiCompiler,
+    OnePassTradeoffRecognizer,
+    TransducerRingAlgorithm,
+    TwoPassTradeoffRecognizer,
+    compile_to_one_pass,
+    one_pass_bits,
+    two_pass_bits,
+)
+from repro.core.multipass import collect_message_space
+from repro.languages.regular import parity_language, tradeoff_language
+from repro.ring import run_bidirectional, run_unidirectional
+
+
+def theorem3_demo() -> None:
+    print("== Theorem 3: two passes -> one pass ==")
+    language = tradeoff_language(1)
+    two_pass = TwoPassTradeoffRecognizer(language)
+    probes = [
+        "".join(ws)
+        for length in range(1, 5)
+        for ws in itertools.product(language.alphabet, repeat=length)
+    ]
+    space = collect_message_space(two_pass, probes)
+    compiled = compile_to_one_pass(two_pass.multipass, space)
+    one_pass = TransducerRingAlgorithm(compiled, name="compiled")
+    print(f"  message space |M| = {len(space)}, candidates |M|^pi = "
+          f"{compiled.candidate_count}")
+    for n in (8, 16, 32):
+        word = "0" * n
+        source = run_unidirectional(two_pass, word)
+        target = run_unidirectional(one_pass, word)
+        print(
+            f"  n={n:3}  2-pass: {source.total_bits:4} bits in "
+            f"{source.pass_count()} passes | compiled 1-pass: "
+            f"{target.total_bits:5} bits in {target.pass_count()} pass "
+            f"(agree: {source.decision == target.decision})"
+        )
+    print("  the compiled constant is brutal - but it IS a constant;"
+          " both curves are O(n).\n")
+
+
+def theorem7_demo() -> None:
+    print("== Theorem 7: bidirectional -> unidirectional ==")
+    rng = random.Random(3)
+    language = parity_language()
+    source = BidirectionalDFARecognizer(language.dfa, name="parity")
+    compiler = BidiToUnidiCompiler(source, horizon=6)
+    print(f"  information-state catalog: {len(compiler.catalog)} states, "
+          f"{compiler.bits_per_message()} bits per compiled message")
+    agreements = 0
+    for n in (5, 9, 17, 33):
+        word = "".join(rng.choice("ab") for _ in range(n))
+        bidi = run_bidirectional(source, word)
+        unidi = run_unidirectional(compiler, word)
+        agreements += bidi.decision == unidi.decision
+        print(
+            f"  n={n:3} {word[:20]!r:24} bidi={bidi.decision!s:5} "
+            f"({bidi.total_bits:3} bits)  unidi={unidi.decision!s:5} "
+            f"({unidi.total_bits:5} bits, {unidi.pass_count()} passes)"
+        )
+    print(f"  agreement: {agreements}/4 rings\n")
+
+
+def tradeoff_demo() -> None:
+    print("== §7(5): bits vs passes ==")
+    rng = random.Random(5)
+    rows = []
+    n = 120
+    for k in range(1, 6):
+        language = tradeoff_language(k)
+        word = language.sample_member(n, rng)
+        one = run_unidirectional(OnePassTradeoffRecognizer(language), word)
+        two = run_unidirectional(TwoPassTradeoffRecognizer(language), word)
+        assert one.total_bits == one_pass_bits(k, n)
+        assert two.total_bits == two_pass_bits(k, n)
+        ratio = one.total_bits / two.total_bits
+        rows.append(
+            {
+                "k": k,
+                "|Sigma|": 2**k,
+                "1-pass bits": one.total_bits,
+                "2-pass bits": two.total_bits,
+                "ratio": round(ratio, 2),
+                "cheaper": "1-pass" if ratio < 1 else ("tie" if ratio == 1 else "2-pass"),
+            }
+        )
+    print(format_table(rows, title=f"  n = {n}"))
+    print("  a second pass buys an exponential factor from k = 3 on.")
+
+
+def main() -> None:
+    theorem3_demo()
+    theorem7_demo()
+    tradeoff_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Regular pattern recognition end-to-end: regexes, both ring models, and
+the Theorem 2 extraction that recovers the automaton from the algorithm.
+
+Scenario: a ring of sensors each holding a status letter; the operator
+(leader) wants to know whether the status pattern matches a regex — e.g.
+"some sensor saw the fault signature 'abb'" — for the cost of one state
+index per hop.
+
+Run::
+
+    python examples/regular_patterns.py
+"""
+
+import random
+
+from repro.automata import compile_regex, equivalent
+from repro.core import (
+    BidirectionalDFARecognizer,
+    DFARecognizer,
+    build_message_graph,
+    extract_dfa,
+)
+from repro.ring import run_bidirectional, run_unidirectional
+from repro.ring.schedulers import AdversarialScheduler, RandomScheduler
+
+
+PATTERNS = {
+    "fault-signature": "(a|b)*abb(a|b)*",
+    "all-quiet": "b*",
+    "alternating": "(ab)*a?",
+}
+
+
+def main() -> None:
+    rng = random.Random(7)
+
+    for name, pattern in PATTERNS.items():
+        dfa = compile_regex(pattern, "ab")
+        algorithm = DFARecognizer(dfa, name=name)
+        print(f"{name}: /{pattern}/  |Q|={len(algorithm.dfa.states)} "
+              f"bits/msg={algorithm.bits_per_message}")
+
+        # Unidirectional ring (Theorem 1).
+        for _ in range(3):
+            n = rng.randrange(4, 12)
+            word = "".join(rng.choice("ab") for _ in range(n))
+            trace = run_unidirectional(algorithm, word)
+            print(f"    uni  {word!r:14} -> {trace.decision} "
+                  f"({trace.total_bits} bits)")
+
+        # Bidirectional ring (Theorem 6) under hostile scheduling: same
+        # decisions, same bits - one message in flight has no races.
+        bidi = BidirectionalDFARecognizer(dfa, name=name)
+        word = "".join(rng.choice("ab") for _ in range(10))
+        for scheduler in [RandomScheduler(1), AdversarialScheduler()]:
+            trace = run_bidirectional(bidi, word, scheduler=scheduler)
+            print(f"    bidi {word!r:14} -> {trace.decision} "
+                  f"({trace.total_bits} bits, "
+                  f"{type(scheduler).__name__})")
+
+    # Theorem 2, run in reverse: watch the algorithm's message graph and
+    # recover the automaton from the wire behavior alone.
+    print("\nTheorem 2: extracting the DFA back out of the algorithm")
+    dfa = compile_regex(PATTERNS["fault-signature"], "ab")
+    algorithm = DFARecognizer(dfa)
+    graph = build_message_graph(algorithm.transducer)
+    extracted = extract_dfa(
+        graph, algorithm.transducer, accept_empty=dfa.accepts("")
+    )
+    print(f"  message graph: {graph.message_count} distinct messages "
+          f"(finite: {graph.is_finite()})")
+    print(f"  extracted DFA equivalent to the original: "
+          f"{equivalent(extracted, dfa)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in offline
+environments without the ``wheel`` package (legacy editable install path).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Bit complexity of distributed computations in a ring with a leader "
+        "(Mansour & Zaks, PODC 1986) - full reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    entry_points={"console_scripts": ["ring-repro = repro.cli:main"]},
+)

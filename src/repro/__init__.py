@@ -1,0 +1,67 @@
+"""Reproduction of Mansour & Zaks, "On the Bit Complexity of Distributed
+Computations in a Ring with a Leader" (PODC 1986 / Inf. & Comp. 75, 1987).
+
+The library models an asynchronous ring of processors with a leader, where
+each processor holds one letter and the leader must accept or reject the
+pattern around the ring; the cost measure is the total number of message
+*bits*.  It provides:
+
+* exact-bit ring simulators (unidirectional, bidirectional, line) --
+  :mod:`repro.ring`;
+* the automata and language substrates -- :mod:`repro.automata`,
+  :mod:`repro.languages`;
+* every algorithm and proof construction in the paper --
+  :mod:`repro.core` (Theorem 1's DFA recognizer, Theorem 2's message
+  graph, Theorem 3's and Theorem 7's compilers, the information-state
+  machinery of Theorems 4-5, and the §7 recognizers: counters, w c w,
+  the L_g hierarchy, known-n variants, the pass/bit trade-off);
+* growth-law analysis and the experiment suite regenerating every claim --
+  :mod:`repro.analysis`, :mod:`repro.experiments`, and the ``ring-repro``
+  CLI.
+
+Quickstart::
+
+    from repro.languages import parity_language
+    from repro.core import DFARecognizer
+    from repro.ring import run_unidirectional
+
+    lang = parity_language()                    # even number of 'a's
+    algorithm = DFARecognizer(lang.dfa)         # Theorem 1 construction
+    trace = run_unidirectional(algorithm, "abab")
+    assert trace.decision is True
+    assert trace.total_bits == len("abab")      # 1 bit/message: |Q| = 2
+"""
+
+__version__ = "1.0.0"
+
+from repro.bits import BitReader, Bits
+from repro.errors import ReproError
+from repro.ring import (
+    BidirectionalRing,
+    Direction,
+    ExecutionTrace,
+    LineNetwork,
+    Processor,
+    RingAlgorithm,
+    Send,
+    UnidirectionalRing,
+    run_bidirectional,
+    run_unidirectional,
+)
+
+__all__ = [
+    "__version__",
+    "Bits",
+    "BitReader",
+    "ReproError",
+    "Direction",
+    "Send",
+    "Processor",
+    "RingAlgorithm",
+    "ExecutionTrace",
+    "UnidirectionalRing",
+    "BidirectionalRing",
+    "LineNetwork",
+    "run_unidirectional",
+    "run_bidirectional",
+]

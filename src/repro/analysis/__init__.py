@@ -1,0 +1,23 @@
+"""Measurement analysis: growth-model fitting and table rendering.
+
+The paper's claims are asymptotic classes (``O(n)``, ``Theta(n log n)``,
+``Theta(n^2)``, ``Theta(g(n))``).  The experiments measure exact bit counts
+over sweeps of ``n`` and use :func:`repro.analysis.growth.classify_growth`
+to decide which model the curve follows; :mod:`repro.analysis.tables`
+renders the rows recorded in EXPERIMENTS.md.
+"""
+
+from repro.analysis.models import GrowthModel, STANDARD_MODELS, model_named
+from repro.analysis.growth import FitResult, classify_growth, fit_model, log_log_slope
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "GrowthModel",
+    "STANDARD_MODELS",
+    "model_named",
+    "FitResult",
+    "fit_model",
+    "classify_growth",
+    "log_log_slope",
+    "format_table",
+]

@@ -1,0 +1,162 @@
+"""Growth classification of measured bit curves.
+
+Given samples ``(n_i, bits_i)``, each candidate model ``f`` is scored by
+how *constant* the implied coefficient ``bits_i / f(n_i)`` is across the
+sweep (coefficient of variation over the larger-``n`` half, where the
+asymptotic regime dominates).  The winning model plus the fitted constant
+and an R-squared against ``c * f(n)`` form the :class:`FitResult` recorded
+in EXPERIMENTS.md.
+
+The classifier deliberately avoids scipy curve fitting: the paper's claims
+are about *which shelf* a curve sits on, not parametric regression, and
+ratio-flatness separates ``n`` / ``n log n`` / ``n^2`` unambiguously at the
+sweep sizes used here.  :func:`log_log_slope` (ordinary least squares on
+``log n`` vs ``log bits``) is provided as an independent cross-check of the
+polynomial degree.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.models import STANDARD_MODELS, GrowthModel
+from repro.errors import ReproError
+
+__all__ = [
+    "FitResult",
+    "fit_model",
+    "classify_growth",
+    "log_log_slope",
+    "ThetaCheck",
+    "theta_check",
+]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of fitting one model to one measured curve."""
+
+    model: GrowthModel
+    constant: float
+    dispersion: float  # coefficient of variation of bits/f(n), tail half
+    r_squared: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.model.name}: c={self.constant:.3f} "
+            f"cv={self.dispersion:.4f} R2={self.r_squared:.5f}"
+        )
+
+
+def _validate(ns: Sequence[int], bits: Sequence[int]) -> None:
+    if len(ns) != len(bits):
+        raise ReproError("ns and bits must have equal lengths")
+    if len(ns) < 3:
+        raise ReproError("need at least 3 sample points to classify growth")
+    if any(n < 1 for n in ns):
+        raise ReproError("ring sizes must be positive")
+    if any(b < 0 for b in bits):
+        raise ReproError("bit counts must be non-negative")
+
+
+def fit_model(
+    ns: Sequence[int], bits: Sequence[int], model: GrowthModel
+) -> FitResult:
+    """Fit ``bits ~ c * model(n)`` and score the fit (see module docstring)."""
+    _validate(ns, bits)
+    ratios = [b / model(n) for n, b in zip(ns, bits)]
+    tail = ratios[len(ratios) // 2 :]
+    mean = sum(tail) / len(tail)
+    if mean == 0:
+        dispersion = math.inf
+    else:
+        variance = sum((r - mean) ** 2 for r in tail) / len(tail)
+        dispersion = math.sqrt(variance) / mean
+    constant = mean
+    predictions = [constant * model(n) for n in ns]
+    total = sum((b - sum(bits) / len(bits)) ** 2 for b in bits)
+    residual = sum((b - p) ** 2 for b, p in zip(bits, predictions))
+    r_squared = 1.0 - residual / total if total > 0 else 1.0
+    return FitResult(model, constant, dispersion, r_squared)
+
+
+def classify_growth(
+    ns: Sequence[int],
+    bits: Sequence[int],
+    models: Sequence[GrowthModel] = STANDARD_MODELS,
+) -> FitResult:
+    """The best-fitting model: minimal tail dispersion of ``bits / f(n)``."""
+    fits = [fit_model(ns, bits, model) for model in models]
+    return min(fits, key=lambda fit: fit.dispersion)
+
+
+def log_log_slope(ns: Sequence[int], bits: Sequence[int]) -> float:
+    """OLS slope of ``log2 bits`` against ``log2 n``.
+
+    An independent estimate of the polynomial degree: ~1 for linear, ~2 for
+    quadratic; ``n log n`` lands slightly above 1 and drifts down as ``n``
+    grows.
+    """
+    _validate(ns, bits)
+    points = [
+        (math.log2(n), math.log2(b)) for n, b in zip(ns, bits) if b > 0 and n > 1
+    ]
+    if len(points) < 2:
+        raise ReproError("not enough positive samples for a slope")
+    mean_x = sum(x for x, _ in points) / len(points)
+    mean_y = sum(y for _, y in points) / len(points)
+    sxx = sum((x - mean_x) ** 2 for x, _ in points)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    if sxx == 0:
+        raise ReproError("degenerate sweep: all ring sizes equal")
+    return sxy / sxx
+
+
+@dataclass(frozen=True)
+class ThetaCheck:
+    """Outcome of an explicit-constant Theta(f) envelope check.
+
+    ``ok`` means every measured ratio ``bits/f(n)`` sat inside
+    ``[low, high]`` and the tail-half coefficient of variation stayed below
+    ``max_dispersion`` — i.e. the curve is ``Theta(f)`` with the stated
+    constants, which is a *stronger* statement than winning a model
+    competition (and the only sound one at ring sizes where, say,
+    ``sqrt(n)`` and ``log^2 n`` are numerically indistinguishable: they
+    cross near n = 65536, far beyond a simulated sweep).
+    """
+
+    ok: bool
+    min_ratio: float
+    max_ratio: float
+    dispersion: float
+
+
+def theta_check(
+    ns: Sequence[int],
+    bits: Sequence[int],
+    f,
+    low: float,
+    high: float,
+    max_dispersion: float = 0.10,
+) -> ThetaCheck:
+    """Check ``bits(n)`` is ``Theta(f(n))`` with explicit constants.
+
+    ``f`` is any callable ``n -> number``.  See :class:`ThetaCheck`.
+    """
+    _validate(ns, bits)
+    ratios = [b / max(float(f(n)), 1.0) for n, b in zip(ns, bits)]
+    tail = ratios[len(ratios) // 2 :]
+    mean = sum(tail) / len(tail)
+    if mean == 0:
+        dispersion = math.inf
+    else:
+        variance = sum((r - mean) ** 2 for r in tail) / len(tail)
+        dispersion = math.sqrt(variance) / mean
+    ok = (
+        min(ratios) >= low
+        and max(ratios) <= high
+        and dispersion <= max_dispersion
+    )
+    return ThetaCheck(ok, min(ratios), max(ratios), dispersion)

@@ -1,0 +1,53 @@
+"""The growth-model registry used to classify measured bit curves.
+
+Each :class:`GrowthModel` is a named shape ``f(n)``; fitting finds the
+constant ``c`` minimizing the residual of ``bits(n) ~ c * f(n)``.  The
+registry spans the paper's whole range — ``n`` (Theorems 1/3/6/7) up to
+``n^2`` (§7(1) and the trivial upper bound) with the hierarchy points
+between (§7(3)).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ReproError
+
+__all__ = ["GrowthModel", "STANDARD_MODELS", "model_named"]
+
+
+@dataclass(frozen=True)
+class GrowthModel:
+    """A named growth shape ``f(n)`` (defined for ``n >= 2``)."""
+
+    name: str
+    fn: Callable[[int], float]
+
+    def __call__(self, n: int) -> float:
+        if n < 1:
+            raise ReproError("growth models are evaluated at n >= 1")
+        return self.fn(n)
+
+
+def _log2(n: int) -> float:
+    return math.log2(max(n, 2))
+
+
+STANDARD_MODELS: tuple[GrowthModel, ...] = (
+    GrowthModel("n", lambda n: float(n)),
+    GrowthModel("n*log(n)", lambda n: n * _log2(n)),
+    GrowthModel("n*log(n)^2", lambda n: n * _log2(n) ** 2),
+    GrowthModel("n^1.5", lambda n: n**1.5),
+    GrowthModel("n^2", lambda n: float(n) ** 2),
+)
+"""The ladder the experiments classify against, in increasing order."""
+
+
+def model_named(name: str) -> GrowthModel:
+    """Look up a standard model by name."""
+    for model in STANDARD_MODELS:
+        if model.name == name:
+            return model
+    raise ReproError(f"unknown growth model {name!r}")

@@ -1,0 +1,49 @@
+"""Plain-text table rendering for experiment output.
+
+Every experiment emits rows (lists of dicts); :func:`format_table` renders
+them with aligned columns, exactly as pasted into EXPERIMENTS.md, so the
+recorded results are regenerable byte-for-byte by the CLI and benches.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table"]
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    ``columns`` fixes the order (default: keys of the first row).  Missing
+    cells render empty.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [[_render(row.get(col, "")) for col in cols] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in rendered))
+        for i, col in enumerate(cols)
+    ]
+    parts = []
+    if title:
+        parts.append(title)
+    header = "  ".join(col.ljust(width) for col, width in zip(cols, widths))
+    parts.append(header)
+    parts.append("  ".join("-" * width for width in widths))
+    for line in rendered:
+        parts.append("  ".join(cell.rjust(width) for cell, width in zip(line, widths)))
+    return "\n".join(parts)

@@ -1,0 +1,56 @@
+"""Finite-automata substrate.
+
+Theorem 1 turns a DFA into a ring algorithm whose messages are DFA states;
+Theorem 2 goes the other way, extracting a DFA from the message graph of any
+linear-bit one-pass algorithm.  This subpackage provides the complete DFA/NFA
+toolkit both directions rely on: construction, regex compilation, boolean
+operations, Hopcroft minimization, equivalence checking, and structural
+properties (emptiness, finiteness, residual classes).
+"""
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.automata.regex import compile_regex, regex_to_nfa
+from repro.automata.operations import (
+    complement,
+    concatenate,
+    intersection,
+    product,
+    reverse,
+    star,
+    union,
+)
+from repro.automata.minimize import canonical_form, minimize
+from repro.automata.equivalence import distinguishing_word, equivalent
+from repro.automata.properties import (
+    is_empty,
+    is_finite_language,
+    is_universal,
+    pumping_length,
+    residual_classes,
+    shortest_accepted,
+)
+
+__all__ = [
+    "DFA",
+    "NFA",
+    "compile_regex",
+    "regex_to_nfa",
+    "product",
+    "union",
+    "intersection",
+    "complement",
+    "concatenate",
+    "reverse",
+    "star",
+    "minimize",
+    "canonical_form",
+    "equivalent",
+    "distinguishing_word",
+    "is_empty",
+    "is_universal",
+    "is_finite_language",
+    "pumping_length",
+    "residual_classes",
+    "shortest_accepted",
+]

@@ -1,0 +1,138 @@
+"""Nondeterministic finite automata with epsilon moves, and the subset
+construction to DFAs.
+
+The NFA layer exists so regular languages can be written as regexes
+(:mod:`repro.automata.regex`) or glued together with boolean operations and
+then compiled down to the total DFAs that Theorem 1's ring algorithm needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping
+
+from repro.automata.dfa import DFA
+from repro.errors import AutomatonError
+
+State = Hashable
+Symbol = str
+
+EPSILON = ""
+
+__all__ = ["NFA", "EPSILON"]
+
+
+@dataclass(frozen=True)
+class NFA:
+    """An NFA with epsilon transitions.
+
+    ``transitions`` maps ``(state, symbol)`` to a frozenset of successor
+    states; the empty-string symbol denotes an epsilon move.  Missing keys
+    mean "no transition" — NFAs, unlike our DFAs, may be partial.
+    """
+
+    states: frozenset[State]
+    alphabet: tuple[Symbol, ...]
+    transitions: Mapping[tuple[State, Symbol], frozenset[State]]
+    start: State
+    accepting: frozenset[State]
+
+    def __post_init__(self) -> None:
+        states = frozenset(self.states)
+        accepting = frozenset(self.accepting)
+        alphabet = tuple(self.alphabet)
+        transitions = {
+            key: frozenset(targets) for key, targets in self.transitions.items()
+        }
+        object.__setattr__(self, "states", states)
+        object.__setattr__(self, "accepting", accepting)
+        object.__setattr__(self, "alphabet", alphabet)
+        object.__setattr__(self, "transitions", transitions)
+        if self.start not in states:
+            raise AutomatonError(f"start state {self.start!r} not in states")
+        if not accepting <= states:
+            raise AutomatonError("accepting states must be a subset of states")
+        if EPSILON in alphabet:
+            raise AutomatonError("the empty string is reserved for epsilon moves")
+        for (state, symbol), targets in transitions.items():
+            if state not in states or not targets <= states:
+                raise AutomatonError(f"transition {(state, symbol)!r} leaves states")
+            if symbol != EPSILON and symbol not in alphabet:
+                raise AutomatonError(f"symbol {symbol!r} not in alphabet")
+
+    # ------------------------------------------------------------------
+
+    def epsilon_closure(self, states: Iterable[State]) -> frozenset[State]:
+        """All states reachable from ``states`` by epsilon moves alone."""
+        closure = set(states)
+        frontier = list(closure)
+        while frontier:
+            state = frontier.pop()
+            for nxt in self.transitions.get((state, EPSILON), frozenset()):
+                if nxt not in closure:
+                    closure.add(nxt)
+                    frontier.append(nxt)
+        return frozenset(closure)
+
+    def step(self, states: Iterable[State], symbol: Symbol) -> frozenset[State]:
+        """Subset transition: closure(move(closure(states), symbol))."""
+        current = self.epsilon_closure(states)
+        moved: set[State] = set()
+        for state in current:
+            moved |= self.transitions.get((state, symbol), frozenset())
+        return self.epsilon_closure(moved)
+
+    def accepts(self, word: str) -> bool:
+        """Whether ``word`` is in the NFA's language."""
+        current = self.epsilon_closure({self.start})
+        for symbol in word:
+            if symbol not in self.alphabet:
+                return False
+            current = self.step(current, symbol)
+            if not current:
+                return False
+        return bool(current & self.accepting)
+
+    # ------------------------------------------------------------------
+
+    def determinize(self) -> DFA:
+        """Subset construction producing an equivalent total DFA.
+
+        Subset states are frozensets of NFA states; the empty subset is the
+        sink, so the result is always total.
+        """
+        start = self.epsilon_closure({self.start})
+        subsets: dict[frozenset[State], frozenset[State]] = {start: start}
+        transitions: dict[tuple[frozenset[State], Symbol], frozenset[State]] = {}
+        frontier = [start]
+        while frontier:
+            subset = frontier.pop()
+            for symbol in self.alphabet:
+                target = self.step(subset, symbol)
+                transitions[(subset, symbol)] = target
+                if target not in subsets:
+                    subsets[target] = target
+                    frontier.append(target)
+        accepting = frozenset(
+            subset for subset in subsets if subset & self.accepting
+        )
+        return DFA(
+            states=frozenset(subsets),
+            alphabet=self.alphabet,
+            transitions=transitions,
+            start=start,
+            accepting=accepting,
+        )
+
+    @classmethod
+    def from_dfa(cls, dfa: DFA) -> "NFA":
+        """View a DFA as an NFA (for composition with NFA combinators)."""
+        return cls(
+            states=dfa.states,
+            alphabet=dfa.alphabet,
+            transitions={
+                key: frozenset({target}) for key, target in dfa.transitions.items()
+            },
+            start=dfa.start,
+            accepting=dfa.accepting,
+        )

@@ -1,0 +1,171 @@
+"""Boolean and rational operations on automata.
+
+These combinators let the language layer define the E1 experiment's regular
+languages compositionally, and let tests cross-check recognizers (e.g. a
+ring algorithm for ``L1 ∪ L2`` against the union DFA).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import EPSILON, NFA
+from repro.errors import AutomatonError
+
+State = Hashable
+
+__all__ = [
+    "product",
+    "union",
+    "intersection",
+    "complement",
+    "concatenate",
+    "reverse",
+    "star",
+]
+
+
+def _check_same_alphabet(left: DFA, right: DFA) -> tuple[str, ...]:
+    if left.alphabet != right.alphabet:
+        raise AutomatonError(
+            f"alphabet mismatch: {left.alphabet!r} vs {right.alphabet!r}"
+        )
+    return left.alphabet
+
+
+def product(
+    left: DFA, right: DFA, accept: Callable[[bool, bool], bool]
+) -> DFA:
+    """Product automaton with acceptance combined by ``accept``.
+
+    ``accept`` receives (left-accepts, right-accepts) for each state pair;
+    union is ``or``, intersection is ``and``, symmetric difference is ``!=``.
+    Only pairs reachable from the joint start state are materialized.
+    """
+    alphabet = _check_same_alphabet(left, right)
+    start = (left.start, right.start)
+    states: set[tuple[State, State]] = {start}
+    transitions: dict[tuple[tuple[State, State], str], tuple[State, State]] = {}
+    frontier = [start]
+    while frontier:
+        pair = frontier.pop()
+        for symbol in alphabet:
+            target = (
+                left.transitions[(pair[0], symbol)],
+                right.transitions[(pair[1], symbol)],
+            )
+            transitions[(pair, symbol)] = target
+            if target not in states:
+                states.add(target)
+                frontier.append(target)
+    accepting = frozenset(
+        pair
+        for pair in states
+        if accept(pair[0] in left.accepting, pair[1] in right.accepting)
+    )
+    return DFA(
+        states=frozenset(states),
+        alphabet=alphabet,
+        transitions=transitions,
+        start=start,
+        accepting=accepting,
+    )
+
+
+def union(left: DFA, right: DFA) -> DFA:
+    """DFA for ``L(left) ∪ L(right)``."""
+    return product(left, right, lambda a, b: a or b)
+
+
+def intersection(left: DFA, right: DFA) -> DFA:
+    """DFA for ``L(left) ∩ L(right)``."""
+    return product(left, right, lambda a, b: a and b)
+
+
+def complement(dfa: DFA) -> DFA:
+    """DFA for the complement language (flips acceptance; DFA is total)."""
+    return DFA(
+        states=dfa.states,
+        alphabet=dfa.alphabet,
+        transitions=dfa.transitions,
+        start=dfa.start,
+        accepting=dfa.states - dfa.accepting,
+    )
+
+
+def _relabel(nfa: NFA, offset: int) -> tuple[NFA, int]:
+    """Shift integer-renamed NFA states by ``offset`` to avoid collisions."""
+    mapping = {state: index + offset for index, state in enumerate(sorted(nfa.states, key=repr))}
+    shifted = NFA(
+        states=frozenset(mapping.values()),
+        alphabet=nfa.alphabet,
+        transitions={
+            (mapping[s], symbol): frozenset(mapping[t] for t in targets)
+            for (s, symbol), targets in nfa.transitions.items()
+        },
+        start=mapping[nfa.start],
+        accepting=frozenset(mapping[s] for s in nfa.accepting),
+    )
+    return shifted, offset + len(mapping)
+
+
+def concatenate(left: DFA, right: DFA) -> DFA:
+    """DFA for ``L(left) · L(right)`` via NFA gluing + determinization."""
+    _check_same_alphabet(left, right)
+    left_nfa, offset = _relabel(NFA.from_dfa(left), 0)
+    right_nfa, _ = _relabel(NFA.from_dfa(right), offset)
+    transitions = dict(left_nfa.transitions)
+    transitions.update(right_nfa.transitions)
+    for state in left_nfa.accepting:
+        key = (state, EPSILON)
+        transitions[key] = transitions.get(key, frozenset()) | {right_nfa.start}
+    glued = NFA(
+        states=left_nfa.states | right_nfa.states,
+        alphabet=left.alphabet,
+        transitions=transitions,
+        start=left_nfa.start,
+        accepting=right_nfa.accepting,
+    )
+    return glued.determinize()
+
+
+def reverse(dfa: DFA) -> DFA:
+    """DFA for the reversal language ``{w^R : w in L}``."""
+    nfa, offset = _relabel(NFA.from_dfa(dfa), 0)
+    reversed_transitions: dict[tuple[State, str], set[State]] = {}
+    for (source, symbol), targets in nfa.transitions.items():
+        for target in targets:
+            reversed_transitions.setdefault((target, symbol), set()).add(source)
+    new_start = offset
+    transitions = {
+        key: frozenset(targets) for key, targets in reversed_transitions.items()
+    }
+    transitions[(new_start, EPSILON)] = frozenset(nfa.accepting)
+    flipped = NFA(
+        states=nfa.states | {new_start},
+        alphabet=dfa.alphabet,
+        transitions=transitions,
+        start=new_start,
+        accepting=frozenset({nfa.start}),
+    )
+    return flipped.determinize()
+
+
+def star(dfa: DFA) -> DFA:
+    """DFA for the Kleene star ``L(dfa)*``."""
+    nfa, offset = _relabel(NFA.from_dfa(dfa), 0)
+    new_start = offset
+    transitions = dict(nfa.transitions)
+    transitions[(new_start, EPSILON)] = frozenset({nfa.start})
+    for state in nfa.accepting:
+        key = (state, EPSILON)
+        transitions[key] = transitions.get(key, frozenset()) | {nfa.start}
+    starred = NFA(
+        states=nfa.states | {new_start},
+        alphabet=dfa.alphabet,
+        transitions=transitions,
+        start=new_start,
+        accepting=nfa.accepting | {new_start},
+    )
+    return starred.determinize()

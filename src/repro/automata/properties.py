@@ -1,0 +1,134 @@
+"""Structural properties of DFAs.
+
+Finiteness, emptiness, pumping lengths and Myhill–Nerode residual classes
+are the ingredients the paper's dichotomy rests on: a language is regular
+iff it has finitely many residuals iff some linear-bit ring algorithm
+recognizes it (Theorems 1–3).  The experiments use these predicates both to
+sanity-check language definitions and to certify extraction results.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable
+
+from repro.automata.dfa import DFA
+from repro.automata.minimize import minimize
+
+State = Hashable
+
+__all__ = [
+    "is_empty",
+    "is_universal",
+    "is_finite_language",
+    "pumping_length",
+    "residual_classes",
+    "shortest_accepted",
+]
+
+
+def shortest_accepted(dfa: DFA) -> str | None:
+    """A shortest accepted word, or None when the language is empty."""
+    queue: deque[tuple[State, str]] = deque([(dfa.start, "")])
+    seen = {dfa.start}
+    while queue:
+        state, word = queue.popleft()
+        if state in dfa.accepting:
+            return word
+        for symbol in dfa.alphabet:
+            nxt = dfa.transitions[(state, symbol)]
+            if nxt not in seen:
+                seen.add(nxt)
+                queue.append((nxt, word + symbol))
+    return None
+
+
+def is_empty(dfa: DFA) -> bool:
+    """Whether the language of ``dfa`` is empty."""
+    return shortest_accepted(dfa) is None
+
+
+def is_universal(dfa: DFA) -> bool:
+    """Whether ``dfa`` accepts every word over its alphabet."""
+    reachable = dfa.reachable_states()
+    return reachable <= dfa.accepting
+
+
+def is_finite_language(dfa: DFA) -> bool:
+    """Whether the language is finite.
+
+    The language is infinite iff some cycle is reachable from the start and
+    co-reachable to an accepting state.  We check for a cycle within the set
+    of useful states (reachable and co-reachable) by DFS.
+    """
+    reachable = dfa.reachable_states()
+    # Co-reachable: states from which an accepting state can be reached.
+    inverse: dict[State, set[State]] = {}
+    for (source, _symbol), target in dfa.transitions.items():
+        inverse.setdefault(target, set()).add(source)
+    co_reachable: set[State] = set()
+    frontier = list(dfa.accepting & reachable)
+    co_reachable.update(frontier)
+    while frontier:
+        state = frontier.pop()
+        for prev in inverse.get(state, ()):
+            if prev not in co_reachable:
+                co_reachable.add(prev)
+                frontier.append(prev)
+    useful = reachable & co_reachable
+
+    # Cycle detection restricted to useful states.
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {state: WHITE for state in useful}
+    for root in useful:
+        if color[root] != WHITE:
+            continue
+        stack: list[tuple[State, int]] = [(root, 0)]
+        color[root] = GRAY
+        while stack:
+            state, index = stack[-1]
+            successors = [
+                dfa.transitions[(state, symbol)] for symbol in dfa.alphabet
+            ]
+            successors = [s for s in successors if s in useful]
+            if index < len(successors):
+                stack[-1] = (state, index + 1)
+                nxt = successors[index]
+                if color[nxt] == GRAY:
+                    return False  # cycle through a useful state
+                if color[nxt] == WHITE:
+                    color[nxt] = GRAY
+                    stack.append((nxt, 0))
+            else:
+                color[state] = BLACK
+                stack.pop()
+    return True
+
+
+def pumping_length(dfa: DFA) -> int:
+    """A valid pumping length: the number of states of the minimal DFA.
+
+    Any accepted word at least this long revisits a state, which is exactly
+    the repetition the Theorem 4 cut-segment argument exploits on rings.
+    """
+    return len(minimize(dfa).states)
+
+
+def residual_classes(dfa: DFA) -> dict[State, str]:
+    """Map each minimal-DFA state to a shortest access word.
+
+    The minimal DFA's states are in bijection with the Myhill–Nerode
+    residual classes of the language; the returned access words are class
+    representatives (useful for building test vectors).
+    """
+    minimal = minimize(dfa)
+    access: dict[State, str] = {minimal.start: ""}
+    queue: deque[State] = deque([minimal.start])
+    while queue:
+        state = queue.popleft()
+        for symbol in minimal.alphabet:
+            nxt = minimal.transitions[(state, symbol)]
+            if nxt not in access:
+                access[nxt] = access[state] + symbol
+                queue.append(nxt)
+    return access

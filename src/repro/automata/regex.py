@@ -1,0 +1,289 @@
+"""Regular-expression parsing and Thompson construction.
+
+Grammar (standard precedence: star > concatenation > union)::
+
+    regex   := term ('|' term)*
+    term    := factor*
+    factor  := atom ('*' | '+' | '?')*
+    atom    := literal | '(' regex ')' | '.' | charclass
+    charclass := '[' literal+ ']'
+
+Literals are any characters except the metacharacters ``|*+?().[]``; a
+backslash escapes the next character.  ``.`` matches any symbol of the
+alphabet supplied at compile time.  The empty regex denotes the language
+``{epsilon}``.
+
+The examples and tests use this module to declare the regular languages of
+experiment E1 succinctly; the compiled DFA feeds Theorem 1's ring algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.automata.dfa import DFA
+from repro.automata.minimize import minimize
+from repro.automata.nfa import EPSILON, NFA
+from repro.errors import RegexError
+
+__all__ = ["compile_regex", "regex_to_nfa", "parse_regex"]
+
+_METACHARACTERS = set("|*+?().[]")
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Node:
+    """Base class for regex AST nodes."""
+
+
+@dataclass(frozen=True)
+class _Empty(_Node):
+    """Matches only the empty word."""
+
+
+@dataclass(frozen=True)
+class _Literal(_Node):
+    symbol: str
+
+
+@dataclass(frozen=True)
+class _AnyChar(_Node):
+    """The ``.`` wildcard; expands to the alphabet at NFA-build time."""
+
+
+@dataclass(frozen=True)
+class _CharClass(_Node):
+    symbols: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class _Concat(_Node):
+    left: _Node
+    right: _Node
+
+
+@dataclass(frozen=True)
+class _Union(_Node):
+    left: _Node
+    right: _Node
+
+
+@dataclass(frozen=True)
+class _Star(_Node):
+    inner: _Node
+
+
+@dataclass(frozen=True)
+class _Plus(_Node):
+    inner: _Node
+
+
+@dataclass(frozen=True)
+class _Optional(_Node):
+    inner: _Node
+
+
+# ----------------------------------------------------------------------
+# Parser (recursive descent)
+# ----------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, pattern: str) -> None:
+        self.pattern = pattern
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        if self.pos < len(self.pattern):
+            return self.pattern[self.pos]
+        return None
+
+    def take(self) -> str:
+        ch = self.peek()
+        if ch is None:
+            raise RegexError(f"unexpected end of pattern {self.pattern!r}")
+        self.pos += 1
+        return ch
+
+    def parse(self) -> _Node:
+        node = self.parse_union()
+        if self.pos != len(self.pattern):
+            raise RegexError(
+                f"unexpected {self.pattern[self.pos]!r} at position {self.pos} "
+                f"in {self.pattern!r}"
+            )
+        return node
+
+    def parse_union(self) -> _Node:
+        node = self.parse_term()
+        while self.peek() == "|":
+            self.take()
+            node = _Union(node, self.parse_term())
+        return node
+
+    def parse_term(self) -> _Node:
+        node: _Node = _Empty()
+        while self.peek() is not None and self.peek() not in ")|":
+            factor = self.parse_factor()
+            node = factor if isinstance(node, _Empty) else _Concat(node, factor)
+        return node
+
+    def parse_factor(self) -> _Node:
+        node = self.parse_atom()
+        while self.peek() in ("*", "+", "?"):
+            op = self.take()
+            if op == "*":
+                node = _Star(node)
+            elif op == "+":
+                node = _Plus(node)
+            else:
+                node = _Optional(node)
+        return node
+
+    def parse_atom(self) -> _Node:
+        ch = self.take()
+        if ch == "(":
+            inner = self.parse_union()
+            if self.peek() != ")":
+                raise RegexError(f"unbalanced parenthesis in {self.pattern!r}")
+            self.take()
+            return inner
+        if ch == "[":
+            symbols: list[str] = []
+            while self.peek() not in ("]", None):
+                nxt = self.take()
+                if nxt == "\\":
+                    nxt = self.take()
+                symbols.append(nxt)
+            if self.peek() != "]":
+                raise RegexError(f"unbalanced bracket in {self.pattern!r}")
+            self.take()
+            if not symbols:
+                raise RegexError("empty character class")
+            return _CharClass(tuple(symbols))
+        if ch == ".":
+            return _AnyChar()
+        if ch == "\\":
+            return _Literal(self.take())
+        if ch in _METACHARACTERS:
+            raise RegexError(f"unexpected metacharacter {ch!r} in {self.pattern!r}")
+        return _Literal(ch)
+
+
+def parse_regex(pattern: str) -> _Node:
+    """Parse ``pattern`` into the internal AST (exposed for tests)."""
+    return _Parser(pattern).parse()
+
+
+# ----------------------------------------------------------------------
+# Thompson construction
+# ----------------------------------------------------------------------
+
+
+class _Builder:
+    """Allocates fresh NFA states and accumulates transitions."""
+
+    def __init__(self, alphabet: tuple[str, ...]) -> None:
+        self.alphabet = alphabet
+        self.counter = 0
+        self.transitions: dict[tuple[int, str], set[int]] = {}
+
+    def fresh(self) -> int:
+        self.counter += 1
+        return self.counter - 1
+
+    def add(self, src: int, symbol: str, dst: int) -> None:
+        self.transitions.setdefault((src, symbol), set()).add(dst)
+
+    def build(self, node: _Node) -> tuple[int, int]:
+        """Return (entry, exit) state pair for the fragment of ``node``."""
+        if isinstance(node, _Empty):
+            entry, exit_ = self.fresh(), self.fresh()
+            self.add(entry, EPSILON, exit_)
+            return entry, exit_
+        if isinstance(node, _Literal):
+            if node.symbol not in self.alphabet:
+                raise RegexError(
+                    f"literal {node.symbol!r} not in alphabet {self.alphabet!r}"
+                )
+            entry, exit_ = self.fresh(), self.fresh()
+            self.add(entry, node.symbol, exit_)
+            return entry, exit_
+        if isinstance(node, _AnyChar):
+            entry, exit_ = self.fresh(), self.fresh()
+            for symbol in self.alphabet:
+                self.add(entry, symbol, exit_)
+            return entry, exit_
+        if isinstance(node, _CharClass):
+            entry, exit_ = self.fresh(), self.fresh()
+            for symbol in node.symbols:
+                if symbol not in self.alphabet:
+                    raise RegexError(
+                        f"class symbol {symbol!r} not in alphabet "
+                        f"{self.alphabet!r}"
+                    )
+                self.add(entry, symbol, exit_)
+            return entry, exit_
+        if isinstance(node, _Concat):
+            left_in, left_out = self.build(node.left)
+            right_in, right_out = self.build(node.right)
+            self.add(left_out, EPSILON, right_in)
+            return left_in, right_out
+        if isinstance(node, _Union):
+            entry, exit_ = self.fresh(), self.fresh()
+            left_in, left_out = self.build(node.left)
+            right_in, right_out = self.build(node.right)
+            self.add(entry, EPSILON, left_in)
+            self.add(entry, EPSILON, right_in)
+            self.add(left_out, EPSILON, exit_)
+            self.add(right_out, EPSILON, exit_)
+            return entry, exit_
+        if isinstance(node, _Star):
+            entry, exit_ = self.fresh(), self.fresh()
+            inner_in, inner_out = self.build(node.inner)
+            self.add(entry, EPSILON, inner_in)
+            self.add(entry, EPSILON, exit_)
+            self.add(inner_out, EPSILON, inner_in)
+            self.add(inner_out, EPSILON, exit_)
+            return entry, exit_
+        if isinstance(node, _Plus):
+            inner_in, inner_out = self.build(node.inner)
+            self.add(inner_out, EPSILON, inner_in)
+            exit_ = self.fresh()
+            self.add(inner_out, EPSILON, exit_)
+            return inner_in, exit_
+        if isinstance(node, _Optional):
+            entry, exit_ = self.fresh(), self.fresh()
+            inner_in, inner_out = self.build(node.inner)
+            self.add(entry, EPSILON, inner_in)
+            self.add(entry, EPSILON, exit_)
+            self.add(inner_out, EPSILON, exit_)
+            return entry, exit_
+        raise RegexError(f"unknown AST node {node!r}")
+
+
+def regex_to_nfa(pattern: str, alphabet: Iterable[str]) -> NFA:
+    """Compile ``pattern`` to an NFA over ``alphabet`` (Thompson)."""
+    alpha = tuple(alphabet)
+    builder = _Builder(alpha)
+    entry, exit_ = builder.build(parse_regex(pattern))
+    return NFA(
+        states=frozenset(range(builder.counter)),
+        alphabet=alpha,
+        transitions={
+            key: frozenset(targets) for key, targets in builder.transitions.items()
+        },
+        start=entry,
+        accepting=frozenset({exit_}),
+    )
+
+
+def compile_regex(pattern: str, alphabet: Iterable[str]) -> DFA:
+    """Compile ``pattern`` to a minimal total DFA over ``alphabet``."""
+    return minimize(regex_to_nfa(pattern, alphabet).determinize())

@@ -1,0 +1,284 @@
+"""Immutable bit strings and the integer codecs used by ring messages.
+
+The paper's complexity measure is the total number of *bits* sent during an
+execution, so messages in this library are explicit bit strings rather than
+Python objects whose size would be ambiguous.  :class:`Bits` is an immutable
+sequence of 0/1 integers supporting concatenation, slicing, and hashing (so
+bit strings can key dictionaries, e.g. in the Theorem 2 message graph).
+
+Codecs
+------
+Three integer codecs are provided, each of which shows up in the paper's
+constructions:
+
+* ``fixed`` — fixed-width binary, ``ceil(log2 |Q|)`` bits per finite-automaton
+  state (Theorem 1's one-pass recognizer).
+* ``unary`` — ``n`` ones followed by a zero; self-delimiting, used for tiny
+  counts inside composite messages.
+* ``elias_gamma`` — the standard self-delimiting code for positive integers,
+  ``2*floor(log2 n) + 1`` bits; used by the counting algorithm and the
+  counter-based recognizers whose messages must carry ``Theta(log n)``-bit
+  counters that a receiver can parse without knowing their width.
+
+A :class:`BitReader` incrementally decodes composite messages.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import BitsError, DecodeError
+
+__all__ = [
+    "Bits",
+    "BitReader",
+    "encode_fixed",
+    "decode_fixed",
+    "encode_unary",
+    "encode_elias_gamma",
+    "elias_gamma_length",
+    "fixed_width_for",
+]
+
+
+class Bits(Sequence[int]):
+    """An immutable string of bits.
+
+    Instances are hashable and support ``+`` (concatenation), slicing,
+    indexing, iteration, and equality.  The constructor accepts any iterable
+    of integers equal to 0 or 1, or a string of ``'0'``/``'1'`` characters.
+    """
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, bits: Iterable[int] | str = ()) -> None:
+        if isinstance(bits, str):
+            values = tuple(_char_to_bit(ch) for ch in bits)
+        elif isinstance(bits, Bits):
+            values = bits._bits
+        else:
+            values = tuple(int(b) for b in bits)
+            for b in values:
+                if b not in (0, 1):
+                    raise BitsError(f"bit values must be 0 or 1, got {b!r}")
+        self._bits: tuple[int, ...] = values
+
+    @classmethod
+    def empty(cls) -> "Bits":
+        """The zero-length bit string."""
+        return _EMPTY
+
+    @classmethod
+    def zeros(cls, count: int) -> "Bits":
+        """``count`` zero bits."""
+        if count < 0:
+            raise BitsError("count must be non-negative")
+        return cls((0,) * count)
+
+    @classmethod
+    def ones(cls, count: int) -> "Bits":
+        """``count`` one bits."""
+        if count < 0:
+            raise BitsError("count must be non-negative")
+        return cls((1,) * count)
+
+    @classmethod
+    def from_int(cls, value: int, width: int) -> "Bits":
+        """Fixed-width big-endian binary encoding of ``value``."""
+        return encode_fixed(value, width)
+
+    def to_int(self) -> int:
+        """Interpret the whole bit string as a big-endian binary integer."""
+        value = 0
+        for bit in self._bits:
+            value = (value << 1) | bit
+        return value
+
+    def concat(self, *others: "Bits") -> "Bits":
+        """Concatenate this bit string with ``others`` (left to right)."""
+        combined = self._bits
+        for other in others:
+            combined = combined + Bits(other)._bits
+        return Bits(combined)
+
+    def __add__(self, other: "Bits") -> "Bits":
+        if not isinstance(other, Bits):
+            return NotImplemented
+        return Bits(self._bits + other._bits)
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._bits)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return Bits(self._bits[index])
+        return self._bits[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Bits):
+            return self._bits == other._bits
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("Bits", self._bits))
+
+    def __repr__(self) -> str:
+        return f"Bits('{self}')"
+
+    def __str__(self) -> str:
+        return "".join(str(b) for b in self._bits)
+
+    def startswith(self, prefix: "Bits") -> bool:
+        """True when ``prefix`` is a prefix of this bit string."""
+        other = Bits(prefix)
+        return self._bits[: len(other._bits)] == other._bits
+
+
+_EMPTY = Bits(())
+
+
+def _char_to_bit(ch: str) -> int:
+    if ch == "0":
+        return 0
+    if ch == "1":
+        return 1
+    raise BitsError(f"bit characters must be '0' or '1', got {ch!r}")
+
+
+def fixed_width_for(cardinality: int) -> int:
+    """Bits needed to address ``cardinality`` distinct values (min 1).
+
+    This is the ``ceil(log2 |Q|)`` of Theorem 1, with the convention that a
+    one-state automaton still uses one-bit messages (the paper's messages are
+    non-empty).
+    """
+    if cardinality < 1:
+        raise BitsError("cardinality must be positive")
+    width = (cardinality - 1).bit_length()
+    return max(width, 1)
+
+
+def encode_fixed(value: int, width: int) -> Bits:
+    """Encode ``value`` in exactly ``width`` big-endian bits."""
+    if width < 0:
+        raise BitsError("width must be non-negative")
+    if value < 0:
+        raise BitsError("value must be non-negative")
+    if value >= (1 << width) and width > 0:
+        raise BitsError(f"value {value} does not fit in {width} bits")
+    if width == 0:
+        if value != 0:
+            raise BitsError("only zero fits in zero bits")
+        return Bits.empty()
+    return Bits(tuple((value >> shift) & 1 for shift in range(width - 1, -1, -1)))
+
+
+def decode_fixed(bits: Bits, width: int) -> int:
+    """Decode a fixed-width big-endian integer occupying the whole string."""
+    if len(bits) != width:
+        raise DecodeError(f"expected {width} bits, got {len(bits)}")
+    return bits.to_int()
+
+
+def encode_unary(value: int) -> Bits:
+    """Self-delimiting unary code: ``value`` ones then a terminating zero."""
+    if value < 0:
+        raise BitsError("unary code requires a non-negative value")
+    return Bits.ones(value) + Bits.zeros(1)
+
+
+def encode_elias_gamma(value: int) -> Bits:
+    """Elias gamma code for a positive integer.
+
+    ``floor(log2 value)`` zero bits, then the binary representation of
+    ``value`` (which starts with a 1).  Length is ``2*floor(log2 v) + 1``.
+    """
+    if value < 1:
+        raise BitsError("Elias gamma encodes positive integers only")
+    binary = bin(value)[2:]
+    return Bits.zeros(len(binary) - 1) + Bits(binary)
+
+
+def elias_gamma_length(value: int) -> int:
+    """Length in bits of ``encode_elias_gamma(value)`` without encoding."""
+    if value < 1:
+        raise BitsError("Elias gamma encodes positive integers only")
+    return 2 * (value.bit_length() - 1) + 1
+
+
+class BitReader:
+    """Sequential decoder over a :class:`Bits` value.
+
+    Used by processors to parse composite messages (flag bits, gamma-coded
+    counters, fixed-width fields) exactly as they arrive on the wire.
+    """
+
+    def __init__(self, bits: Bits) -> None:
+        self._bits = Bits(bits)
+        self._pos = 0
+
+    @property
+    def position(self) -> int:
+        """Number of bits consumed so far."""
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        """Number of bits left to read."""
+        return len(self._bits) - self._pos
+
+    def read_bit(self) -> int:
+        """Read one bit."""
+        if self._pos >= len(self._bits):
+            raise DecodeError("attempt to read past the end of the message")
+        bit = self._bits[self._pos]
+        self._pos += 1
+        return bit
+
+    def read_bits(self, count: int) -> Bits:
+        """Read ``count`` raw bits."""
+        if count < 0:
+            raise DecodeError("count must be non-negative")
+        if self.remaining < count:
+            raise DecodeError(
+                f"attempt to read {count} bits with only {self.remaining} left"
+            )
+        chunk = self._bits[self._pos : self._pos + count]
+        self._pos += count
+        return chunk
+
+    def read_fixed(self, width: int) -> int:
+        """Read a fixed-width big-endian integer."""
+        return self.read_bits(width).to_int()
+
+    def read_unary(self) -> int:
+        """Read a unary-coded non-negative integer."""
+        count = 0
+        while self.read_bit() == 1:
+            count += 1
+        return count
+
+    def read_elias_gamma(self) -> int:
+        """Read an Elias-gamma-coded positive integer."""
+        zeros = 0
+        while True:
+            bit = self.read_bit()
+            if bit == 1:
+                break
+            zeros += 1
+        value = 1
+        for _ in range(zeros):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_rest(self) -> Bits:
+        """Read all remaining bits."""
+        return self.read_bits(self.remaining)
+
+    def expect_exhausted(self) -> None:
+        """Raise :class:`DecodeError` unless the message is fully consumed."""
+        if self.remaining:
+            raise DecodeError(f"{self.remaining} unread bits at end of message")

@@ -1,0 +1,65 @@
+"""Command-line entry point: regenerate the EXPERIMENTS.md tables.
+
+Usage::
+
+    ring-repro all            # every experiment, full sweeps
+    ring-repro E7 E8          # selected experiments
+    ring-repro all --quick    # reduced sweeps (what the tests run)
+    python -m repro.cli E9    # equivalent module form
+
+Exit status is non-zero when any executed experiment's claim check fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments import ALL_EXPERIMENTS, get_experiment
+
+__all__ = ["main"]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the requested experiments; return a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="ring-repro",
+        description=(
+            "Reproduce Mansour & Zaks (PODC 1986): bit complexity of "
+            "distributed computations in a ring with a leader."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids (E1..E11) or 'all'",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use reduced sweeps (faster, smaller tables)",
+    )
+    args = parser.parse_args(argv)
+
+    if any(item.lower() == "all" for item in args.experiments):
+        exp_ids = list(ALL_EXPERIMENTS)
+    else:
+        exp_ids = [item.upper() for item in args.experiments]
+
+    failures = 0
+    for exp_id in exp_ids:
+        result = get_experiment(exp_id)(args.quick)
+        print(result.render())
+        print()
+        if not result.passed:
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) FAILED", file=sys.stderr)
+        return 1
+    print(f"all {len(exp_ids)} experiment(s) passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

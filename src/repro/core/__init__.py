@@ -1,0 +1,94 @@
+"""The paper's contribution: recognizers and proof constructions.
+
+One module per construction — see DESIGN.md §3 for the full inventory:
+
+* :mod:`repro.core.regular_onepass` — Theorem 1's DFA-state-forwarding
+  recognizer and the general one-pass transducer framework.
+* :mod:`repro.core.message_graph` — Theorem 2's message graph, finiteness
+  detection, DFA extraction, and the infinite-path lower-bound witness.
+* :mod:`repro.core.multipass` — multi-pass unidirectional algorithms and
+  the Theorem 3 compilation to a single pass.
+* :mod:`repro.core.information_state` — Theorem 4/5's information-state
+  counting and cut-segment machinery.
+* :mod:`repro.core.counting` — the ``Theta(n log n)`` ring-size counter.
+* :mod:`repro.core.counters` — §7(2)'s counter recognizer for block
+  languages such as ``0^k 1^k 2^k``.
+* :mod:`repro.core.comparison` — §7(1)'s ``Theta(n^2)`` ``w c w``
+  recognizer, the marked-palindrome variant, and the generic
+  collect-everything upper bound.
+* :mod:`repro.core.hierarchy` — §7(3)'s ``Theta(g(n))`` recognizer for
+  the ``L_g`` family.
+* :mod:`repro.core.known_n` — §7(4)'s known-``n`` variants.
+* :mod:`repro.core.passes_tradeoff` — §7(5)'s two-pass vs one-pass
+  trade-off recognizers.
+* :mod:`repro.core.regular_bidirectional` — Theorem 6.
+* :mod:`repro.core.bidi_to_unidi` — Theorem 7's two-stage compiler.
+"""
+
+from repro.core.regular_onepass import (
+    DFARecognizer,
+    OnePassTransducer,
+    TransducerRingAlgorithm,
+)
+from repro.core.counting import CountingAlgorithm, LengthPredicateRecognizer
+from repro.core.counters import BlockCounterRecognizer, DyckRecognizer
+from repro.core.comparison import (
+    CollectAllRecognizer,
+    CopyRecognizer,
+    MarkedPalindromeRecognizer,
+)
+from repro.core.hierarchy import HierarchyRecognizer
+from repro.core.known_n import KnownNHierarchyRecognizer, KnownNLengthRecognizer
+from repro.core.passes_tradeoff import (
+    OnePassTradeoffRecognizer,
+    TwoPassTradeoffRecognizer,
+    one_pass_bits,
+    two_pass_bits,
+)
+from repro.core.message_graph import MessageGraph, build_message_graph, extract_dfa
+from repro.core.multipass import (
+    MultipassAlgorithm,
+    MultipassRingAlgorithm,
+    compile_to_one_pass,
+)
+from repro.core.information_state import (
+    cut_word,
+    entropy_lower_bound_bits,
+    min_distinct_states,
+    verify_cut_lemma,
+)
+from repro.core.regular_bidirectional import BidirectionalDFARecognizer
+from repro.core.bidi_to_unidi import LineEmbeddedAlgorithm, BidiToUnidiCompiler
+
+__all__ = [
+    "DFARecognizer",
+    "OnePassTransducer",
+    "TransducerRingAlgorithm",
+    "CountingAlgorithm",
+    "LengthPredicateRecognizer",
+    "BlockCounterRecognizer",
+    "DyckRecognizer",
+    "CollectAllRecognizer",
+    "CopyRecognizer",
+    "MarkedPalindromeRecognizer",
+    "HierarchyRecognizer",
+    "KnownNHierarchyRecognizer",
+    "KnownNLengthRecognizer",
+    "OnePassTradeoffRecognizer",
+    "TwoPassTradeoffRecognizer",
+    "one_pass_bits",
+    "two_pass_bits",
+    "MessageGraph",
+    "build_message_graph",
+    "extract_dfa",
+    "MultipassAlgorithm",
+    "MultipassRingAlgorithm",
+    "compile_to_one_pass",
+    "cut_word",
+    "verify_cut_lemma",
+    "min_distinct_states",
+    "entropy_lower_bound_bits",
+    "BidirectionalDFARecognizer",
+    "LineEmbeddedAlgorithm",
+    "BidiToUnidiCompiler",
+]

@@ -1,0 +1,204 @@
+"""§7(1): the ``Theta(n^2)`` languages, plus the generic quadratic upper bound.
+
+``L = {w c w : w in {a,b}*}`` requires ``Omega(n^2)`` bits: every letter of
+the first ``w`` must effectively be compared with the corresponding letter
+of the second, and the paper's crossing argument charges ``Omega(|w|)``
+bits to ``Omega(n)`` processors.  Matching upper bound, implemented here as
+:class:`CopyRecognizer`:
+
+* *collect phase* (before the marker): the message accumulates the letters
+  seen so far, one bit per letter;
+* *compare phase* (after the marker): each processor compares its letter
+  against the front of the buffer and pops it.
+
+The message grows to ``|w|`` bits then shrinks, so the total is
+``~ 2 * (n/2)^2 / 2 = Theta(n^2)`` bits.  :class:`MarkedPalindromeRecognizer`
+is the ``{w c w^R}`` variant (pop from the back).  E7 fits the quadratic.
+
+:class:`CollectAllRecognizer` is the paper's §2 observation that *every*
+language is recognizable in ``O(n^2)`` bits: each processor appends its
+letter and the leader decides locally.  It doubles as a reference oracle in
+tests (its decision is literally ``word in language``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.bits import BitReader, Bits, encode_fixed, fixed_width_for
+from repro.errors import ProtocolError
+from repro.languages.base import Language
+from repro.ring.messages import Direction, Send
+from repro.ring.processor import Processor, RingAlgorithm
+
+__all__ = [
+    "CopyRecognizer",
+    "MarkedPalindromeRecognizer",
+    "CollectAllRecognizer",
+    "predicted_copy_bits",
+]
+
+_COLLECT, _COMPARE = 0, 1
+_LETTER_BIT = {"a": 0, "b": 1}
+
+
+def predicted_copy_bits(n: int) -> int:
+    """Exact cost of :class:`CopyRecognizer` on the member ``w c w``, |w c w|=n.
+
+    With ``h = (n-1)/2``: collect messages carry ``2 + i`` bits after the
+    ``i``-th letter, compare messages shrink symmetrically; summing gives
+    the closed form below (valid for odd ``n``).
+    """
+    if n % 2 == 0:
+        raise ProtocolError("members of {w c w} have odd length")
+    half = n // 2
+    collect = sum(2 + i for i in range(1, half + 1))  # p_0 .. p_{h-1} send
+    marker = 2 + half  # the marker processor forwards the full buffer
+    compare = sum(2 + half - i for i in range(1, half + 1))  # shrink back
+    return collect + marker + compare
+
+
+def _encode(mode: int, fail: int, buffer: tuple[int, ...]) -> Bits:
+    return Bits([mode, fail]) + Bits(buffer)
+
+
+def _decode(message: Bits) -> tuple[int, int, tuple[int, ...]]:
+    reader = BitReader(message)
+    mode = reader.read_bit()
+    fail = reader.read_bit()
+    buffer = tuple(reader.read_rest())
+    return mode, fail, buffer
+
+
+class _ComparisonProcessorBase(Processor):
+    """Shared letter-handling for the copy/palindrome recognizers.
+
+    ``pop_front`` selects the comparison side: front for ``w c w`` (letters
+    match in order), back for ``w c w^R`` (letters match reversed).
+    """
+
+    pop_front = True
+
+    def _apply_letter(
+        self, mode: int, fail: int, buffer: tuple[int, ...]
+    ) -> tuple[int, int, tuple[int, ...]]:
+        letter = self.letter
+        if letter == "c":
+            if mode == _COMPARE:
+                return mode, 1, buffer  # a second marker: not in the language
+            return _COMPARE, fail, buffer
+        bit = _LETTER_BIT[letter]
+        if mode == _COLLECT:
+            return mode, fail, buffer + (bit,)
+        if not buffer:
+            return mode, 1, buffer  # right side longer than the left
+        if self.pop_front:
+            expected, rest = buffer[0], buffer[1:]
+        else:
+            expected, rest = buffer[-1], buffer[:-1]
+        if expected != bit:
+            return mode, 1, rest
+        return mode, fail, rest
+
+
+class _ComparisonLeader(_ComparisonProcessorBase):
+    def on_start(self) -> Iterable[Send]:
+        mode, fail, buffer = self._apply_letter(_COLLECT, 0, ())
+        return [Send.cw(_encode(mode, fail, buffer))]
+
+    def on_receive(self, message: Bits, arrived_from: Direction) -> Iterable[Send]:
+        mode, fail, buffer = _decode(message)
+        self.decide(fail == 0 and mode == _COMPARE and not buffer)
+        return ()
+
+
+class _ComparisonFollower(_ComparisonProcessorBase):
+    def on_receive(self, message: Bits, arrived_from: Direction) -> Iterable[Send]:
+        mode, fail, buffer = self._apply_letter(*_decode(message))
+        return [Send.cw(_encode(mode, fail, buffer))]
+
+
+class CopyRecognizer(RingAlgorithm):
+    """§7(1): recognize ``{w c w}`` in ``Theta(n^2)`` bits (one pass)."""
+
+    name = "copy(wcw)"
+    _leader_class = _ComparisonLeader
+    _follower_class = _ComparisonFollower
+    _pop_front = True
+
+    def __init__(self) -> None:
+        super().__init__("abc")
+
+    def create_processor(self, letter: str, is_leader: bool) -> Processor:
+        cls = self._leader_class if is_leader else self._follower_class
+        processor = cls(letter, is_leader=is_leader)
+        processor.pop_front = self._pop_front
+        return processor
+
+
+class MarkedPalindromeRecognizer(CopyRecognizer):
+    """Recognize ``{w c w^R}`` (compare against the back of the buffer)."""
+
+    name = "palindrome(wcw^R)"
+    _pop_front = False
+
+
+class _CollectLeader(Processor):
+    def __init__(self, letter: str, algorithm: "CollectAllRecognizer") -> None:
+        super().__init__(letter, is_leader=True)
+        self._algorithm = algorithm
+
+    def on_start(self) -> Iterable[Send]:
+        return [Send.cw(self._algorithm.encode_letter(self.letter))]
+
+    def on_receive(self, message: Bits, arrived_from: Direction) -> Iterable[Send]:
+        word = self._algorithm.decode_word(message)
+        self.decide(self._algorithm.language.contains(word))
+        return ()
+
+
+class _CollectFollower(Processor):
+    def __init__(self, letter: str, algorithm: "CollectAllRecognizer") -> None:
+        super().__init__(letter, is_leader=False)
+        self._algorithm = algorithm
+
+    def on_receive(self, message: Bits, arrived_from: Direction) -> Iterable[Send]:
+        return [Send.cw(message + self._algorithm.encode_letter(self.letter))]
+
+
+class CollectAllRecognizer(RingAlgorithm):
+    """The universal ``O(n^2)`` upper bound (paper §2).
+
+    The message accumulates one fixed-width letter code per processor; the
+    leader reconstructs the whole pattern and evaluates membership locally.
+    Cost: ``sum_{i=1..n} i * ceil(log2 |Sigma|) = Theta(n^2)`` bits.
+    """
+
+    def __init__(self, language: Language) -> None:
+        super().__init__(language.alphabet)
+        self.language = language
+        self.letter_width = fixed_width_for(len(language.alphabet))
+        self.name = f"collect-all[{language.name}]"
+
+    def encode_letter(self, letter: str) -> Bits:
+        """Fixed-width code of one letter."""
+        return encode_fixed(self.alphabet.index(letter), self.letter_width)
+
+    def decode_word(self, message: Bits) -> str:
+        """Inverse of repeated :meth:`encode_letter` concatenation."""
+        if len(message) % self.letter_width:
+            raise ProtocolError("collected message has ragged length")
+        reader = BitReader(message)
+        letters = []
+        while reader.remaining:
+            letters.append(self.alphabet[reader.read_fixed(self.letter_width)])
+        return "".join(letters)
+
+    def predicted_bits(self, n: int) -> int:
+        """Exact cost on any ring of size ``n``."""
+        return self.letter_width * n * (n + 1) // 2
+
+    def create_processor(self, letter: str, is_leader: bool) -> Processor:
+        if is_leader:
+            return _CollectLeader(letter, self)
+        return _CollectFollower(letter, self)

@@ -1,0 +1,206 @@
+"""§7(2): counter-based recognition of block languages in ``O(n log n)`` bits.
+
+The paper's example is ``L = {0^k 1^k 2^k}`` — context-sensitive, not
+context-free — "recognized in O(n log n) bits, using three counters sent
+around the ring".  :class:`BlockCounterRecognizer` implements the general
+form for any fixed block order ``sigma_0^k sigma_1^k ... sigma_{m-1}^k``:
+
+The single circulating message carries
+
+* a fail flag (1 bit) — set when a letter appears out of block order;
+* the index of the current block (fixed width ``ceil(log2 m)``);
+* ``m`` Elias-gamma counters (stored as ``count+1`` so zero is encodable).
+
+Each processor checks its letter is not from an earlier block, bumps the
+matching counter, and forwards.  The leader accepts iff no failure and all
+counters are equal.  Message size is ``O(m log n)``, so the execution costs
+``Theta(n log n)`` for fixed ``m`` — meeting the Theorem 4 lower bound, so
+the complexity of ``0^k 1^k 2^k`` is pinned at ``Theta(n log n)`` (E8).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.bits import (
+    BitReader,
+    Bits,
+    elias_gamma_length,
+    encode_elias_gamma,
+    encode_fixed,
+    fixed_width_for,
+)
+from repro.errors import ProtocolError
+from repro.ring.messages import Direction, Send
+from repro.ring.processor import Processor, RingAlgorithm
+
+__all__ = [
+    "BlockCounterRecognizer",
+    "DyckRecognizer",
+    "predicted_block_counter_bits",
+]
+
+
+def _encode_state(
+    fail: int, block: int, counts: Sequence[int], block_width: int
+) -> Bits:
+    message = Bits([fail]) + encode_fixed(block, block_width)
+    for count in counts:
+        message = message + encode_elias_gamma(count + 1)
+    return message
+
+
+def _decode_state(
+    message: Bits, block_width: int, num_blocks: int
+) -> tuple[int, int, list[int]]:
+    reader = BitReader(message)
+    fail = reader.read_bit()
+    block = reader.read_fixed(block_width)
+    counts = [reader.read_elias_gamma() - 1 for _ in range(num_blocks)]
+    reader.expect_exhausted()
+    return fail, block, counts
+
+
+def predicted_block_counter_bits(n: int, num_blocks: int) -> int:
+    """Exact cost on a member word ``sigma_0^k .. sigma_{m-1}^k`` of length n.
+
+    Every message carries 1 fail bit, the block index, and ``m`` counters
+    whose values follow the scan; this sums their gamma lengths exactly.
+    """
+    if n % num_blocks:
+        raise ProtocolError("member words have length divisible by num_blocks")
+    k = n // num_blocks
+    width = fixed_width_for(num_blocks)
+    total = 0
+    counts = [0] * num_blocks
+    for position in range(n):
+        counts[position // k] += 1
+        total += 1 + width + sum(elias_gamma_length(c + 1) for c in counts)
+    return total
+
+
+class _CounterLeader(Processor):
+    def __init__(self, letter: str, algorithm: "BlockCounterRecognizer") -> None:
+        super().__init__(letter, is_leader=True)
+        self._algorithm = algorithm
+
+    def on_start(self) -> Iterable[Send]:
+        alg = self._algorithm
+        block = alg.block_of(self.letter)
+        counts = [0] * alg.num_blocks
+        counts[block] += 1
+        return [Send.cw(_encode_state(0, block, counts, alg.block_width))]
+
+    def on_receive(self, message: Bits, arrived_from: Direction) -> Iterable[Send]:
+        alg = self._algorithm
+        fail, _block, counts = _decode_state(
+            message, alg.block_width, alg.num_blocks
+        )
+        self.decide(fail == 0 and len(set(counts)) == 1)
+        return ()
+
+
+class _CounterFollower(Processor):
+    def __init__(self, letter: str, algorithm: "BlockCounterRecognizer") -> None:
+        super().__init__(letter, is_leader=False)
+        self._algorithm = algorithm
+
+    def on_receive(self, message: Bits, arrived_from: Direction) -> Iterable[Send]:
+        alg = self._algorithm
+        fail, block, counts = _decode_state(
+            message, alg.block_width, alg.num_blocks
+        )
+        mine = alg.block_of(self.letter)
+        if mine < block:
+            fail = 1  # a letter from an earlier block: out of order
+        block = max(block, mine)
+        counts[mine] += 1
+        return [Send.cw(_encode_state(fail, block, counts, alg.block_width))]
+
+
+class BlockCounterRecognizer(RingAlgorithm):
+    """Recognize ``{sigma_0^k sigma_1^k ... sigma_{m-1}^k : k >= 1}``.
+
+    ``blocks`` lists the block letters in order, e.g. ``"012"`` for the
+    paper's language or ``"ab"`` for ``a^k b^k``.
+    """
+
+    def __init__(self, blocks: str = "012", name: str | None = None) -> None:
+        if len(set(blocks)) != len(blocks) or not blocks:
+            raise ProtocolError("blocks must be distinct letters, at least one")
+        super().__init__(blocks)
+        self.blocks = blocks
+        self.num_blocks = len(blocks)
+        self.block_width = fixed_width_for(self.num_blocks)
+        self.name = name if name is not None else f"counters[{blocks}]"
+
+    def block_of(self, letter: str) -> int:
+        """Index of the block a letter belongs to."""
+        return self.blocks.index(letter)
+
+    def create_processor(self, letter: str, is_leader: bool) -> Processor:
+        if is_leader:
+            return _CounterLeader(letter, self)
+        return _CounterFollower(letter, self)
+
+
+class _DyckLeader(Processor):
+    def __init__(self, letter: str) -> None:
+        super().__init__(letter, is_leader=True)
+
+    def on_start(self) -> Iterable[Send]:
+        fail, height = _dyck_apply(self.letter, 0, 0)
+        return [Send.cw(_encode_dyck(fail, height))]
+
+    def on_receive(self, message: Bits, arrived_from: Direction) -> Iterable[Send]:
+        fail, height = _decode_dyck(message)
+        self.decide(fail == 0 and height == 0)
+        return ()
+
+
+class _DyckFollower(Processor):
+    def on_receive(self, message: Bits, arrived_from: Direction) -> Iterable[Send]:
+        fail, height = _decode_dyck(message)
+        fail, height = _dyck_apply(self.letter, fail, height)
+        return [Send.cw(_encode_dyck(fail, height))]
+
+
+def _dyck_apply(letter: str, fail: int, height: int) -> tuple[int, int]:
+    if letter == "(":
+        return fail, height + 1
+    if height == 0:
+        return 1, 0  # underflow: a ')' with nothing open
+    return fail, height - 1
+
+
+def _encode_dyck(fail: int, height: int) -> Bits:
+    return Bits([fail]) + encode_elias_gamma(height + 1)
+
+
+def _decode_dyck(message: Bits) -> tuple[int, int]:
+    reader = BitReader(message)
+    fail = reader.read_bit()
+    height = reader.read_elias_gamma() - 1
+    reader.expect_exhausted()
+    return fail, height
+
+
+class DyckRecognizer(RingAlgorithm):
+    """Balanced brackets via a gamma-coded height counter.
+
+    One pass; message = fail bit + gamma(height + 1); the leader accepts a
+    zero final height with no underflow.  Height is at most ``n``, so the
+    cost is ``O(n log n)`` — a *context-free* companion to §7(2)'s
+    context-sensitive example on the ``Theta(n log n)`` shelf, completing
+    the paper's point that bit complexity ignores the Chomsky hierarchy.
+    """
+
+    name = "dyck-height"
+
+    def __init__(self) -> None:
+        super().__init__("()")
+
+    def create_processor(self, letter: str, is_leader: bool) -> Processor:
+        if is_leader:
+            return _DyckLeader(letter)
+        return _DyckFollower(letter, is_leader=False)

@@ -1,0 +1,166 @@
+"""Ring-size counting: the canonical ``Theta(n log n)`` building block.
+
+The leader sends the counter ``1``; each follower increments and forwards;
+the value returning to the leader is ``n``.  With self-delimiting
+Elias-gamma encoding the execution costs ``sum_{i=1..n} (2 floor(log2 i)+1)
+= Theta(n log n)`` bits — the paper's Summary section uses exactly this
+algorithm as the example separating bit complexity from Turing-machine
+time, and §7(3)'s hierarchy recognizer uses it as phase one.
+
+Because every processor forwards a *different* integer, the terminal
+information states are pairwise distinct — the strongest possible witness
+for the Theorem 4 counting argument, which experiment E4 measures.
+
+:class:`LengthPredicateRecognizer` turns the counter into a recognizer for
+any length-determined language ``{w : P(|w|)}`` (prime length, power-of-two
+length, ...), giving concrete non-regular languages with ``Theta(n log n)``
+upper bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.bits import BitReader, Bits, elias_gamma_length, encode_elias_gamma
+from repro.ring.messages import Direction, Send
+from repro.ring.processor import Processor, RingAlgorithm
+
+__all__ = [
+    "CountingAlgorithm",
+    "UnaryCountingAlgorithm",
+    "LengthPredicateRecognizer",
+    "predicted_counting_bits",
+    "predicted_unary_counting_bits",
+]
+
+
+def predicted_counting_bits(n: int) -> int:
+    """Exact bit cost of the counting pass on a ring of size ``n``."""
+    return sum(elias_gamma_length(i) for i in range(1, n + 1))
+
+
+class _CountingLeader(Processor):
+    """Leader: start the counter at 1; decide from the returned value."""
+
+    def __init__(self, letter: str, predicate: Callable[[int], bool]) -> None:
+        super().__init__(letter, is_leader=True)
+        self._predicate = predicate
+        self.computed_n: int | None = None
+
+    def on_start(self) -> Iterable[Send]:
+        return [Send.cw(encode_elias_gamma(1))]
+
+    def on_receive(self, message: Bits, arrived_from: Direction) -> Iterable[Send]:
+        reader = BitReader(message)
+        self.computed_n = reader.read_elias_gamma()
+        reader.expect_exhausted()
+        self.decide(self._predicate(self.computed_n))
+        return ()
+
+
+class _CountingFollower(Processor):
+    """Follower: increment the counter and forward."""
+
+    def on_receive(self, message: Bits, arrived_from: Direction) -> Iterable[Send]:
+        reader = BitReader(message)
+        value = reader.read_elias_gamma()
+        reader.expect_exhausted()
+        return [Send.cw(encode_elias_gamma(value + 1))]
+
+
+class CountingAlgorithm(RingAlgorithm):
+    """Compute the ring size at the leader in one pass.
+
+    As a bare computation it "recognizes" the universal language (always
+    accepts); pass a ``predicate`` to decide a length property instead.
+    The leader processor exposes ``computed_n`` for tests and experiments.
+    """
+
+    name = "counting"
+
+    def __init__(
+        self,
+        alphabet: Sequence[str] = "ab",
+        predicate: Callable[[int], bool] | None = None,
+    ) -> None:
+        super().__init__(alphabet)
+        self._predicate = predicate if predicate is not None else (lambda n: True)
+        self.last_leader: _CountingLeader | None = None
+
+    def create_processor(self, letter: str, is_leader: bool) -> Processor:
+        if is_leader:
+            self.last_leader = _CountingLeader(letter, self._predicate)
+            return self.last_leader
+        return _CountingFollower(letter, is_leader=False)
+
+
+class _UnaryCountingLeader(Processor):
+    """Leader for the unary-codec ablation."""
+
+    def __init__(self, letter: str, predicate: Callable[[int], bool]) -> None:
+        super().__init__(letter, is_leader=True)
+        self._predicate = predicate
+        self.computed_n: int | None = None
+
+    def on_start(self) -> Iterable[Send]:
+        from repro.bits import encode_unary
+
+        return [Send.cw(encode_unary(1))]
+
+    def on_receive(self, message: Bits, arrived_from: Direction) -> Iterable[Send]:
+        reader = BitReader(message)
+        self.computed_n = reader.read_unary()
+        reader.expect_exhausted()
+        self.decide(self._predicate(self.computed_n))
+        return ()
+
+
+class _UnaryCountingFollower(Processor):
+    def on_receive(self, message: Bits, arrived_from: Direction) -> Iterable[Send]:
+        from repro.bits import encode_unary
+
+        reader = BitReader(message)
+        value = reader.read_unary()
+        reader.expect_exhausted()
+        return [Send.cw(encode_unary(value + 1))]
+
+
+def predicted_unary_counting_bits(n: int) -> int:
+    """Exact cost of the unary-codec counting pass: sum (i+1) = Theta(n^2)."""
+    return sum(i + 1 for i in range(1, n + 1))
+
+
+class UnaryCountingAlgorithm(CountingAlgorithm):
+    """Ablation: the counting pass with a *unary* counter codec.
+
+    Correct but Theta(n^2) bits — the ablation benchmark contrasts it with
+    the Elias-gamma version to show the logarithmic self-delimiting code is
+    what puts counting at the paper's Theta(n log n).
+    """
+
+    name = "counting-unary"
+
+    def create_processor(self, letter: str, is_leader: bool) -> Processor:
+        if is_leader:
+            self.last_leader = _UnaryCountingLeader(letter, self._predicate)
+            return self.last_leader
+        return _UnaryCountingFollower(letter, is_leader=False)
+
+
+class LengthPredicateRecognizer(CountingAlgorithm):
+    """Recognizer for ``{w : predicate(|w|)}`` via the counting pass.
+
+    For non-semilinear predicates (primality, powers of two) the language
+    is non-regular, so by Theorem 4 it needs ``Omega(n log n)`` bits — and
+    this algorithm meets that bound, pinning the complexity at
+    ``Theta(n log n)``.
+    """
+
+    def __init__(
+        self,
+        predicate: Callable[[int], bool],
+        alphabet: Sequence[str] = "ab",
+        name: str = "length-predicate",
+    ) -> None:
+        super().__init__(alphabet, predicate)
+        self.name = name

@@ -1,0 +1,159 @@
+"""§7(3): the ``Theta(g(n))`` recognizer for the hierarchy family ``L_g``.
+
+Two phases, exactly as the paper sketches:
+
+1. **Count** — the leader computes ``n`` with the Elias-gamma counter
+   (``Theta(n log n)`` bits; within ``Theta(g)`` since
+   ``g(n) = Omega(n log n)``).
+2. **Compare** — the leader derives the block length ``p = floor(g(n)/n)``
+   and sends a sliding window of the last ``p`` letters around the ring;
+   each processor whose window is already full checks its own letter
+   against the letter ``p`` positions back (the front of the window).
+
+The compare-pass wire format is deliberately lean — the experiments
+classify its growth, and per-message position counters would bury the
+``p * n`` signal under an ``n log n`` of bookkeeping:
+
+* fail flag (1 bit), then a phase flag (1 bit): ``filling`` or ``full``;
+* while ``filling``: gamma(slots still to fill) — only the first ``p``
+  messages pay this, ``O(p log p)`` total;
+* the window letters at ``ceil(log2 |Sigma|)`` bits each (length implied
+  by the message size).
+
+Compare-pass cost: ``n * (2 + p b) + O(p log p)`` bits, i.e.
+``Theta(n p) = Theta(g(n))``; total with counting ``Theta(g(n))``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.bits import (
+    BitReader,
+    Bits,
+    encode_elias_gamma,
+    encode_fixed,
+    fixed_width_for,
+)
+from repro.errors import ProtocolError
+from repro.languages.hierarchy import GrowthFunction, PeriodicLanguage
+from repro.ring.messages import Direction, Send
+from repro.ring.processor import Processor, RingAlgorithm
+
+__all__ = ["HierarchyRecognizer"]
+
+_PHASE_COUNT, _PHASE_COMPARE = 0, 1
+_FILLING, _FULL = 0, 1
+
+
+class _CompareCodec:
+    """Shared encode/decode for the compare-pass messages."""
+
+    def __init__(self, letter_width: int) -> None:
+        self.letter_width = letter_width
+
+    def encode(
+        self, fail: int, to_fill: int, window: tuple[int, ...]
+    ) -> Bits:
+        """``to_fill`` = 0 means the window is full (slide mode)."""
+        head = Bits([_PHASE_COMPARE, fail])
+        if to_fill > 0:
+            head = head + Bits([_FILLING]) + encode_elias_gamma(to_fill)
+        else:
+            head = head + Bits([_FULL])
+        for code in window:
+            head = head + encode_fixed(code, self.letter_width)
+        return head
+
+    def decode(self, reader: BitReader) -> tuple[int, int, list[int]]:
+        fail = reader.read_bit()
+        phase = reader.read_bit()
+        to_fill = reader.read_elias_gamma() if phase == _FILLING else 0
+        window = []
+        while reader.remaining:
+            window.append(reader.read_fixed(self.letter_width))
+        return fail, to_fill, window
+
+
+class _HierarchyLeader(Processor):
+    def __init__(self, letter: str, algorithm: "HierarchyRecognizer") -> None:
+        super().__init__(letter, is_leader=True)
+        self._algorithm = algorithm
+        self.computed_n: int | None = None
+
+    def on_start(self) -> Iterable[Send]:
+        return [Send.cw(Bits([_PHASE_COUNT]) + encode_elias_gamma(1))]
+
+    def on_receive(self, message: Bits, arrived_from: Direction) -> Iterable[Send]:
+        alg = self._algorithm
+        reader = BitReader(message)
+        phase = reader.read_bit()
+        if phase == _PHASE_COUNT:
+            n = reader.read_elias_gamma()
+            reader.expect_exhausted()
+            self.computed_n = n
+            p = alg.growth(n) // n
+            if p < 1 or p > n:
+                # No word of this length is in L_g.
+                self.decide(False)
+                return ()
+            window = (alg.letter_code(self.letter),)
+            return [Send.cw(alg.codec.encode(0, p - 1, window))]
+        fail, _to_fill, _window = alg.codec.decode(reader)
+        self.decide(fail == 0)
+        return ()
+
+
+class _HierarchyFollower(Processor):
+    def __init__(self, letter: str, algorithm: "HierarchyRecognizer") -> None:
+        super().__init__(letter, is_leader=False)
+        self._algorithm = algorithm
+
+    def on_receive(self, message: Bits, arrived_from: Direction) -> Iterable[Send]:
+        alg = self._algorithm
+        reader = BitReader(message)
+        phase = reader.read_bit()
+        if phase == _PHASE_COUNT:
+            value = reader.read_elias_gamma()
+            reader.expect_exhausted()
+            return [Send.cw(Bits([_PHASE_COUNT]) + encode_elias_gamma(value + 1))]
+        fail, to_fill, window = alg.codec.decode(reader)
+        mine = alg.letter_code(self.letter)
+        if to_fill == 0:
+            # Full window: compare against the letter p positions back.
+            if window[0] != mine:
+                fail = 1
+            window.pop(0)
+            window.append(mine)
+        else:
+            window.append(mine)
+            to_fill -= 1
+        return [Send.cw(alg.codec.encode(fail, to_fill, tuple(window)))]
+
+
+class HierarchyRecognizer(RingAlgorithm):
+    """The §7(3) algorithm for ``L_g`` (see module docstring).
+
+    Build from a :class:`PeriodicLanguage`; the recognizer and the language
+    share the growth function ``g`` by construction.
+    """
+
+    def __init__(self, language: PeriodicLanguage) -> None:
+        super().__init__(language.alphabet)
+        self.language = language
+        self.growth: GrowthFunction = language.growth
+        self.letter_width = fixed_width_for(len(self.alphabet))
+        self.codec = _CompareCodec(self.letter_width)
+        self.name = f"hierarchy[{self.growth.name}]"
+
+    def letter_code(self, letter: str) -> int:
+        """Fixed-width code of a letter."""
+        index = self.alphabet.index(letter)
+        if index < 0:  # pragma: no cover - validate_word guards earlier
+            raise ProtocolError(f"letter {letter!r} outside the alphabet")
+        return index
+
+    def create_processor(self, letter: str, is_leader: bool) -> Processor:
+        if is_leader:
+            return _HierarchyLeader(letter, self)
+        return _HierarchyFollower(letter, self)

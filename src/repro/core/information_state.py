@@ -1,0 +1,148 @@
+"""Theorem 4/5: information states, the cut-segment lemma, and lower bounds.
+
+The lower-bound proofs revolve around three executable facts:
+
+1. **Counting** — on shortest witness words, at most two (unidirectional) or
+   three (bidirectional) processors may share a terminal information state,
+   so an execution realizes at least ``ceil(n/2)`` (resp. ``ceil(n/3)``)
+   distinct states; encoding ``d`` distinct message-sequences takes
+   ``Omega(d log d)`` bits in total (:func:`entropy_lower_bound_bits`).
+   Experiment E4 measures both quantities on the implemented non-regular
+   recognizers.
+
+2. **Cutting** — if processors ``p_j`` and ``p_k`` (``0 < j < k``) end an
+   execution with *equal* information states, removing the ring segment
+   ``p_j .. p_{k-1}`` yields a shorter word on which the algorithm behaves
+   identically for every surviving processor — in particular the leader's
+   decision is unchanged.  :func:`verify_cut_lemma` performs the surgery
+   and replays; for one-pass algorithms this is exactly the pumping lemma
+   in ring clothing, and the property-based tests hammer it.
+
+3. **Dichotomy** — if the set of reachable information states is finite the
+   algorithm costs ``O(n)`` and the language is regular; the experiments
+   observe the contrapositive on the non-regular recognizers, whose state
+   counts grow linearly with ``n``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import RingError
+from repro.ring.processor import RingAlgorithm
+from repro.ring.trace import ExecutionTrace
+from repro.ring.unidirectional import run_unidirectional
+
+__all__ = [
+    "cut_word",
+    "equal_state_pairs",
+    "verify_cut_lemma",
+    "CutLemmaReport",
+    "min_distinct_states",
+    "entropy_lower_bound_bits",
+]
+
+
+def cut_word(word: str, j: int, k: int) -> str:
+    """Remove positions ``j .. k-1`` (0-indexed) from the ring word.
+
+    The leader (position 0) must survive: ``1 <= j < k <= len(word)``.
+    """
+    if not 1 <= j < k <= len(word):
+        raise RingError(f"invalid cut [{j}, {k}) for a word of {len(word)}")
+    return word[:j] + word[k:]
+
+
+def equal_state_pairs(trace: ExecutionTrace) -> list[tuple[int, int]]:
+    """All pairs ``(j, k)``, ``0 < j < k``, of non-leader processors that
+    terminated with identical information states."""
+    pairs = []
+    for group in trace.processors_sharing_state().values():
+        followers = [index for index in group if index != trace.leader]
+        for a in range(len(followers)):
+            for b in range(a + 1, len(followers)):
+                pairs.append((followers[a], followers[b]))
+    return pairs
+
+
+@dataclass(frozen=True)
+class CutLemmaReport:
+    """Outcome of one cut-and-replay check."""
+
+    word: str
+    cut: tuple[int, int]
+    cut_word: str
+    original_decision: bool
+    replay_decision: bool
+    states_preserved: bool
+
+    @property
+    def holds(self) -> bool:
+        """True when decision and surviving states are unchanged."""
+        return (
+            self.original_decision == self.replay_decision
+            and self.states_preserved
+        )
+
+
+def verify_cut_lemma(
+    algorithm: RingAlgorithm,
+    word: str,
+    pair: tuple[int, int] | None = None,
+    runner: Callable[[RingAlgorithm, str], ExecutionTrace] = run_unidirectional,
+) -> CutLemmaReport | None:
+    """Cut between two equal-state processors and replay (Theorem 4's move).
+
+    With ``pair=None`` the first equal-state pair found is used; returns
+    None when no two non-leader processors share a state (e.g. the counting
+    algorithm, whose states are all distinct — itself a Theorem 4 exhibit).
+
+    The check asserts the two halves of the lemma: the leader's decision is
+    preserved, and every *surviving* processor (outside the cut segment)
+    terminates with the same information state as before.
+    """
+    trace = runner(algorithm, word)
+    if pair is None:
+        pairs = equal_state_pairs(trace)
+        if not pairs:
+            return None
+        pair = pairs[0]
+    j, k = pair
+    states_before = trace.information_states()
+    if states_before[j] != states_before[k]:
+        raise RingError(f"processors {j} and {k} do not share a state")
+    shorter = cut_word(word, j, k)
+    replay = runner(algorithm, shorter)
+    states_after = replay.information_states()
+    survivors_before = states_before[:j] + states_before[k:]
+    preserved = survivors_before == states_after
+    return CutLemmaReport(
+        word=word,
+        cut=(j, k),
+        cut_word=shorter,
+        original_decision=bool(trace.decision),
+        replay_decision=bool(replay.decision),
+        states_preserved=preserved,
+    )
+
+
+def min_distinct_states(n: int, bidirectional: bool = False) -> int:
+    """Theorem 4/5's floor on distinct states over shortest witness words:
+    ``ceil(n/2)`` unidirectional, ``ceil(n/3)`` bidirectional."""
+    divisor = 3 if bidirectional else 2
+    return -(-n // divisor)
+
+
+def entropy_lower_bound_bits(distinct_states: int) -> float:
+    """Total bits needed to realize ``d`` pairwise-distinct message logs.
+
+    ``d`` distinct prefix-free message sequences need ``log2(d!)``
+    ~ ``d log2 d - 1.44 d`` bits in total (sum over the states); this is
+    the quantitative heart of "``Omega(n/2)`` distinct states =>
+    ``Omega(n log n)`` bits".
+    """
+    if distinct_states <= 1:
+        return 0.0
+    return math.lgamma(distinct_states + 1) / math.log(2)

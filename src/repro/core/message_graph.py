@@ -1,0 +1,187 @@
+"""Theorem 2: the message graph of a one-pass algorithm.
+
+For a one-pass unidirectional algorithm, build the directed edge-labeled
+graph ``G``: vertices are messages (plus a start vertex ``v0``), and
+``m_i --sigma--> m_j`` when a processor holding ``sigma`` answers ``m_i``
+with ``m_j`` (edges from ``v0`` are the leader's initial messages).  The
+theorem's dichotomy, made executable:
+
+* If ``G`` (restricted to vertices reachable from ``v0``) is **finite**, it
+  *is* the state diagram of a finite automaton: :func:`extract_dfa` returns
+  a DFA provably equivalent to the algorithm (states remember the leader's
+  letter so the final decision is computable), certifying regularity.
+* If ``G`` is **infinite**, Koenig's lemma yields an infinite simple path;
+  :func:`infinite_witness` returns, for any requested ``n``, a word of
+  length ``n`` on which the algorithm sends ``n`` *distinct* messages —
+  forcing ``Omega(n log n)`` bits (Corollaries 1-2).  Exhaustive search
+  cannot prove infinity, so :func:`build_message_graph` explores up to a
+  vertex budget and reports truncation with the deepest-path witness;
+  for the algorithms studied here (counters growing without bound) the
+  witness keeps growing with the budget, which is what E2 demonstrates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.automata.dfa import DFA
+from repro.bits import Bits
+from repro.core.regular_onepass import OnePassTransducer
+from repro.errors import AutomatonError, CompilationError
+
+__all__ = [
+    "MessageGraph",
+    "build_message_graph",
+    "extract_dfa",
+    "infinite_witness",
+]
+
+_START = "__v0__"
+
+
+@dataclass
+class MessageGraph:
+    """The explored portion of Theorem 2's graph ``G``.
+
+    ``edges[(vertex, letter)]`` maps to the successor message; ``vertex``
+    is either :data:`_START` or a :class:`Bits` message.  ``truncated``
+    marks that the vertex budget was hit — the graph is then a certified
+    *lower* bound on the true size, not the whole graph.
+    """
+
+    alphabet: tuple[str, ...]
+    edges: dict[tuple[object, str], Bits] = field(default_factory=dict)
+    vertices: set[object] = field(default_factory=set)
+    depth: dict[object, int] = field(default_factory=dict)
+    parent: dict[object, tuple[object, str]] = field(default_factory=dict)
+    truncated: bool = False
+
+    @property
+    def message_count(self) -> int:
+        """Number of distinct messages discovered (excludes ``v0``)."""
+        return len(self.vertices) - 1
+
+    def deepest_vertex(self) -> object:
+        """A vertex at maximal BFS depth (end of the longest witness path)."""
+        return max(self.depth, key=lambda v: self.depth[v])
+
+    def path_word_to(self, vertex: object) -> str:
+        """The edge labels from ``v0`` to ``vertex`` — a ring word whose
+        execution emits one distinct message per position."""
+        letters: list[str] = []
+        current = vertex
+        while current != _START:
+            current, letter = self.parent[current]
+            letters.append(letter)
+        return "".join(reversed(letters))
+
+    def is_finite(self) -> bool:
+        """True when exploration exhausted the graph within budget."""
+        return not self.truncated
+
+
+def build_message_graph(
+    transducer: OnePassTransducer, max_vertices: int = 10_000
+) -> MessageGraph:
+    """BFS-explore ``G`` from ``v0`` up to ``max_vertices`` vertices."""
+    graph = MessageGraph(alphabet=tuple(transducer.alphabet))
+    graph.vertices.add(_START)
+    graph.depth[_START] = 0
+    queue: deque[object] = deque([_START])
+    while queue:
+        vertex = queue.popleft()
+        for letter in graph.alphabet:
+            if vertex == _START:
+                successor = transducer.initial_message(letter)
+            else:
+                assert isinstance(vertex, Bits)
+                successor = transducer.relay(letter, vertex)
+            graph.edges[(vertex, letter)] = successor
+            if successor in graph.vertices:
+                continue
+            if len(graph.vertices) >= max_vertices + 1:
+                graph.truncated = True
+                return graph
+            graph.vertices.add(successor)
+            graph.depth[successor] = graph.depth[vertex] + 1
+            graph.parent[successor] = (vertex, letter)
+            queue.append(successor)
+    return graph
+
+
+def infinite_witness(
+    transducer: OnePassTransducer, length: int, max_vertices: int = 1_000_000
+) -> str:
+    """A word of the given length whose execution emits all-distinct messages.
+
+    Follows a simple path in ``G`` of the requested length (BFS-tree path),
+    the constructive core of Corollary 1: labeling a ring with this word
+    forces ``length`` distinct messages, of which ``Omega(length)`` need
+    ``Omega(log length)`` bits each.
+
+    Raises :class:`CompilationError` when no such path exists within the
+    exploration budget (e.g. the graph is actually finite).
+    """
+    graph = build_message_graph(transducer, max_vertices=max_vertices)
+    candidates = [v for v, d in graph.depth.items() if d >= length]
+    if not candidates:
+        raise CompilationError(
+            f"no simple path of length {length} found "
+            f"({'truncated' if graph.truncated else 'graph is finite'}, "
+            f"max depth {max(graph.depth.values())})"
+        )
+    vertex = min(candidates, key=lambda v: graph.depth[v])
+    word = graph.path_word_to(vertex)
+    return word[:length]
+
+
+def extract_dfa(
+    graph: MessageGraph,
+    transducer: OnePassTransducer,
+    accept_empty: bool = False,
+) -> DFA:
+    """Turn a finite message graph into the DFA Theorem 2 promises.
+
+    States are ``(first_letter, message)`` pairs — the first letter is what
+    the leader contributes to the final decision — plus a fresh start
+    state.  Reading ``w = sigma_1 .. sigma_n`` ends in
+    ``(sigma_1, m_n)`` where ``m_n`` is the message the algorithm's pass
+    delivers back to the leader; acceptance is the leader's decision.
+    ``accept_empty`` sets the start state's acceptance (rings have at least
+    one processor, so the algorithm itself never defines it).
+    """
+    if graph.truncated:
+        raise AutomatonError(
+            "cannot extract a DFA from a truncated message graph"
+        )
+    start = ("__start__", None)
+    states: set[tuple[object, object]] = {start}
+    transitions: dict[tuple[tuple[object, object], str], tuple[object, object]] = {}
+    queue: deque[tuple[object, object]] = deque([start])
+    while queue:
+        state = queue.popleft()
+        first, message = state
+        for letter in graph.alphabet:
+            if state == start:
+                target = (letter, graph.edges[(_START, letter)])
+            else:
+                target = (first, graph.edges[(message, letter)])
+            transitions[(state, letter)] = target
+            if target not in states:
+                states.add(target)
+                queue.append(target)
+    accepting = {
+        state
+        for state in states
+        if state != start and transducer.decide(state[0], state[1])  # type: ignore[arg-type]
+    }
+    if accept_empty:
+        accepting.add(start)
+    return DFA(
+        states=frozenset(states),
+        alphabet=graph.alphabet,
+        transitions=transitions,
+        start=start,
+        accepting=frozenset(accepting),
+    )

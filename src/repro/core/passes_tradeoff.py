@@ -1,0 +1,191 @@
+"""§7(5): the bits-vs-passes trade-off for regular languages.
+
+Language family (over ``Sigma = {sigma_0 .. sigma_{2^k - 1}}``)::
+
+    L = { w : sigma_{|w| mod (2^k - 1)} appears an even number of times }
+
+* **Two passes, (2k+1) n bits** — pass 1 computes ``|w| mod (2^k - 1)``
+  with ``k``-bit messages; pass 2 carries the resolved target index
+  (``k`` bits) plus a single parity bit, ``(k+1)`` bits per message.
+* **One pass, (k + 2^k - 1) n bits** — without a second pass the target is
+  unknown until the message returns, so every message must carry *all*
+  ``2^k - 1`` candidate parities concurrently alongside the ``k``-bit
+  length counter.
+
+Experiment E11 measures both costs exactly and checks the measured ratio
+``(k + 2^k - 1) / (2k + 1)``: the one-pass algorithm is cheaper only for
+``k <= 2`` and loses exponentially afterwards — the paper's point that
+pass count buys bits.  The paper's closing remark (any ``c n``-bit
+any-pass regular recognizer compiles to a ``2^c n``-bit one-pass one) is
+exercised by compiling :class:`TwoPassTradeoffRecognizer` with
+:func:`repro.core.multipass.compile_to_one_pass` (experiment E3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.bits import BitReader, Bits, encode_fixed
+from repro.core.multipass import MultipassAlgorithm, MultipassRingAlgorithm
+from repro.errors import ProtocolError
+from repro.languages.regular import TradeoffLanguage
+from repro.ring.messages import Direction, Send
+from repro.ring.processor import Processor, RingAlgorithm
+
+__all__ = [
+    "TwoPassTradeoffRecognizer",
+    "OnePassTradeoffRecognizer",
+    "two_pass_bits",
+    "one_pass_bits",
+]
+
+
+def two_pass_bits(k: int, n: int) -> int:
+    """Paper's exact two-pass cost: ``(2k + 1) * n``."""
+    return (2 * k + 1) * n
+
+
+def one_pass_bits(k: int, n: int) -> int:
+    """Paper's exact one-pass cost: ``(k + 2^k - 1) * n``."""
+    return (k + (1 << k) - 1) * n
+
+
+class _TwoPassTradeoff(MultipassAlgorithm):
+    """The two-pass algorithm as a :class:`MultipassAlgorithm`.
+
+    Wire formats: pass-1 messages are ``k`` bits (length count mod
+    ``2^k - 1``); pass-2 messages are ``k + 1`` bits (target index then the
+    running parity).  Followers distinguish passes by message length —
+    keeping them stateless, which also feeds the Theorem 3 compiler the
+    easiest possible input.
+    """
+
+    def __init__(self, language: TradeoffLanguage) -> None:
+        super().__init__(language.alphabet, passes=2)
+        self.name = f"tradeoff-2pass(k={language.k})"
+        self.language = language
+        self.k = language.k
+        self.modulus = language.modulus
+
+    # -- helpers -----------------------------------------------------------
+
+    def _target_letter(self, index: int) -> str:
+        return self.alphabet[index]
+
+    def leader_start(self, letter: str):
+        # Pass 1: count the leader's own letter already.
+        return None, encode_fixed(1 % self.modulus, self.k)
+
+    def leader_pass_end(self, letter: str, memory, incoming: Bits):
+        if len(incoming) == self.k:
+            # End of pass 1: incoming is n mod (2^k - 1) = the target index.
+            target = incoming.to_int()
+            parity = 1 if letter == self._target_letter(target) else 0
+            return None, incoming + Bits([parity]), None
+        # End of pass 2: k bits target + 1 bit parity.
+        reader = BitReader(incoming)
+        reader.read_fixed(self.k)
+        parity = reader.read_bit()
+        reader.expect_exhausted()
+        return None, None, parity == 0
+
+    def follower_step(self, letter: str, memory, incoming: Bits):
+        if len(incoming) == self.k:
+            count = incoming.to_int()
+            return None, encode_fixed((count + 1) % self.modulus, self.k)
+        if len(incoming) == self.k + 1:
+            reader = BitReader(incoming)
+            target = reader.read_fixed(self.k)
+            parity = reader.read_bit()
+            if letter == self._target_letter(target):
+                parity ^= 1
+            return None, encode_fixed(target, self.k) + Bits([parity])
+        # Unknown shape (only reachable via the Theorem 3 enumerator, which
+        # probes followers with arbitrary message-space elements): inert.
+        return None, incoming
+
+
+class TwoPassTradeoffRecognizer(MultipassRingAlgorithm):
+    """Ring algorithm wrapper for the two-pass §7(5) recognizer."""
+
+    def __init__(self, language: TradeoffLanguage) -> None:
+        super().__init__(_TwoPassTradeoff(language))
+        self.language = language
+
+    def predicted_bits(self, n: int) -> int:
+        """``(2k + 1) n`` exactly."""
+        return two_pass_bits(self.language.k, n)
+
+
+class _OnePassLeader(Processor):
+    def __init__(self, letter: str, algorithm: "OnePassTradeoffRecognizer") -> None:
+        super().__init__(letter, is_leader=True)
+        self._algorithm = algorithm
+
+    def on_start(self) -> Iterable[Send]:
+        alg = self._algorithm
+        parities = [0] * alg.modulus
+        index = alg.alphabet.index(self.letter)
+        if index < alg.modulus:
+            parities[index] ^= 1
+        return [Send.cw(alg.encode(1 % alg.modulus, parities))]
+
+    def on_receive(self, message: Bits, arrived_from: Direction) -> Iterable[Send]:
+        count, parities = self._algorithm.decode(message)
+        self.decide(parities[count] == 0)
+        return ()
+
+
+class _OnePassFollower(Processor):
+    def __init__(self, letter: str, algorithm: "OnePassTradeoffRecognizer") -> None:
+        super().__init__(letter, is_leader=False)
+        self._algorithm = algorithm
+
+    def on_receive(self, message: Bits, arrived_from: Direction) -> Iterable[Send]:
+        alg = self._algorithm
+        count, parities = alg.decode(message)
+        index = alg.alphabet.index(self.letter)
+        if index < alg.modulus:
+            parities[index] ^= 1
+        return [Send.cw(alg.encode((count + 1) % alg.modulus, parities))]
+
+
+class OnePassTradeoffRecognizer(RingAlgorithm):
+    """The one-pass §7(5) recognizer: all candidate parities in flight.
+
+    Message format: ``k`` bits of length count mod ``2^k - 1``, then one
+    parity bit per candidate target ``sigma_0 .. sigma_{2^k - 2}`` —
+    ``k + 2^k - 1`` bits per message, the paper's exact figure.  (Letters
+    ``sigma_i`` with ``i >= 2^k - 1`` can never be the target, so their
+    parities are not tracked.)
+    """
+
+    def __init__(self, language: TradeoffLanguage) -> None:
+        super().__init__(language.alphabet)
+        self.language = language
+        self.k = language.k
+        self.modulus = language.modulus
+        self.name = f"tradeoff-1pass(k={language.k})"
+
+    def encode(self, count: int, parities: list[int]) -> Bits:
+        """count (k bits) then one parity bit per candidate target."""
+        if len(parities) != self.modulus:
+            raise ProtocolError("parity vector has the wrong arity")
+        return encode_fixed(count, self.k) + Bits(parities)
+
+    def decode(self, message: Bits) -> tuple[int, list[int]]:
+        """Inverse of :meth:`encode`."""
+        reader = BitReader(message)
+        count = reader.read_fixed(self.k)
+        parities = [reader.read_bit() for _ in range(self.modulus)]
+        reader.expect_exhausted()
+        return count, parities
+
+    def predicted_bits(self, n: int) -> int:
+        """``(k + 2^k - 1) n`` exactly."""
+        return one_pass_bits(self.k, n)
+
+    def create_processor(self, letter: str, is_leader: bool) -> Processor:
+        if is_leader:
+            return _OnePassLeader(letter, self)
+        return _OnePassFollower(letter, self)

@@ -1,0 +1,124 @@
+"""The Summary-section bridge: one-tape TM -> ring algorithm.
+
+Given a TM with time complexity ``t(n)`` the paper observes
+``BIT_A(n) <= t(n) * log |Q|``: simulate the head by a message that
+carries the machine state; the tape cells *are* the processors.  The
+circular marked tape of :mod:`repro.tm` maps 1:1 onto the ring with a
+leader, so the transformation is direct:
+
+* each processor stores its tape symbol (updated in place);
+* a head message is one tag bit + a fixed-width work-state index,
+  traveling CW for an R-move and CCW for an L-move;
+* when a transition enters a halting state, the processor where the head
+  stands reports: the leader decides immediately, any other processor
+  sends a verdict message (tag bit + accept bit) that is forwarded CW to
+  the leader — at most ``n`` extra messages of 2 bits.
+
+Exact cost: ``(t - 1) * (1 + ceil(log2 |Q_work|)) + (verdict hops) * 2``
+bits, i.e. ``t(n) log |Q|`` up to the tag bit and an additive ``O(n)`` —
+experiment E12 verifies the bound and compares bridged machines against
+the native recognizers (the bridge transfers the *machine's* cost, which
+for a suboptimal machine is worse than the language's ring optimum).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.bits import BitReader, Bits, encode_fixed, fixed_width_for
+from repro.errors import ProtocolError
+from repro.ring.messages import Direction, Send
+from repro.ring.processor import Processor, RingAlgorithm
+from repro.tm.machine import Move, TuringMachine
+
+__all__ = ["TMRingAlgorithm", "predicted_bridge_bits"]
+
+_HEAD, _VERDICT = 0, 1
+
+
+def predicted_bridge_bits(
+    machine: TuringMachine, steps: int, verdict_hops: int
+) -> int:
+    """Exact bridge cost for a run of ``steps`` transitions.
+
+    ``steps - 1`` head messages (the halting transition sends none) plus
+    ``verdict_hops`` two-bit verdict messages.
+    """
+    width = fixed_width_for(len(machine.work_states))
+    return (steps - 1) * (1 + width) + verdict_hops * 2
+
+
+class _TMProcessor(Processor):
+    """One tape cell; the leader's cell is the marked one."""
+
+    def __init__(self, letter: str, is_leader: bool, algorithm: "TMRingAlgorithm") -> None:
+        super().__init__(letter, is_leader)
+        self._algorithm = algorithm
+        self.symbol = letter  # the mutable tape cell
+
+    # -- shared head-step logic -------------------------------------------
+
+    def _apply_head(self, state: str) -> Iterable[Send]:
+        algorithm = self._algorithm
+        machine = algorithm.machine
+        new_state, write, move = machine.step(state, self.symbol, self.is_leader)
+        self.symbol = write
+        if new_state == machine.accept_state:
+            return self._report(True)
+        if new_state == machine.reject_state:
+            return self._report(False)
+        direction = Direction.CW if move is Move.R else Direction.CCW
+        return [Send(direction, algorithm.encode_head(new_state))]
+
+    def _report(self, accepted: bool) -> Iterable[Send]:
+        if self.is_leader:
+            self.decide(accepted)
+            return ()
+        return [Send.cw(Bits([_VERDICT, 1 if accepted else 0]))]
+
+    # -- processor interface -----------------------------------------------
+
+    def on_start(self) -> Iterable[Send]:
+        return self._apply_head(self._algorithm.machine.start_state)
+
+    def on_receive(self, message: Bits, arrived_from: Direction) -> Iterable[Send]:
+        tag, state_or_verdict = self._algorithm.decode(message)
+        if tag == _VERDICT:
+            if self.is_leader:
+                self.decide(bool(state_or_verdict))
+                return ()
+            return [Send.cw(message)]
+        return self._apply_head(state_or_verdict)
+
+
+class TMRingAlgorithm(RingAlgorithm):
+    """Run a circular-marked-tape TM as a bidirectional ring algorithm."""
+
+    def __init__(self, machine: TuringMachine) -> None:
+        super().__init__(machine.input_alphabet)
+        self.machine = machine
+        self._work_states = sorted(machine.work_states)
+        self._index = {state: i for i, state in enumerate(self._work_states)}
+        self.state_width = fixed_width_for(len(self._work_states))
+        self.name = f"bridge[{machine.name}]"
+
+    def encode_head(self, state: str) -> Bits:
+        """Tag bit 0 + fixed-width work-state index."""
+        return Bits([_HEAD]) + encode_fixed(self._index[state], self.state_width)
+
+    def decode(self, message: Bits) -> tuple[int, object]:
+        """Return ``(tag, state_name | verdict_bit)``."""
+        reader = BitReader(message)
+        tag = reader.read_bit()
+        if tag == _VERDICT:
+            verdict = reader.read_bit()
+            reader.expect_exhausted()
+            return tag, verdict
+        index = reader.read_fixed(self.state_width)
+        reader.expect_exhausted()
+        if index >= len(self._work_states):
+            raise ProtocolError(f"message decodes to unknown TM state {index}")
+        return tag, self._work_states[index]
+
+    def create_processor(self, letter: str, is_leader: bool) -> Processor:
+        return _TMProcessor(letter, is_leader, self)

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the ring-with-a-leader reproduction library.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class.  Sub-hierarchies mirror the package
+layout: bit-string/codec errors, automaton construction errors, ring
+simulation errors, and protocol (algorithm) errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` library."""
+
+
+class BitsError(ReproError):
+    """Malformed bit strings or codec misuse (``repro.bits``)."""
+
+
+class DecodeError(BitsError):
+    """A bit string could not be decoded by the expected codec."""
+
+
+class AutomatonError(ReproError):
+    """Invalid automaton construction or use (``repro.automata``)."""
+
+
+class RegexError(AutomatonError):
+    """A regular expression failed to parse (``repro.automata.regex``)."""
+
+
+class LanguageError(ReproError):
+    """Invalid language definition or sampling request (``repro.languages``)."""
+
+
+class RingError(ReproError):
+    """Ring simulation errors (``repro.ring``)."""
+
+
+class ProtocolError(RingError):
+    """An algorithm violated the model (e.g. a follower tried to decide,
+    a unidirectional processor sent counter-clockwise, or the execution
+    quiesced with no leader decision)."""
+
+
+class TokenViolation(RingError):
+    """More than one message was in flight in a token algorithm."""
+
+
+class CompilationError(ReproError):
+    """An algorithm-to-algorithm transformation (Theorem 3 / Theorem 7
+    compilers) could not be carried out under the stated assumptions."""

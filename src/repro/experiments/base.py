@@ -1,0 +1,68 @@
+"""Shared experiment infrastructure.
+
+An experiment produces an :class:`ExperimentResult`: the table rows the
+paper "would have printed", the conclusions drawn, and a ``passed`` flag
+asserting the paper's claimed shape held.  ``quick=True`` shrinks sweeps
+for use inside unit tests; benches and the CLI run the full sweeps
+recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.analysis.tables import format_table
+from repro.errors import ReproError
+
+__all__ = ["ExperimentResult", "Sweep", "default_rng"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment run."""
+
+    exp_id: str
+    title: str
+    claim: str
+    columns: Sequence[str]
+    rows: list[dict] = field(default_factory=list)
+    conclusions: list[str] = field(default_factory=list)
+    passed: bool = False
+
+    def render(self) -> str:
+        """Full human-readable report (what the CLI prints)."""
+        parts = [
+            f"== {self.exp_id}: {self.title} ==",
+            f"claim: {self.claim}",
+            "",
+            format_table(self.rows, self.columns),
+            "",
+        ]
+        parts.extend(f"- {line}" for line in self.conclusions)
+        parts.append(f"RESULT: {'PASS' if self.passed else 'FAIL'}")
+        return "\n".join(parts)
+
+    def require_passed(self) -> "ExperimentResult":
+        """Raise if the experiment's claim check failed (used by tests)."""
+        if not self.passed:
+            raise ReproError(f"{self.exp_id} failed:\n{self.render()}")
+        return self
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """Ring sizes for the full and quick variants of a sweep."""
+
+    full: tuple[int, ...]
+    quick: tuple[int, ...]
+
+    def sizes(self, quick: bool) -> tuple[int, ...]:
+        """The sizes to use for this run."""
+        return self.quick if quick else self.full
+
+
+def default_rng(seed: int = 20250612) -> random.Random:
+    """The deterministic RNG used by all experiments (reproducible tables)."""
+    return random.Random(seed)

@@ -1,0 +1,110 @@
+"""E3 — Theorem 3: multi-pass ``O(n)`` algorithms compile to one pass.
+
+The two-pass §7(5) recognizer (k = 1, 2) is compiled with the
+sequence-enumeration construction.  Checks:
+
+* language equivalence of source and compiled algorithm on every word up
+  to an exhaustive length plus random longer rings;
+* the compiled algorithm is one pass with constant-size messages, so its
+  bits grow linearly — the measured per-message size is the ``2^c``-style
+  constant the paper's §7(5) remark predicts (compare with the two-pass
+  cost);
+* composing with Theorem 2: the compiled transducer's message graph is
+  finite (the "=> regular" step of the proof chain).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.message_graph import build_message_graph
+from repro.core.multipass import collect_message_space, compile_to_one_pass
+from repro.core.passes_tradeoff import TwoPassTradeoffRecognizer, two_pass_bits
+from repro.core.regular_onepass import TransducerRingAlgorithm
+from repro.experiments.base import ExperimentResult, default_rng
+from repro.languages.regular import tradeoff_language
+from repro.ring.unidirectional import run_unidirectional
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Execute E3; see module docstring."""
+    rng = default_rng()
+    result = ExperimentResult(
+        exp_id="E3",
+        title="Multi-pass to one-pass compilation (Theorem 3)",
+        claim="any O(n) multi-pass algorithm has an equivalent O(n) one-pass "
+        "algorithm (constant exponential in |M|, pi)",
+        columns=[
+            "k",
+            "|M|",
+            "candidates",
+            "bits/msg (compiled)",
+            "bits/msg (2-pass)",
+            "equivalent",
+            "graph finite",
+            "ok",
+        ],
+    )
+    ks = (1,) if quick else (1, 2)
+    all_ok = True
+    for k in ks:
+        # The k=2 compiled transducer carries an 81-candidate table per
+        # message, so its exhaustive sweep is kept shorter (4^4 words).
+        exhaustive_len = 4 if (quick or k == 2) else 6
+        language = tradeoff_language(k)
+        two_pass = TwoPassTradeoffRecognizer(language)
+        probe_words = [
+            "".join(letters)
+            for length in range(1, min(exhaustive_len, 5) + 1)
+            for letters in itertools.product(language.alphabet, repeat=length)
+        ]
+        space = collect_message_space(two_pass, probe_words)
+        compiled = compile_to_one_pass(two_pass.multipass, space)
+        compiled_algorithm = TransducerRingAlgorithm(
+            compiled, name=f"thm3-compiled(k={k})"
+        )
+        equivalent = True
+        compiled_bits_per_message = None
+        for length in range(1, exhaustive_len + 1):
+            for letters in itertools.product(language.alphabet, repeat=length):
+                word = "".join(letters)
+                source = run_unidirectional(two_pass, word)
+                target = run_unidirectional(compiled_algorithm, word)
+                if not (
+                    source.decision
+                    == target.decision
+                    == language.contains(word)
+                ):
+                    equivalent = False
+                compiled_bits_per_message = target.total_bits // length
+        for n in (20, 45) if quick else (30, 80, 150):
+            word = "".join(rng.choice(language.alphabet) for _ in range(n))
+            source = run_unidirectional(two_pass, word)
+            target = run_unidirectional(compiled_algorithm, word)
+            if not (source.decision == target.decision == language.contains(word)):
+                equivalent = False
+            compiled_bits_per_message = target.total_bits // n
+        graph = build_message_graph(compiled, max_vertices=5_000)
+        ok = equivalent and graph.is_finite()
+        all_ok = all_ok and ok
+        result.rows.append(
+            {
+                "k": k,
+                "|M|": len(space),
+                "candidates": compiled.candidate_count,
+                "bits/msg (compiled)": compiled_bits_per_message,
+                "bits/msg (2-pass)": two_pass_bits(k, 1),
+                "equivalent": equivalent,
+                "graph finite": graph.is_finite(),
+                "ok": ok,
+            }
+        )
+    result.conclusions = [
+        "compiled one-pass algorithms decide exactly the source language",
+        "compiled messages are constant-size => O(n) bits, at the paper's "
+        "exponential-in-constant price",
+        "their message graphs are finite, closing the Theorem 3 -> Theorem 2 "
+        "-> regular chain",
+    ]
+    result.passed = all_ok
+    return result

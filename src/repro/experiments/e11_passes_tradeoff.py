@@ -1,0 +1,90 @@
+"""E11 — §7(5): two passes at ``(2k+1)n`` bits vs one pass at ``(k+2^k-1)n``.
+
+For ``k = 1..5`` and a sweep of ring sizes, run both recognizers of the
+trade-off family on members and non-members.  Checks:
+
+* both algorithms decide the language correctly;
+* measured bits equal the paper's *exact* formulas, not just the class;
+* the one-pass/two-pass ratio equals ``(k + 2^k - 1) / (2k + 1)``: one
+  pass wins at ``k <= 2``, ties nowhere, and loses exponentially from
+  ``k = 3`` on — the paper's "2^c n vs c n" separation in numbers.
+"""
+
+from __future__ import annotations
+
+from repro.core.passes_tradeoff import (
+    OnePassTradeoffRecognizer,
+    TwoPassTradeoffRecognizer,
+    one_pass_bits,
+    two_pass_bits,
+)
+from repro.experiments.base import ExperimentResult, Sweep, default_rng
+from repro.languages.regular import tradeoff_language
+from repro.ring.unidirectional import run_unidirectional
+
+SWEEP = Sweep(full=(16, 64, 256), quick=(8, 16))
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Execute E11; see module docstring."""
+    rng = default_rng()
+    result = ExperimentResult(
+        exp_id="E11",
+        title="Bits vs passes for regular languages (§7(5))",
+        claim="two passes cost (2k+1)n bits; one pass costs (k+2^k-1)n; "
+        "the ratio grows like 2^k / 2k",
+        columns=[
+            "k",
+            "n",
+            "1-pass bits",
+            "2-pass bits",
+            "ratio",
+            "winner",
+            "exact",
+        ],
+    )
+    ks = (1, 2, 3) if quick else (1, 2, 3, 4, 5)
+    all_ok = True
+    for k in ks:
+        language = tradeoff_language(k)
+        one_pass = OnePassTradeoffRecognizer(language)
+        two_pass = TwoPassTradeoffRecognizer(language)
+        for n in SWEEP.sizes(quick):
+            member = language.sample_member(n, rng)
+            non_member = language.sample_non_member(n, rng)
+            exact = True
+            for word, expected in ((member, True), (non_member, False)):
+                if word is None:
+                    continue
+                one_trace = run_unidirectional(one_pass, word)
+                two_trace = run_unidirectional(two_pass, word)
+                if not (one_trace.decision == two_trace.decision == expected):
+                    exact = False
+                if one_trace.total_bits != one_pass_bits(k, n):
+                    exact = False
+                if two_trace.total_bits != two_pass_bits(k, n):
+                    exact = False
+                if two_trace.pass_count() != 2 or one_trace.pass_count() != 1:
+                    exact = False
+            all_ok = all_ok and exact
+            ratio = one_pass_bits(k, n) / two_pass_bits(k, n)
+            result.rows.append(
+                {
+                    "k": k,
+                    "n": n,
+                    "1-pass bits": one_pass_bits(k, n),
+                    "2-pass bits": two_pass_bits(k, n),
+                    "ratio": round(ratio, 3),
+                    "winner": "1-pass"
+                    if ratio < 1
+                    else ("tie" if ratio == 1 else "2-pass"),
+                    "exact": exact,
+                }
+            )
+    result.conclusions = [
+        "measured bits match the paper's formulas bit-for-bit at every (k, n)",
+        "one pass wins at k = 1 and ties at k = 2; from k = 3 the extra "
+        "pass saves an exponentially growing factor (ratio (k+2^k-1)/(2k+1))",
+    ]
+    result.passed = all_ok
+    return result

@@ -1,0 +1,59 @@
+"""Experiment registry: id -> runner.
+
+The CLI, the benchmarks, and the integration tests all resolve experiments
+through this table, so there is exactly one definition of each sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.experiments.base import ExperimentResult
+from repro.experiments import (
+    e01_regular_linear,
+    e02_message_graph,
+    e03_multipass_compile,
+    e04_info_states,
+    e05_token_line,
+    e06_bidi_to_unidi,
+    e07_wcw_quadratic,
+    e08_counters_nlogn,
+    e09_hierarchy,
+    e10_known_n,
+    e11_passes_tradeoff,
+    e12_tm_bridge,
+)
+
+Runner = Callable[[bool], ExperimentResult]
+
+ALL_EXPERIMENTS: dict[str, Runner] = {
+    "E1": e01_regular_linear.run,
+    "E2": e02_message_graph.run,
+    "E3": e03_multipass_compile.run,
+    "E4": e04_info_states.run,
+    "E5": e05_token_line.run,
+    "E6": e06_bidi_to_unidi.run,
+    "E7": e07_wcw_quadratic.run,
+    "E8": e08_counters_nlogn.run,
+    "E9": e09_hierarchy.run,
+    "E10": e10_known_n.run,
+    "E11": e11_passes_tradeoff.run,
+    "E12": e12_tm_bridge.run,
+}
+
+
+def get_experiment(exp_id: str) -> Runner:
+    """Resolve an experiment id (case-insensitive, 'e7'/'E7' both work)."""
+    key = exp_id.upper()
+    if key not in ALL_EXPERIMENTS:
+        raise ReproError(
+            f"unknown experiment {exp_id!r}; choose from "
+            f"{', '.join(ALL_EXPERIMENTS)}"
+        )
+    return ALL_EXPERIMENTS[key]
+
+
+def run_all(quick: bool = False) -> list[ExperimentResult]:
+    """Run every experiment in order."""
+    return [runner(quick) for runner in ALL_EXPERIMENTS.values()]

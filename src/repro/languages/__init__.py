@@ -1,0 +1,58 @@
+"""Language definitions and word samplers.
+
+Every experiment in the paper is parameterized by a language: regular ones
+for the ``O(n)`` upper bounds (Theorems 1, 6), and specific non-regular ones
+for the lower bounds and the §7 hierarchy.  A :class:`Language` couples a
+membership predicate with exact-length positive/negative samplers, which is
+what ring experiments need (the ring has exactly ``n`` processors, so test
+words must have exact lengths).
+"""
+
+from repro.languages.base import Language, FunctionLanguage
+from repro.languages.regular import (
+    RegularLanguage,
+    length_mod_language,
+    mod_count_language,
+    parity_language,
+    regex_language,
+    substring_language,
+    tradeoff_language,
+    TradeoffLanguage,
+)
+from repro.languages.nonregular import (
+    AnBn,
+    AnBnCn,
+    DyckLanguage,
+    CopyLanguage,
+    EqualCounts,
+    MarkedPalindrome,
+    MajorityLanguage,
+    PrimeLength,
+    SquareLanguage,
+)
+from repro.languages.hierarchy import GrowthFunction, PeriodicLanguage, STANDARD_GROWTHS
+
+__all__ = [
+    "Language",
+    "FunctionLanguage",
+    "RegularLanguage",
+    "regex_language",
+    "parity_language",
+    "mod_count_language",
+    "substring_language",
+    "length_mod_language",
+    "tradeoff_language",
+    "TradeoffLanguage",
+    "AnBn",
+    "AnBnCn",
+    "DyckLanguage",
+    "CopyLanguage",
+    "MarkedPalindrome",
+    "EqualCounts",
+    "MajorityLanguage",
+    "PrimeLength",
+    "SquareLanguage",
+    "GrowthFunction",
+    "PeriodicLanguage",
+    "STANDARD_GROWTHS",
+]

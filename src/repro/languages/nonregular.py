@@ -1,0 +1,340 @@
+"""Non-regular languages from the paper's lower-bound sections.
+
+* :class:`AnBn` — the classic ``{a^k b^k}``; simplest ``Omega(n log n)`` case.
+* :class:`AnBnCn` — ``{0^k 1^k 2^k}``, the paper's §7(2) context-sensitive
+  example recognizable in ``O(n log n)`` bits with three counters.
+* :class:`CopyLanguage` — ``{w c w}``, the §7(1) language requiring
+  ``Theta(n^2)`` bits.
+* :class:`MarkedPalindrome` — ``{w c w^R}``, the linear-grammar variant.
+* :class:`DyckLanguage` — balanced brackets; the *context-free* companion
+  on the ``Theta(n log n)`` shelf (see
+  :class:`repro.core.counters.DyckRecognizer`).
+* :class:`EqualCounts`, :class:`MajorityLanguage`, :class:`SquareLanguage`,
+  :class:`PrimeLength` — further non-regular languages for tests and the
+  §7(4) known-``n`` experiment (prime length is decidable with zero
+  communication once ``n`` is known, yet non-regular).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.languages.base import Language
+
+__all__ = [
+    "AnBn",
+    "AnBnCn",
+    "DyckLanguage",
+    "CopyLanguage",
+    "MarkedPalindrome",
+    "EqualCounts",
+    "MajorityLanguage",
+    "SquareLanguage",
+    "PrimeLength",
+    "is_prime",
+]
+
+
+class AnBn(Language):
+    """``{a^k b^k : k >= 0}``."""
+
+    def __init__(self) -> None:
+        super().__init__("a^k b^k", "ab")
+
+    def contains(self, word: str) -> bool:
+        half = len(word) // 2
+        return (
+            len(word) % 2 == 0
+            and word[:half] == "a" * half
+            and word[half:] == "b" * half
+        )
+
+    def sample_member(self, length: int, rng: random.Random) -> str | None:
+        if length % 2:
+            return None
+        half = length // 2
+        return "a" * half + "b" * half
+
+    def sample_non_member(self, length: int, rng: random.Random) -> str | None:
+        if length == 0:
+            return None
+        word = self.random_word(length, rng)
+        if self.contains(word):
+            word = "b" + word[1:]  # a member never starts with b at length>0
+        return word
+
+
+class AnBnCn(Language):
+    """``{0^k 1^k 2^k : k >= 0}`` — context-sensitive, not context-free."""
+
+    def __init__(self) -> None:
+        super().__init__("0^k 1^k 2^k", "012")
+
+    def contains(self, word: str) -> bool:
+        third = len(word) // 3
+        return (
+            len(word) % 3 == 0
+            and word == "0" * third + "1" * third + "2" * third
+        )
+
+    def sample_member(self, length: int, rng: random.Random) -> str | None:
+        if length % 3:
+            return None
+        third = length // 3
+        return "0" * third + "1" * third + "2" * third
+
+    def sample_non_member(self, length: int, rng: random.Random) -> str | None:
+        if length == 0:
+            return None
+        word = self.random_word(length, rng)
+        if self.contains(word):
+            word = "2" + word[1:]
+        return word
+
+
+class CopyLanguage(Language):
+    """``{w c w : w in {a,b}*}`` — the §7(1) ``Theta(n^2)`` language.
+
+    Members have odd length ``2m + 1`` with the marker exactly in the middle
+    and the two halves equal letter-for-letter.
+    """
+
+    def __init__(self) -> None:
+        super().__init__("w c w", "abc")
+
+    def contains(self, word: str) -> bool:
+        if len(word) % 2 == 0:
+            return False
+        half = len(word) // 2
+        left, marker, right = word[:half], word[half], word[half + 1 :]
+        if marker != "c" or "c" in left or "c" in right:
+            return False
+        return left == right
+
+    def sample_member(self, length: int, rng: random.Random) -> str | None:
+        if length % 2 == 0:
+            return None
+        half = length // 2
+        w = "".join(rng.choice("ab") for _ in range(half))
+        return w + "c" + w
+
+    def sample_non_member(self, length: int, rng: random.Random) -> str | None:
+        if length == 0:
+            return None
+        member = self.sample_member(length, rng)
+        if member is None:  # even length: everything is a non-member
+            return self.random_word(length, rng)
+        if length == 1:
+            return "a"  # "c" alone is the only member of length 1
+        half = length // 2
+        flip = rng.randrange(half)
+        flipped = "a" if member[flip] == "b" else "b"
+        return member[:flip] + flipped + member[flip + 1 :]
+
+
+class MarkedPalindrome(Language):
+    """``{w c w^R : w in {a,b}*}`` — the linear-grammar cousin of wcw."""
+
+    def __init__(self) -> None:
+        super().__init__("w c w^R", "abc")
+
+    def contains(self, word: str) -> bool:
+        if len(word) % 2 == 0:
+            return False
+        half = len(word) // 2
+        left, marker, right = word[:half], word[half], word[half + 1 :]
+        if marker != "c" or "c" in left or "c" in right:
+            return False
+        return left == right[::-1]
+
+    def sample_member(self, length: int, rng: random.Random) -> str | None:
+        if length % 2 == 0:
+            return None
+        half = length // 2
+        w = "".join(rng.choice("ab") for _ in range(half))
+        return w + "c" + w[::-1]
+
+    def sample_non_member(self, length: int, rng: random.Random) -> str | None:
+        if length == 0:
+            return None
+        member = self.sample_member(length, rng)
+        if member is None:
+            return self.random_word(length, rng)
+        if length == 1:
+            return "b"
+        half = length // 2
+        flip = rng.randrange(half)
+        flipped = "a" if member[flip] == "b" else "b"
+        return member[:flip] + flipped + member[flip + 1 :]
+
+
+class EqualCounts(Language):
+    """``{w in {a,b}* : #a(w) = #b(w)}``."""
+
+    def __init__(self) -> None:
+        super().__init__("#a == #b", "ab")
+
+    def contains(self, word: str) -> bool:
+        return word.count("a") == word.count("b")
+
+    def sample_member(self, length: int, rng: random.Random) -> str | None:
+        if length % 2:
+            return None
+        letters = ["a"] * (length // 2) + ["b"] * (length // 2)
+        rng.shuffle(letters)
+        return "".join(letters)
+
+    def sample_non_member(self, length: int, rng: random.Random) -> str | None:
+        if length == 0:
+            return None
+        count_a = rng.choice(
+            [c for c in range(length + 1) if 2 * c != length]
+        )
+        letters = ["a"] * count_a + ["b"] * (length - count_a)
+        rng.shuffle(letters)
+        return "".join(letters)
+
+
+class MajorityLanguage(Language):
+    """``{w in {a,b}* : #a(w) > #b(w)}``."""
+
+    def __init__(self) -> None:
+        super().__init__("#a > #b", "ab")
+
+    def contains(self, word: str) -> bool:
+        return word.count("a") > word.count("b")
+
+    def sample_member(self, length: int, rng: random.Random) -> str | None:
+        if length == 0:
+            return None
+        count_a = rng.randrange(length // 2 + 1, length + 1)
+        letters = ["a"] * count_a + ["b"] * (length - count_a)
+        rng.shuffle(letters)
+        return "".join(letters)
+
+    def sample_non_member(self, length: int, rng: random.Random) -> str | None:
+        count_a = rng.randrange(0, length // 2 + 1)
+        letters = ["a"] * count_a + ["b"] * (length - count_a)
+        rng.shuffle(letters)
+        return "".join(letters)
+
+
+class SquareLanguage(Language):
+    """``{w w : w in {a,b}*}`` — copy without a marker."""
+
+    def __init__(self) -> None:
+        super().__init__("w w", "ab")
+
+    def contains(self, word: str) -> bool:
+        if len(word) % 2:
+            return False
+        half = len(word) // 2
+        return word[:half] == word[half:]
+
+    def sample_member(self, length: int, rng: random.Random) -> str | None:
+        if length % 2:
+            return None
+        w = "".join(rng.choice("ab") for _ in range(length // 2))
+        return w + w
+
+    def sample_non_member(self, length: int, rng: random.Random) -> str | None:
+        if length < 2:
+            return "a" if length == 1 else None
+        member = self.sample_member(length, rng)
+        if member is None:
+            return self.random_word(length, rng)
+        flip = rng.randrange(length // 2)
+        flipped = "a" if member[flip] == "b" else "b"
+        return member[:flip] + flipped + member[flip + 1 :]
+
+
+class DyckLanguage(Language):
+    """Balanced bracket words over ``(`` and ``)`` — context-free,
+    non-regular.
+
+    Together with §7(2)'s ``0^k 1^k 2^k`` it rounds out the paper's
+    Chomsky-inversion picture: this *context-free* language sits at
+    ``Theta(n log n)`` bits (height counter, see
+    :class:`repro.core.counters.DyckRecognizer`), below §7(1)'s *linear*
+    language at ``Theta(n^2)``.
+    """
+
+    def __init__(self) -> None:
+        super().__init__("dyck", "()")
+
+    def contains(self, word: str) -> bool:
+        height = 0
+        for letter in word:
+            height += 1 if letter == "(" else -1
+            if height < 0:
+                return False
+        return height == 0
+
+    def sample_member(self, length: int, rng: random.Random) -> str | None:
+        if length % 2:
+            return None
+        # Uniform-ish balanced word: random walk conditioned to stay >= 0
+        # and end at 0 (choose steps by remaining budget).
+        letters = []
+        height = 0
+        for remaining in range(length, 0, -1):
+            can_open = height + 1 <= remaining - 1
+            can_close = height > 0
+            if can_open and (not can_close or rng.random() < 0.5):
+                letters.append("(")
+                height += 1
+            else:
+                letters.append(")")
+                height -= 1
+        return "".join(letters)
+
+    def sample_non_member(self, length: int, rng: random.Random) -> str | None:
+        if length == 0:
+            return None
+        word = self.random_word(length, rng)
+        if self.contains(word):
+            word = ")" + word[1:]  # a member never starts with ')'
+        return word
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic primality for the sizes used here (trial division)."""
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    divisor = 3
+    while divisor * divisor <= n:
+        if n % divisor == 0:
+            return False
+        divisor += 2
+    return True
+
+
+class PrimeLength(Language):
+    """``{w : |w| is prime}`` over a unary-ish alphabet.
+
+    Non-regular (prime gaps are unbounded, so lengths are not ultimately
+    periodic), yet §7(4)-style: once ``n`` is known to the leader, membership
+    is a purely local computation, witnessing a non-regular language whose
+    known-``n`` bit complexity is ``O(n)`` (one confirmation pass).
+    """
+
+    def __init__(self, alphabet: str = "ab") -> None:
+        super().__init__("prime-length", alphabet)
+
+    def contains(self, word: str) -> bool:
+        return is_prime(len(word))
+
+    def sample_member(self, length: int, rng: random.Random) -> str | None:
+        if not is_prime(length):
+            return None
+        return self.random_word(length, rng)
+
+    def sample_non_member(self, length: int, rng: random.Random) -> str | None:
+        if is_prime(length):
+            return None
+        return self.random_word(length, rng)
+

@@ -1,0 +1,61 @@
+"""Asynchronous ring simulation with exact bit accounting.
+
+This subpackage is the paper's execution model made executable:
+
+* :mod:`repro.ring.messages` — messages are explicit bit strings with a
+  travel direction.
+* :mod:`repro.ring.processor` — the message-driven processor API.  All
+  processors except the leader run the same code (the paper's uniformity
+  assumption); only the leader may decide.
+* :mod:`repro.ring.unidirectional` — the unidirectional ring, whose
+  execution is unique (paper §2) and decomposes into passes.
+* :mod:`repro.ring.bidirectional` — the bidirectional ring with pluggable
+  schedulers covering the asynchronous adversary.
+* :mod:`repro.ring.trace` — execution traces: ordered message events,
+  per-link totals, per-processor *information states* (paper §4).
+* :mod:`repro.ring.token` — token-algorithm checks and the chaotic→token
+  serialization used by Theorem 5.
+* :mod:`repro.ring.line` — the Theorem 5 ring→line execution transformation
+  and a line-network simulator for the Theorem 7 compiler.
+"""
+
+from repro.ring.messages import Direction, Send
+from repro.ring.processor import LeaderMixin, Processor, RingAlgorithm
+from repro.ring.trace import ExecutionTrace, InformationState, MessageEvent
+from repro.ring.unidirectional import UnidirectionalRing, run_unidirectional
+from repro.ring.bidirectional import BidirectionalRing, run_bidirectional
+from repro.ring.schedulers import (
+    AdversarialScheduler,
+    FifoScheduler,
+    LifoScheduler,
+    RandomScheduler,
+    Scheduler,
+)
+from repro.ring.token import TokenTrace, is_token_trace, serialize_to_token
+from repro.ring.line import LineNetwork, LineTransformResult, ring_to_line
+
+__all__ = [
+    "Direction",
+    "Send",
+    "Processor",
+    "LeaderMixin",
+    "RingAlgorithm",
+    "MessageEvent",
+    "InformationState",
+    "ExecutionTrace",
+    "UnidirectionalRing",
+    "run_unidirectional",
+    "BidirectionalRing",
+    "run_bidirectional",
+    "Scheduler",
+    "FifoScheduler",
+    "LifoScheduler",
+    "RandomScheduler",
+    "AdversarialScheduler",
+    "TokenTrace",
+    "is_token_trace",
+    "serialize_to_token",
+    "LineNetwork",
+    "LineTransformResult",
+    "ring_to_line",
+]

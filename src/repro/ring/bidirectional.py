@@ -1,0 +1,137 @@
+"""The bidirectional ring simulator.
+
+Both ports of every processor are live: sends may go CW or CCW, links are
+FIFO per direction, and the interleaving of deliveries across links is
+chosen by a :class:`~repro.ring.schedulers.Scheduler` (the asynchronous
+adversary).  Everything else matches the unidirectional simulator: the
+leader ``p_0`` initiates, the run ends at quiescence, and the leader must
+have decided.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.bits import Bits
+from repro.errors import ProtocolError, RingError
+from repro.ring.messages import Direction, Send
+from repro.ring.processor import Processor, RingAlgorithm
+from repro.ring.schedulers import FifoScheduler, Scheduler
+from repro.ring.trace import ExecutionTrace, MessageEvent
+
+__all__ = ["BidirectionalRing", "run_bidirectional"]
+
+_DEFAULT_MESSAGE_CAP = 2_000_000
+
+
+class BidirectionalRing:
+    """A bidirectional ring of ``len(word)`` processors.
+
+    ``word[i]`` labels ``p_i``; ``p_0`` is the leader.  ``scheduler``
+    resolves asynchrony (default: global-FIFO).
+    """
+
+    def __init__(
+        self,
+        algorithm: RingAlgorithm,
+        word: str,
+        scheduler: Scheduler | None = None,
+    ) -> None:
+        if not word:
+            raise RingError("a ring needs at least one processor")
+        algorithm.validate_word(word)
+        self.algorithm = algorithm
+        self.word = word
+        self.scheduler = scheduler if scheduler is not None else FifoScheduler()
+        self.processors: list[Processor] = [
+            algorithm.create_processor_positioned(
+                letter, is_leader=(index == 0), index=index, size=len(word)
+            )
+            for index, letter in enumerate(word)
+        ]
+
+    def run(self, max_messages: int = _DEFAULT_MESSAGE_CAP) -> ExecutionTrace:
+        """Execute to quiescence under the scheduler; return the trace."""
+        n = len(self.word)
+        trace = ExecutionTrace(
+            word=self.word,
+            leader=0,
+            local_logs=[[] for _ in range(n)],
+        )
+        # One FIFO queue per (sender, direction); values carry the global
+        # enqueue stamp so schedulers can see age order.
+        queues: dict[tuple[int, Direction], deque[tuple[int, Bits]]] = {}
+        stamp = 0
+        in_flight = 0
+
+        def enqueue(sender: int, sends) -> None:
+            nonlocal stamp, in_flight
+            for send in sends:
+                if not isinstance(send, Send):
+                    raise ProtocolError(f"handlers must yield Send, got {send!r}")
+                bits = Bits(send.bits)
+                trace.local_logs[sender].append(("sent", send.direction, bits))
+                key = (sender, send.direction)
+                queues.setdefault(key, deque()).append((stamp, bits))
+                stamp += 1
+                in_flight += 1
+                trace.max_in_flight = max(trace.max_in_flight, in_flight)
+
+        enqueue(0, self.processors[0].on_start())
+
+        while True:
+            candidates = sorted(
+                (queue[0][0], key)
+                for key, queue in queues.items()
+                if queue
+            )
+            if not candidates:
+                break
+            if len(trace.events) >= max_messages:
+                raise RingError(
+                    f"exceeded {max_messages} messages on n={n}; "
+                    "algorithm appears to diverge"
+                )
+            chosen = self.scheduler.choose([key for _, key in candidates])
+            if not 0 <= chosen < len(candidates):
+                raise RingError(
+                    f"scheduler chose index {chosen} out of "
+                    f"{len(candidates)} candidates"
+                )
+            _, (sender, direction) = candidates[chosen]
+            _, bits = queues[(sender, direction)].popleft()
+            in_flight -= 1
+            receiver = direction.step(sender, n)
+            trace.events.append(
+                MessageEvent(
+                    index=len(trace.events),
+                    sender=sender,
+                    receiver=receiver,
+                    direction=direction,
+                    bits=bits,
+                )
+            )
+            arrived_from = direction.opposite()
+            trace.local_logs[receiver].append(("received", arrived_from, bits))
+            responses = self.processors[receiver].on_receive(bits, arrived_from)
+            enqueue(receiver, responses)
+
+        trace.decision = self.processors[0].decision
+        if trace.decision is None:
+            raise ProtocolError(
+                f"execution of {self.algorithm.name!r} on {self.word!r} "
+                "quiesced without a leader decision"
+            )
+        return trace
+
+
+def run_bidirectional(
+    algorithm: RingAlgorithm,
+    word: str,
+    scheduler: Scheduler | None = None,
+    max_messages: int = _DEFAULT_MESSAGE_CAP,
+) -> ExecutionTrace:
+    """Convenience wrapper: build the bidirectional ring and run it."""
+    return BidirectionalRing(algorithm, word, scheduler).run(
+        max_messages=max_messages
+    )

@@ -1,0 +1,305 @@
+"""The Theorem 5 ring-to-line execution transformation, and a line network.
+
+Theorem 5 maps every token execution on a ring to an execution on a *line*
+of the same processors while preserving the order of the bit complexity:
+
+1. prefix a 0 bit to every message (marks "original"; at most doubles bits);
+2. find the link ``l`` carrying the fewest bits;
+3. replace every message on ``l`` by ``n - 1`` messages with a leading 1
+   bit traveling the *other way around* the ring to the same destination.
+
+Because ``l`` carries at most ``beta / n`` of the ``beta`` total bits, step 3
+at most doubles the total again, so the whole transformation multiplies the
+bit complexity by at most 4.  The inverse transformation (strip headers,
+collapse rerouted chains back onto ``l``) restores the original execution,
+which is what the proof's "no processor can tell the difference" step needs.
+
+:class:`LineNetwork` is an actual simulator for processors arranged on a
+line (used by the Theorem 7 stage-1 compiler), with the same processor API
+as the ring simulators; sends off either end are protocol errors.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.bits import Bits
+from repro.errors import ProtocolError, RingError
+from repro.ring.messages import Direction, Send
+from repro.ring.processor import Processor, RingAlgorithm
+from repro.ring.schedulers import FifoScheduler, Scheduler
+from repro.ring.trace import ExecutionTrace, MessageEvent
+
+__all__ = ["LineTransformResult", "ring_to_line", "restore_from_line", "LineNetwork"]
+
+
+@dataclass
+class LineTransformResult:
+    """Outcome of the Theorem 5 transformation.
+
+    ``events`` live on the line: processor ``0`` is the old ``p_{l+1}`` and
+    processor ``n-1`` the old ``p_l`` (the cut link's endpoints are the two
+    line ends).  ``new_index[i]`` maps old ring indices to line positions.
+    """
+
+    original: ExecutionTrace
+    cut_link: int
+    new_index: list[int]
+    events: list[MessageEvent] = field(default_factory=list)
+
+    @property
+    def total_bits(self) -> int:
+        """Bit complexity of the transformed (line) execution."""
+        return sum(event.size for event in self.events)
+
+    @property
+    def ratio(self) -> float:
+        """Transformed bits / original bits (Theorem 5 proves <= 4)."""
+        original = self.original.total_bits
+        if original == 0:
+            return 1.0
+        return self.total_bits / original
+
+    def rerouted_messages(self) -> int:
+        """How many original messages crossed the cut link."""
+        return sum(
+            1
+            for event in self.original.events
+            if event.link(self.original.ring_size) == self.cut_link
+        )
+
+
+def ring_to_line(
+    trace: ExecutionTrace, cut: int | None = None
+) -> LineTransformResult:
+    """Apply the Theorem 5 transformation to a (token) ring execution.
+
+    ``cut`` overrides the cut-link choice (default: the minimum-bits link
+    the proof prescribes).  Overriding exists for the ablation benchmark,
+    which shows the <= 4x bound genuinely depends on cutting the lightest
+    link.
+    """
+    n = trace.ring_size
+    if n < 2:
+        raise RingError("the line transformation needs a ring of size >= 2")
+
+    # Step 1 is accounted implicitly: every surviving message below gets a
+    # leading 0, every rerouted hop a leading 1.
+    tagged_totals = {link: 0 for link in range(n)}
+    for event in trace.events:
+        tagged_totals[event.link(n)] += event.size + 1
+    if cut is None:
+        cut = min(tagged_totals, key=lambda link: (tagged_totals[link], link))
+    elif not 0 <= cut < n:
+        raise RingError(f"cut link {cut} outside ring of {n}")
+
+    # Renumber: old (cut+1) becomes line position 0, ..., old cut becomes n-1.
+    new_index = [(i - (cut + 1)) % n for i in range(n)]
+
+    result = LineTransformResult(
+        original=trace, cut_link=cut, new_index=new_index
+    )
+    for event in trace.events:
+        if event.link(n) != cut:
+            sender = new_index[event.sender]
+            receiver = new_index[event.receiver]
+            direction = Direction.CW if receiver == sender + 1 else Direction.CCW
+            result.events.append(
+                MessageEvent(
+                    index=len(result.events),
+                    sender=sender,
+                    receiver=receiver,
+                    direction=direction,
+                    bits=Bits("0") + event.bits,
+                )
+            )
+            continue
+        # Rerouted: travel the other way around, i.e. along the whole line.
+        # Old cut-link message goes between old p_cut (line n-1) and old
+        # p_{cut+1} (line 0); the reroute visits every line processor.
+        start = new_index[event.sender]
+        goal = new_index[event.receiver]
+        step = 1 if goal > start else -1
+        direction = Direction.CW if step == 1 else Direction.CCW
+        position = start
+        while position != goal:
+            result.events.append(
+                MessageEvent(
+                    index=len(result.events),
+                    sender=position,
+                    receiver=position + step,
+                    direction=direction,
+                    bits=Bits("1") + event.bits,
+                )
+            )
+            position += step
+    return result
+
+
+def restore_from_line(result: LineTransformResult) -> list[MessageEvent]:
+    """Invert the transformation (the proof's final step).
+
+    Strips the leading marker bits and collapses each rerouted chain back
+    into a single message on the cut link, returning events equal (word for
+    word) to the original execution's.
+    """
+    n = result.original.ring_size
+    old_index = [0] * n
+    for old, new in enumerate(result.new_index):
+        old_index[new] = old
+    restored: list[MessageEvent] = []
+    chain_remaining = 0
+    chain_payload: Bits | None = None
+    chain_endpoints: tuple[int, int] | None = None
+    for event in result.events:
+        marker, payload = event.bits[0], event.bits[1:]
+        if marker == 0:
+            restored.append(
+                MessageEvent(
+                    index=len(restored),
+                    sender=old_index[event.sender],
+                    receiver=old_index[event.receiver],
+                    direction=event.direction,
+                    bits=payload,
+                )
+            )
+            continue
+        if chain_remaining == 0:
+            # First hop of a rerouted chain: the chain has n-1 hops total.
+            chain_remaining = n - 1
+            chain_payload = payload
+            origin = old_index[event.sender]
+            # Destination is the cut-link neighbor of the origin.
+            goal = (
+                (origin + 1) % n
+                if (origin % n) == result.cut_link
+                else (origin - 1) % n
+            )
+            chain_endpoints = (origin, goal)
+        if payload != chain_payload:
+            raise RingError("rerouted chain carried inconsistent payloads")
+        chain_remaining -= 1
+        if chain_remaining == 0:
+            assert chain_endpoints is not None and chain_payload is not None
+            sender, receiver = chain_endpoints
+            direction = (
+                Direction.CW if (receiver - sender) % n == 1 else Direction.CCW
+            )
+            restored.append(
+                MessageEvent(
+                    index=len(restored),
+                    sender=sender,
+                    receiver=receiver,
+                    direction=direction,
+                    bits=chain_payload,
+                )
+            )
+            chain_payload = None
+            chain_endpoints = None
+    if chain_remaining:
+        raise RingError("transformation ended mid-chain")
+    return restored
+
+
+class LineNetwork:
+    """Simulator for processors on a line (Theorem 7 stage 1 substrate).
+
+    ``word[i]`` labels line position ``i``; the leader sits at ``leader``
+    (default 0).  CW means "toward higher index"; sending CW from the last
+    node or CCW from node 0 raises :class:`ProtocolError`.
+    """
+
+    def __init__(
+        self,
+        algorithm: RingAlgorithm,
+        word: str,
+        leader: int = 0,
+        scheduler: Scheduler | None = None,
+    ) -> None:
+        if not word:
+            raise RingError("a line needs at least one processor")
+        algorithm.validate_word(word)
+        self.algorithm = algorithm
+        self.word = word
+        self.leader = leader
+        self.scheduler = scheduler if scheduler is not None else FifoScheduler()
+        self.processors: list[Processor] = [
+            algorithm.create_processor_positioned(
+                letter, is_leader=(index == leader), index=index, size=len(word)
+            )
+            for index, letter in enumerate(word)
+        ]
+
+    def run(self, max_messages: int = 2_000_000) -> ExecutionTrace:
+        """Execute to quiescence; require a leader decision."""
+        n = len(self.word)
+        trace = ExecutionTrace(
+            word=self.word,
+            leader=self.leader,
+            local_logs=[[] for _ in range(n)],
+        )
+        queues: dict[tuple[int, Direction], deque[tuple[int, Bits]]] = {}
+        stamp = 0
+        in_flight = 0
+
+        def neighbor(index: int, direction: Direction) -> int:
+            target = index + (1 if direction is Direction.CW else -1)
+            if not 0 <= target < n:
+                raise ProtocolError(
+                    f"p_{index} sent {direction} off the end of the line"
+                )
+            return target
+
+        def enqueue(sender: int, sends) -> None:
+            nonlocal stamp, in_flight
+            for send in sends:
+                if not isinstance(send, Send):
+                    raise ProtocolError(f"handlers must yield Send, got {send!r}")
+                neighbor(sender, send.direction)  # validate now
+                bits = Bits(send.bits)
+                trace.local_logs[sender].append(("sent", send.direction, bits))
+                queues.setdefault((sender, send.direction), deque()).append(
+                    (stamp, bits)
+                )
+                stamp += 1
+                in_flight += 1
+                trace.max_in_flight = max(trace.max_in_flight, in_flight)
+
+        enqueue(self.leader, self.processors[self.leader].on_start())
+
+        while True:
+            candidates = sorted(
+                (queue[0][0], key) for key, queue in queues.items() if queue
+            )
+            if not candidates:
+                break
+            if len(trace.events) >= max_messages:
+                raise RingError(
+                    f"exceeded {max_messages} messages on a line of {n}"
+                )
+            chosen = self.scheduler.choose([key for _, key in candidates])
+            _, (sender, direction) = candidates[chosen]
+            _, bits = queues[(sender, direction)].popleft()
+            in_flight -= 1
+            receiver = neighbor(sender, direction)
+            trace.events.append(
+                MessageEvent(
+                    index=len(trace.events),
+                    sender=sender,
+                    receiver=receiver,
+                    direction=direction,
+                    bits=bits,
+                )
+            )
+            arrived_from = direction.opposite()
+            trace.local_logs[receiver].append(("received", arrived_from, bits))
+            enqueue(receiver, self.processors[receiver].on_receive(bits, arrived_from))
+
+        trace.decision = self.processors[self.leader].decision
+        if trace.decision is None:
+            raise ProtocolError(
+                f"line execution of {self.algorithm.name!r} on {self.word!r} "
+                "quiesced without a leader decision"
+            )
+        return trace

@@ -1,0 +1,57 @@
+"""Message primitives: travel directions and send requests.
+
+Processors are arranged ``p_0 .. p_{n-1}`` with ``p_0`` the leader
+(the paper's ``p_1``).  Direction is from the sender's point of view:
+
+* ``CW`` ("clockwise") sends to the *next* processor ``p_{i+1 mod n}`` —
+  the only legal direction in the unidirectional model;
+* ``CCW`` sends to the *previous* processor ``p_{i-1 mod n}``.
+
+A message that travels CW therefore *arrives from* the CCW port of its
+receiver, and vice versa; :func:`Direction.opposite` converts.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+from repro.bits import Bits
+
+__all__ = ["Direction", "Send"]
+
+
+class Direction(enum.Enum):
+    """Travel direction of a message around the ring."""
+
+    CW = "cw"
+    CCW = "ccw"
+
+    def opposite(self) -> "Direction":
+        """The reverse direction (CW <-> CCW)."""
+        return Direction.CCW if self is Direction.CW else Direction.CW
+
+    def step(self, index: int, size: int) -> int:
+        """Index of the neighbor reached by one hop in this direction."""
+        offset = 1 if self is Direction.CW else -1
+        return (index + offset) % size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Direction.{self.name}"
+
+
+class Send(NamedTuple):
+    """A processor's request to transmit ``bits`` out of its ``direction`` port."""
+
+    direction: Direction
+    bits: Bits
+
+    @classmethod
+    def cw(cls, bits: Bits) -> "Send":
+        """Send to the next processor (the unidirectional direction)."""
+        return cls(Direction.CW, bits)
+
+    @classmethod
+    def ccw(cls, bits: Bits) -> "Send":
+        """Send to the previous processor."""
+        return cls(Direction.CCW, bits)

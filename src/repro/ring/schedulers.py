@@ -1,0 +1,80 @@
+"""Delivery schedulers for the bidirectional (asynchronous) ring.
+
+The paper's model is asynchronous: message transmission takes finite but
+arbitrary time, so the adversary chooses the interleaving.  A
+:class:`Scheduler` picks which pending delivery happens next; sweeping
+schedulers lets experiments check that bit complexity and decisions are
+interleaving-independent for the deterministic algorithms studied here
+(and lets the Theorem 5 token machinery exhibit worst cases).
+
+Per-link FIFO is enforced by the simulator itself — schedulers only choose
+*among links* (each link-direction queue exposes only its head).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+__all__ = [
+    "Scheduler",
+    "FifoScheduler",
+    "LifoScheduler",
+    "RandomScheduler",
+    "AdversarialScheduler",
+]
+
+
+class Scheduler(ABC):
+    """Strategy choosing the next delivery among candidate queue heads.
+
+    ``candidates`` is a non-empty sequence of opaque keys, one per
+    link-direction with pending traffic, ordered by the enqueue time of the
+    head message (oldest first).  Return the index of the chosen candidate.
+    """
+
+    @abstractmethod
+    def choose(self, candidates: Sequence[object]) -> int:
+        """Index into ``candidates`` of the delivery to perform next."""
+
+
+class FifoScheduler(Scheduler):
+    """Deliver the globally oldest message first (synchronous-like order)."""
+
+    def choose(self, candidates: Sequence[object]) -> int:
+        return 0
+
+
+class LifoScheduler(Scheduler):
+    """Deliver the most recently sent available message first."""
+
+    def choose(self, candidates: Sequence[object]) -> int:
+        return len(candidates) - 1
+
+
+class RandomScheduler(Scheduler):
+    """Deliver a uniformly random available message (seeded)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def choose(self, candidates: Sequence[object]) -> int:
+        return self._rng.randrange(len(candidates))
+
+
+class AdversarialScheduler(Scheduler):
+    """A simple adaptive adversary: rotate through candidates.
+
+    Cycling the choice point across steps exercises interleavings that
+    neither FIFO nor LIFO produce (e.g. alternating progress between the
+    two directions of a bidirectional algorithm).
+    """
+
+    def __init__(self, stride: int = 1) -> None:
+        self._counter = 0
+        self._stride = stride
+
+    def choose(self, candidates: Sequence[object]) -> int:
+        self._counter += self._stride
+        return self._counter % len(candidates)

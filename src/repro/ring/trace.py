@@ -1,0 +1,218 @@
+"""Execution traces, bit accounting, and information states.
+
+An execution (paper §2) is the sequence of messages sent; its bit
+complexity is the sum of message lengths.  :class:`ExecutionTrace` records
+the delivered messages in order together with enough structure to compute
+everything the paper's proofs look at:
+
+* per-link bit totals (the Theorem 5 transformation cuts the min-bit link);
+* the pass decomposition of unidirectional executions (``pass_A(w)``);
+* the **information state** of each processor — its initial letter plus the
+  chronological sequence of messages it sent or received, with directions
+  (paper §4).  Theorem 4/5's counting argument is about how many *distinct*
+  information states an execution must produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Literal
+
+from repro.bits import Bits
+from repro.errors import RingError
+from repro.ring.messages import Direction
+
+__all__ = ["MessageEvent", "InformationState", "ExecutionTrace"]
+
+EventKind = Literal["sent", "received"]
+
+
+@dataclass(frozen=True)
+class MessageEvent:
+    """One delivered message.
+
+    ``index`` is the global delivery order (0-based).  ``sender`` and
+    ``receiver`` are node indices; ``direction`` is the travel direction
+    (CW means receiver = sender+1 mod n).
+    """
+
+    index: int
+    sender: int
+    receiver: int
+    direction: Direction
+    bits: Bits
+
+    @property
+    def size(self) -> int:
+        """Message length in bits."""
+        return len(self.bits)
+
+    def link(self, ring_size: int) -> int:
+        """Undirected link id: ``i`` for the link between ``p_i`` and
+        ``p_{i+1 mod n}``."""
+        if self.direction is Direction.CW:
+            return self.sender
+        return self.receiver
+
+
+@dataclass(frozen=True)
+class InformationState:
+    """A processor's knowledge after an execution (paper §4).
+
+    ``letter`` is its input; ``events`` the chronological tuple of
+    ``(kind, direction, bits)`` entries where kind is ``"sent"`` or
+    ``"received"`` and direction is the port used.
+    """
+
+    letter: str
+    events: tuple[tuple[EventKind, Direction, Bits], ...]
+
+    @property
+    def bit_size(self) -> int:
+        """Total bits across the state's message entries."""
+        return sum(len(bits) for _, _, bits in self.events)
+
+    @property
+    def message_count(self) -> int:
+        """Number of sent/received entries."""
+        return len(self.events)
+
+    def sent(self, direction: Direction | None = None) -> tuple[Bits, ...]:
+        """Messages this processor sent (optionally filtered by port)."""
+        return tuple(
+            bits
+            for kind, port, bits in self.events
+            if kind == "sent" and (direction is None or port is direction)
+        )
+
+    def received(self, direction: Direction | None = None) -> tuple[Bits, ...]:
+        """Messages this processor received (optionally filtered by port)."""
+        return tuple(
+            bits
+            for kind, port, bits in self.events
+            if kind == "received" and (direction is None or port is direction)
+        )
+
+
+@dataclass
+class ExecutionTrace:
+    """Complete record of one ring execution."""
+
+    word: str
+    leader: int
+    events: list[MessageEvent] = field(default_factory=list)
+    decision: bool | None = None
+    max_in_flight: int = 0
+    local_logs: list[list[tuple[EventKind, Direction, Bits]]] = field(
+        default_factory=list
+    )
+
+    @property
+    def ring_size(self) -> int:
+        """Number of processors (= pattern length)."""
+        return len(self.word)
+
+    # ------------------------------------------------------------------
+    # Bit accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def total_bits(self) -> int:
+        """The execution's bit complexity: sum of all message lengths."""
+        return sum(event.size for event in self.events)
+
+    @property
+    def message_count(self) -> int:
+        """Number of messages sent."""
+        return len(self.events)
+
+    def bits_per_link(self) -> dict[int, int]:
+        """Total bits per undirected link (both directions combined)."""
+        totals = {link: 0 for link in range(self.ring_size)}
+        for event in self.events:
+            totals[event.link(self.ring_size)] += event.size
+        return totals
+
+    def min_bits_link(self) -> int:
+        """The link carrying the fewest bits (Theorem 5's cut link).
+
+        Ties break toward the smallest link id, which keeps the
+        transformation deterministic.
+        """
+        totals = self.bits_per_link()
+        return min(totals, key=lambda link: (totals[link], link))
+
+    def messages_per_processor(self) -> list[int]:
+        """Sent-message count per node — sup over nodes is the paper's pi_A."""
+        counts = [0] * self.ring_size
+        for event in self.events:
+            counts[event.sender] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Pass structure (unidirectional executions)
+    # ------------------------------------------------------------------
+
+    def passes(self) -> list[list[MessageEvent]]:
+        """Chunk the event sequence into passes of ``n`` messages each.
+
+        Matches the paper's ``pass_A(w)`` for unidirectional round-robin
+        algorithms, where each pass starts with a message sent by the
+        leader and visits every node once.
+        """
+        n = self.ring_size
+        if n == 0:
+            return []
+        return [self.events[i : i + n] for i in range(0, len(self.events), n)]
+
+    def pass_count(self) -> int:
+        """Number of (possibly partial) passes."""
+        n = self.ring_size
+        if n == 0:
+            return 0
+        return -(-len(self.events) // n)
+
+    def bits_of_pass(self, index: int) -> int:
+        """Total bits of the ``index``-th pass."""
+        chunks = self.passes()
+        if not 0 <= index < len(chunks):
+            raise RingError(f"no pass {index} in a {len(chunks)}-pass execution")
+        return sum(event.size for event in chunks[index])
+
+    # ------------------------------------------------------------------
+    # Information states
+    # ------------------------------------------------------------------
+
+    def information_state(self, node: int) -> InformationState:
+        """The information state of ``p_node`` at termination."""
+        if not 0 <= node < self.ring_size:
+            raise RingError(f"no processor {node} in a ring of {self.ring_size}")
+        return InformationState(self.word[node], tuple(self.local_logs[node]))
+
+    def information_states(self) -> list[InformationState]:
+        """Information states of all processors, by index."""
+        return [self.information_state(i) for i in range(self.ring_size)]
+
+    def distinct_information_states(self) -> int:
+        """Number of distinct terminal information states."""
+        return len(set(self.information_states()))
+
+    def processors_sharing_state(self) -> dict[InformationState, list[int]]:
+        """Group processor indices by identical information state."""
+        groups: dict[InformationState, list[int]] = {}
+        for index, state in enumerate(self.information_states()):
+            groups.setdefault(state, []).append(index)
+        return groups
+
+    # ------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[MessageEvent]:
+        return iter(self.events)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"n={self.ring_size} messages={self.message_count} "
+            f"bits={self.total_bits} decision={self.decision} "
+            f"passes={self.pass_count()}"
+        )

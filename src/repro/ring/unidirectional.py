@@ -1,0 +1,119 @@
+"""The unidirectional ring simulator.
+
+In the unidirectional model every message travels CW (``p_i -> p_{i+1}``,
+``p_{n-1} -> p_0``) and, because processors are deterministic and message
+handling is atomic, *the execution is unique* (paper §2).  The simulator
+therefore needs no scheduler: deliveries are processed in global FIFO
+order, which is consistent with per-link FIFO and produces the canonical
+execution.
+
+The simulator enforces the model:
+
+* a send in the CCW direction raises :class:`ProtocolError`;
+* an execution that quiesces without a leader decision raises
+  :class:`ProtocolError` (the algorithm must terminate with accept/reject);
+* a configurable message cap guards against diverging algorithms.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.bits import Bits
+from repro.errors import ProtocolError, RingError
+from repro.ring.messages import Direction, Send
+from repro.ring.processor import Processor, RingAlgorithm
+from repro.ring.trace import ExecutionTrace, MessageEvent
+
+__all__ = ["UnidirectionalRing", "run_unidirectional"]
+
+_DEFAULT_MESSAGE_CAP = 2_000_000
+
+
+class UnidirectionalRing:
+    """A ring of ``len(word)`` processors executing ``algorithm``.
+
+    ``word[i]`` is the letter of ``p_i``; ``p_0`` is the leader, so the
+    pattern read CW starting at the leader is exactly ``word``.
+    """
+
+    def __init__(self, algorithm: RingAlgorithm, word: str) -> None:
+        if not word:
+            raise RingError("a ring needs at least one processor")
+        algorithm.validate_word(word)
+        self.algorithm = algorithm
+        self.word = word
+        self.processors: list[Processor] = [
+            algorithm.create_processor_positioned(
+                letter, is_leader=(index == 0), index=index, size=len(word)
+            )
+            for index, letter in enumerate(word)
+        ]
+
+    def run(self, max_messages: int = _DEFAULT_MESSAGE_CAP) -> ExecutionTrace:
+        """Execute to quiescence and return the trace.
+
+        Raises :class:`ProtocolError` on model violations and
+        :class:`RingError` if ``max_messages`` is exceeded (diverging
+        algorithm).
+        """
+        n = len(self.word)
+        trace = ExecutionTrace(
+            word=self.word,
+            leader=0,
+            local_logs=[[] for _ in range(n)],
+        )
+        pending: deque[tuple[int, Bits]] = deque()
+
+        def enqueue(sender: int, sends) -> None:
+            for send in sends:
+                if not isinstance(send, Send):
+                    raise ProtocolError(f"handlers must yield Send, got {send!r}")
+                if send.direction is not Direction.CW:
+                    raise ProtocolError(
+                        "unidirectional algorithms may only send CW "
+                        f"(p_{sender} tried {send.direction})"
+                    )
+                bits = Bits(send.bits)
+                trace.local_logs[sender].append(("sent", Direction.CW, bits))
+                pending.append((sender, bits))
+                trace.max_in_flight = max(trace.max_in_flight, len(pending))
+
+        enqueue(0, self.processors[0].on_start())
+
+        while pending:
+            if len(trace.events) >= max_messages:
+                raise RingError(
+                    f"exceeded {max_messages} messages on n={n}; "
+                    "algorithm appears to diverge"
+                )
+            sender, bits = pending.popleft()
+            receiver = Direction.CW.step(sender, n)
+            trace.events.append(
+                MessageEvent(
+                    index=len(trace.events),
+                    sender=sender,
+                    receiver=receiver,
+                    direction=Direction.CW,
+                    bits=bits,
+                )
+            )
+            # A CW message arrives on the receiver's CCW port.
+            trace.local_logs[receiver].append(("received", Direction.CCW, bits))
+            responses = self.processors[receiver].on_receive(bits, Direction.CCW)
+            enqueue(receiver, responses)
+
+        trace.decision = self.processors[0].decision
+        if trace.decision is None:
+            raise ProtocolError(
+                f"execution of {self.algorithm.name!r} on {self.word!r} "
+                "quiesced without a leader decision"
+            )
+        return trace
+
+
+def run_unidirectional(
+    algorithm: RingAlgorithm, word: str, max_messages: int = _DEFAULT_MESSAGE_CAP
+) -> ExecutionTrace:
+    """Convenience wrapper: build the ring and run it."""
+    return UnidirectionalRing(algorithm, word).run(max_messages=max_messages)

@@ -1,0 +1,31 @@
+"""One-tape Turing machines on a circular marked tape.
+
+The paper's Summary section relates ring bit complexity to one-tape Turing
+machine time: given a TM with time complexity ``t(n)``, there is a ring
+algorithm with ``BIT_A(n) <= t(n) * log |Q|`` (each head move becomes one
+state-carrying message), while the reverse direction is *not*
+straightforward — the paper's closing discussion.  This subpackage makes
+the forward direction executable:
+
+* :class:`~repro.tm.machine.TuringMachine` — a deterministic one-tape
+  machine whose tape is the *ring itself*: circular, one cell per
+  processor, with the leader's cell distinguishable (the ``marked`` flag
+  replaces the usual endmarkers, matching the ring-with-a-leader model).
+* :mod:`repro.tm.machines` — concrete machines: a parity scanner
+  (``t = n + 1``), the classic zigzag comparator for ``w c w``
+  (``t = Theta(n^2)``), and the zigzag matcher for ``a^k b^k``.
+* :mod:`repro.core.tm_bridge` — the transformation to a bidirectional ring
+  algorithm, measured by experiment E12.
+"""
+
+from repro.tm.machine import Move, TMResult, TuringMachine
+from repro.tm.machines import anbn_machine, copy_machine, parity_machine
+
+__all__ = [
+    "Move",
+    "TMResult",
+    "TuringMachine",
+    "parity_machine",
+    "copy_machine",
+    "anbn_machine",
+]

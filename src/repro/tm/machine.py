@@ -1,0 +1,140 @@
+"""Deterministic one-tape Turing machines on a circular marked tape.
+
+The tape has exactly ``n`` cells arranged in a ring; cell 0 (the leader's
+cell) carries a ``marked`` flag the transition function can observe — the
+circular analogue of endmarkers, and exactly the distinguishing power a
+ring with a leader provides.  The head starts on cell 0.
+
+A transition maps ``(state, symbol, marked)`` to
+``(new_state, written_symbol, move)`` with ``move`` in {L, R}.  Entering
+``accept_state`` or ``reject_state`` halts; the halting transition's move
+is not performed.  Determinism and totality over reachable triples are the
+machine author's responsibility; a missing transition raises at run time
+(it means the machine is buggy, not that the word is rejected).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import ReproError
+
+__all__ = ["Move", "TMResult", "TuringMachine", "TMError"]
+
+
+class TMError(ReproError):
+    """Invalid machine definition or a missing transition at run time."""
+
+
+class Move(enum.Enum):
+    """Head movement: L toward lower cell indices, R toward higher."""
+
+    L = -1
+    R = 1
+
+
+@dataclass(frozen=True)
+class TMResult:
+    """Outcome of a halted run."""
+
+    accepted: bool
+    steps: int
+    final_tape: tuple[str, ...]
+    head_positions: tuple[int, ...] = field(repr=False, default=())
+
+    @property
+    def head_travel(self) -> int:
+        """Number of head moves performed (= steps - 1: the halting
+        transition does not move)."""
+        return max(len(self.head_positions) - 1, 0)
+
+
+@dataclass(frozen=True)
+class TuringMachine:
+    """A one-tape TM on the circular marked tape (see module docstring).
+
+    ``transitions`` maps ``(state, symbol, marked)`` to
+    ``(new_state, write, move)``.  ``input_alphabet`` is the subset of
+    ``tape_alphabet`` words may use.
+    """
+
+    name: str
+    states: frozenset[str]
+    input_alphabet: tuple[str, ...]
+    tape_alphabet: tuple[str, ...]
+    transitions: Mapping[tuple[str, str, bool], tuple[str, str, Move]]
+    start_state: str
+    accept_state: str
+    reject_state: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "transitions", dict(self.transitions))
+        for required in (self.start_state, self.accept_state, self.reject_state):
+            if required not in self.states:
+                raise TMError(f"state {required!r} missing from state set")
+        for symbol in self.input_alphabet:
+            if symbol not in self.tape_alphabet:
+                raise TMError(f"input symbol {symbol!r} not on the tape alphabet")
+        for (state, symbol, _marked), (new_state, write, move) in self.transitions.items():
+            if state not in self.states or new_state not in self.states:
+                raise TMError(f"transition touches unknown state: {state!r}")
+            if symbol not in self.tape_alphabet or write not in self.tape_alphabet:
+                raise TMError(f"transition touches unknown symbol: {symbol!r}")
+            if not isinstance(move, Move):
+                raise TMError(f"move must be a Move, got {move!r}")
+
+    @property
+    def work_states(self) -> frozenset[str]:
+        """Non-halting states (what the ring bridge encodes in messages)."""
+        return self.states - {self.accept_state, self.reject_state}
+
+    def step(
+        self, state: str, symbol: str, marked: bool
+    ) -> tuple[str, str, Move]:
+        """One transition; raises :class:`TMError` when undefined."""
+        try:
+            return self.transitions[(state, symbol, marked)]
+        except KeyError:
+            raise TMError(
+                f"{self.name}: no transition for state={state!r} "
+                f"symbol={symbol!r} marked={marked}"
+            ) from None
+
+    def run(self, word: str, max_steps: int = 1_000_000) -> TMResult:
+        """Run on a circular tape initialized with ``word`` (cell 0 marked)."""
+        if not word:
+            raise TMError("the circular tape needs at least one cell")
+        for symbol in word:
+            if symbol not in self.input_alphabet:
+                raise TMError(f"input symbol {symbol!r} not allowed")
+        tape = list(word)
+        n = len(tape)
+        head = 0
+        state = self.start_state
+        steps = 0
+        positions = [head]
+        while state not in (self.accept_state, self.reject_state):
+            if steps >= max_steps:
+                raise TMError(
+                    f"{self.name} exceeded {max_steps} steps on {word!r}"
+                )
+            new_state, write, move = self.step(state, tape[head], head == 0)
+            tape[head] = write
+            state = new_state
+            steps += 1
+            if state in (self.accept_state, self.reject_state):
+                break  # the halting transition does not move the head
+            head = (head + move.value) % n
+            positions.append(head)
+        return TMResult(
+            accepted=state == self.accept_state,
+            steps=steps,
+            final_tape=tuple(tape),
+            head_positions=tuple(positions),
+        )
+
+    def accepts(self, word: str, max_steps: int = 1_000_000) -> bool:
+        """Whether the machine accepts ``word``."""
+        return self.run(word, max_steps=max_steps).accepted

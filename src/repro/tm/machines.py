@@ -1,0 +1,196 @@
+"""Concrete Turing machines for the E12 bridge experiment.
+
+Three machines spanning the time classes the paper's Summary relates to
+ring bit complexity:
+
+* :func:`parity_machine` — one sweep, ``t(n) = n + 1``: a regular language
+  at TM-linear time, mapping to an ``O(n)``-bit ring algorithm.
+* :func:`copy_machine` — the classic zigzag comparator for ``{w c w}``,
+  ``t(n) = Theta(n^2)`` (matching the Hartmanis/Hennie/Trakhtenbrot-style
+  crossing lower bound), mapping to the ``Theta(n^2)`` bits §7(1) proves
+  necessary.
+* :func:`anbn_machine` — zigzag matcher for ``{a^k b^k}``: a deliberately
+  *suboptimal* ``Theta(n^2)`` machine for a ``Theta(n log n)``-bit
+  language, demonstrating the paper's point that the transformation
+  preserves ``t(n) log |Q|`` but inherits the machine's inefficiency (the
+  native counter recognizer beats the bridged TM).
+
+Machines are written against the circular-marked-tape semantics of
+:mod:`repro.tm.machine`: the marked flag of cell 0 plays the role of the
+usual endmarkers.
+"""
+
+from __future__ import annotations
+
+from repro.tm.machine import Move, TuringMachine
+
+__all__ = ["parity_machine", "copy_machine", "anbn_machine"]
+
+L, R = Move.L, Move.R
+
+
+def parity_machine() -> TuringMachine:
+    """Accept words over {a, b} with an even number of ``a``'s.
+
+    One clockwise sweep: ``init`` consumes the marked cell, ``even``/``odd``
+    track parity, and wrapping back onto the marked cell halts.
+    ``t(n) = n + 1`` transitions.
+    """
+    transitions: dict[tuple[str, str, bool], tuple[str, str, Move]] = {}
+    # First cell (marked): initialize the parity.
+    transitions[("init", "a", True)] = ("odd", "a", R)
+    transitions[("init", "b", True)] = ("even", "b", R)
+    # Interior cells: flip parity on 'a'.
+    for state, on_a, on_b in (("even", "odd", "even"), ("odd", "even", "odd")):
+        transitions[(state, "a", False)] = (on_a, "a", R)
+        transitions[(state, "b", False)] = (on_b, "b", R)
+        # Wrapped around: halt on the marked cell (symbol untouched).
+        for symbol in "ab":
+            verdict = "accept" if state == "even" else "reject"
+            transitions[(state, symbol, True)] = (verdict, symbol, R)
+    return TuringMachine(
+        name="tm-parity",
+        states=frozenset({"init", "even", "odd", "accept", "reject"}),
+        input_alphabet=("a", "b"),
+        tape_alphabet=("a", "b"),
+        transitions=transitions,
+        start_state="init",
+        accept_state="accept",
+        reject_state="reject",
+    )
+
+
+def copy_machine() -> TuringMachine:
+    """Accept ``{x c y : x, y in {a,b}*, x = y}`` (= the §7(1) language).
+
+    Classic zigzag: mark (``X``) the leftmost unmarked letter of the left
+    zone, carry it across ``c``, match-and-mark the leftmost unmarked
+    letter of the right zone, return.  When the left zone is exhausted,
+    verify the right zone is exhausted too.  ``Theta(n^2)`` steps.
+    """
+    t: dict[tuple[str, str, bool], tuple[str, str, Move]] = {}
+    for marked in (True, False):
+        # find: locate the leftmost unmarked letter of the left zone.  At
+        # the marked cell this is either the very first step or a rejection
+        # of a wrapped carry; 'find' only ever stands on the marked cell at
+        # step one (afterwards cell 0 is X and 'find' starts at cell 1).
+        t[("find", "a", marked)] = ("carry_a", "X", R)
+        t[("find", "b", marked)] = ("carry_b", "X", R)
+        t[("find", "c", marked)] = ("verify", "c", R)
+    t[("find", "X", False)] = ("find", "X", R)
+    t[("find", "X", True)] = ("reject", "X", R)  # wrapped: no marker 'c' seen
+    for letter in "ab":
+        carry = f"carry_{letter}"
+        match = f"match_{letter}"
+        # carry: run right to the marker.
+        for symbol in "abX":
+            t[(carry, symbol, False)] = (carry, symbol, R)
+            t[(carry, symbol, True)] = ("reject", symbol, R)  # no 'c' at all
+        t[(carry, "c", False)] = (match, "c", R)
+        t[(carry, "c", True)] = ("reject", "c", R)
+        # match: find the leftmost unmarked right-zone letter and compare.
+        t[(match, "X", False)] = (match, "X", R)
+        t[(match, letter, False)] = ("return", "X", L)
+        other = "b" if letter == "a" else "a"
+        t[(match, other, False)] = ("reject", other, R)
+        t[(match, "c", False)] = ("reject", "c", R)  # a second marker
+        for symbol in "abcX":
+            # Wrapped onto the marked cell: right zone ran out first.
+            t[(match, symbol, True)] = ("reject", symbol, R)
+    # return: run left back to the marked cell, then resume the search.
+    for symbol in "abcX":
+        t[("return", symbol, False)] = ("return", symbol, L)
+        t[("return", symbol, True)] = ("find", symbol, R)
+    # verify: the left zone is exhausted; the right zone must be all X.
+    t[("verify", "X", False)] = ("verify", "X", R)
+    for symbol in "ab":
+        t[("verify", symbol, False)] = ("reject", symbol, R)
+    t[("verify", "c", False)] = ("reject", "c", R)
+    for symbol in "abcX":
+        t[("verify", symbol, True)] = ("accept", symbol, R)  # wrapped: done
+    return TuringMachine(
+        name="tm-copy",
+        states=frozenset(
+            {
+                "find",
+                "carry_a",
+                "carry_b",
+                "match_a",
+                "match_b",
+                "return",
+                "verify",
+                "accept",
+                "reject",
+            }
+        ),
+        input_alphabet=("a", "b", "c"),
+        tape_alphabet=("a", "b", "c", "X"),
+        transitions=t,
+        start_state="find",
+        accept_state="accept",
+        reject_state="reject",
+    )
+
+
+def anbn_machine() -> TuringMachine:
+    """Accept ``{a^k b^k : k >= 1}`` by pairing off one a and one b per round.
+
+    Deliberately the naive ``Theta(n^2)`` zigzag (a one-tape TM *can* do
+    this language in ``O(n log n)`` with binary counters; the bridge
+    experiment uses the naive machine to show the transformation transfers
+    the machine's cost, not the language's optimum).
+    """
+    t: dict[tuple[str, str, bool], tuple[str, str, Move]] = {}
+    # Phase 1 — one sweep verifying the shape a+b+ (without it, the zigzag
+    # below would accept any Dyck-like balanced word such as "abab").
+    t[("init", "a", True)] = ("order_a", "a", R)
+    t[("init", "b", True)] = ("reject", "b", R)  # word starts with b
+    t[("order_a", "a", False)] = ("order_a", "a", R)
+    t[("order_a", "b", False)] = ("order_b", "b", R)
+    t[("order_a", "a", True)] = ("reject", "a", R)  # wrapped: all a's
+    t[("order_a", "b", True)] = ("reject", "b", R)  # unreachable; totality
+    t[("order_b", "b", False)] = ("order_b", "b", R)
+    t[("order_b", "a", False)] = ("reject", "a", R)  # an a after a b
+    # Wrapped back onto cell 0 with the shape verified: start the zigzag by
+    # marking cell 0's 'a' immediately (the head is already standing on it).
+    t[("order_b", "a", True)] = ("carry", "X", R)
+    t[("order_b", "b", True)] = ("reject", "b", R)  # unreachable; totality
+    # Phase 2 — pair off one 'a' and one 'b' per round.
+    # find: look for the leftmost unmarked 'a' (cell 0 is X by now).
+    t[("find", "X", True)] = ("accept", "X", R)  # wrapped: everything paired
+    t[("find", "a", True)] = ("reject", "a", R)  # unreachable; totality
+    t[("find", "b", True)] = ("reject", "b", R)  # unreachable; totality
+    t[("find", "a", False)] = ("carry", "X", R)
+    t[("find", "X", False)] = ("find", "X", R)
+    t[("find", "b", False)] = ("reject", "b", R)  # more b's than a's
+    # carry: run right to the first unmarked 'b'.
+    t[("carry", "a", False)] = ("carry", "a", R)
+    t[("carry", "X", False)] = ("carry", "X", R)
+    t[("carry", "b", False)] = ("return", "X", L)
+    for symbol in "abX":
+        t[("carry", symbol, True)] = ("reject", symbol, R)  # no b available
+    # return: run left back to the marked cell.
+    for symbol in "abX":
+        t[("return", symbol, False)] = ("return", symbol, L)
+        t[("return", symbol, True)] = ("find", symbol, R)
+    return TuringMachine(
+        name="tm-anbn",
+        states=frozenset(
+            {
+                "init",
+                "order_a",
+                "order_b",
+                "find",
+                "carry",
+                "return",
+                "accept",
+                "reject",
+            }
+        ),
+        input_alphabet=("a", "b"),
+        tape_alphabet=("a", "b", "X"),
+        transitions=t,
+        start_state="init",
+        accept_state="accept",
+        reject_state="reject",
+    )

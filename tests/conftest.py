@@ -1,0 +1,37 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.automata.dfa import DFA
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG; tests must not depend on global random state."""
+    return random.Random(0xBEEF)
+
+
+def random_dfa(rng: random.Random, size: int, alphabet: str = "ab") -> DFA:
+    """A random total DFA (used by hypothesis-style sweeps in tests)."""
+    states = list(range(size))
+    transitions = {
+        (state, symbol): rng.choice(states)
+        for state in states
+        for symbol in alphabet
+    }
+    accepting = frozenset(s for s in states if rng.random() < 0.5)
+    return DFA(frozenset(states), tuple(alphabet), transitions, 0, accepting)
+
+
+def all_words(alphabet: str, max_length: int):
+    """Every word over ``alphabet`` of length ``<= max_length``."""
+    frontier = [""]
+    while frontier:
+        word = frontier.pop(0)
+        yield word
+        if len(word) < max_length:
+            frontier.extend(word + symbol for symbol in alphabet)

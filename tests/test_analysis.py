@@ -1,0 +1,150 @@
+"""Tests for the analysis layer: growth fitting and table rendering."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.growth import (
+    classify_growth,
+    fit_model,
+    log_log_slope,
+    theta_check,
+)
+from repro.analysis.models import STANDARD_MODELS, GrowthModel, model_named
+from repro.analysis.tables import format_table
+from repro.errors import ReproError
+
+NS = (16, 32, 64, 128, 256, 512)
+
+
+def curve(fn, noise=1.0):
+    return [int(fn(n) * noise) for n in NS]
+
+
+class TestModels:
+    def test_registry(self):
+        names = [model.name for model in STANDARD_MODELS]
+        assert names == ["n", "n*log(n)", "n*log(n)^2", "n^1.5", "n^2"]
+
+    def test_model_named(self):
+        assert model_named("n^2")(10) == 100.0
+        with pytest.raises(ReproError):
+            model_named("n^3")
+
+    def test_models_positive(self):
+        for model in STANDARD_MODELS:
+            for n in [1, 2, 10, 1000]:
+                assert model(n) > 0
+
+    def test_model_domain(self):
+        with pytest.raises(ReproError):
+            STANDARD_MODELS[0](0)
+
+
+class TestFitting:
+    def test_linear_curve(self):
+        bits = [7 * n for n in NS]
+        fit = classify_growth(NS, bits)
+        assert fit.model.name == "n"
+        assert fit.constant == pytest.approx(7.0)
+        assert fit.dispersion == pytest.approx(0.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_nlogn_curve(self):
+        bits = [int(3 * n * math.log2(n)) for n in NS]
+        assert classify_growth(NS, bits).model.name == "n*log(n)"
+
+    def test_quadratic_curve(self):
+        bits = [2 * n * n for n in NS]
+        assert classify_growth(NS, bits).model.name == "n^2"
+
+    def test_quadratic_with_linear_offset(self):
+        bits = [n * n // 4 + 10 * n for n in NS]
+        assert classify_growth(NS, bits).model.name == "n^2"
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            classify_growth([1, 2], [1, 2])
+        with pytest.raises(ReproError):
+            classify_growth([1, 2, 3], [1, 2])
+        with pytest.raises(ReproError):
+            classify_growth([0, 1, 2], [1, 2, 3])
+        with pytest.raises(ReproError):
+            classify_growth([1, 2, 3], [1, -2, 3])
+
+    def test_fit_model_direct(self):
+        fit = fit_model(NS, [5 * n for n in NS], model_named("n"))
+        assert fit.constant == pytest.approx(5.0)
+        assert "c=5.000" in str(fit)
+
+    @given(st.floats(min_value=0.5, max_value=50.0))
+    @settings(max_examples=20, deadline=None)
+    def test_constant_recovery(self, c):
+        bits = [int(c * n * n) for n in NS]
+        fit = fit_model(NS, bits, model_named("n^2"))
+        assert fit.constant == pytest.approx(c, rel=0.01)
+
+
+class TestLogLogSlope:
+    def test_linear_slope(self):
+        assert log_log_slope(NS, [3 * n for n in NS]) == pytest.approx(1.0)
+
+    def test_quadratic_slope(self):
+        assert log_log_slope(NS, [n * n for n in NS]) == pytest.approx(2.0)
+
+    def test_nlogn_slope_between(self):
+        slope = log_log_slope(NS, [int(n * math.log2(n)) for n in NS])
+        assert 1.05 < slope < 1.5
+
+    def test_degenerate(self):
+        with pytest.raises(ReproError):
+            log_log_slope([4, 4, 4], [1, 2, 3])
+
+
+class TestThetaCheck:
+    def test_accepts_true_theta(self):
+        bits = [int(1.2 * n**1.5) for n in NS]
+        check = theta_check(NS, bits, lambda n: n**1.5, low=1.0, high=1.5)
+        assert check.ok
+        assert 1.0 <= check.min_ratio <= check.max_ratio <= 1.5
+
+    def test_rejects_wrong_shape(self):
+        bits = [n * n for n in NS]
+        check = theta_check(NS, bits, lambda n: n**1.5, low=0.1, high=100.0)
+        assert not check.ok  # dispersion blows up
+
+    def test_rejects_out_of_envelope(self):
+        bits = [10 * n for n in NS]
+        check = theta_check(NS, bits, lambda n: float(n), low=1.0, high=5.0)
+        assert not check.ok
+        assert check.max_ratio == pytest.approx(10.0)
+
+
+class TestTables:
+    def test_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_alignment_and_order(self):
+        rows = [
+            {"name": "a", "value": 1},
+            {"name": "bb", "value": 22},
+        ]
+        text = format_table(rows, ["name", "value"], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert lines[2].startswith("-")
+        assert lines[3].strip().startswith("a")
+
+    def test_float_and_bool_rendering(self):
+        text = format_table([{"x": 1.23456, "ok": True}])
+        assert "1.235" in text
+        assert "yes" in text
+
+    def test_missing_cells(self):
+        text = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert "1" in text and "2" in text

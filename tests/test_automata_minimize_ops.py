@@ -1,0 +1,205 @@
+"""Tests for minimization, boolean operations, equivalence, and properties."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.dfa import DFA
+from repro.automata.equivalence import distinguishing_word, equivalent
+from repro.automata.minimize import canonical_form, minimize
+from repro.automata.operations import (
+    complement,
+    concatenate,
+    intersection,
+    reverse,
+    star,
+    union,
+)
+from repro.automata.properties import (
+    is_empty,
+    is_finite_language,
+    is_universal,
+    pumping_length,
+    residual_classes,
+    shortest_accepted,
+)
+from repro.automata.regex import compile_regex
+from repro.errors import AutomatonError
+
+from conftest import all_words, random_dfa
+
+
+@st.composite
+def dfas(draw, max_states: int = 5):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    size = draw(st.integers(min_value=1, max_value=max_states))
+    return random_dfa(random.Random(seed), size)
+
+
+class TestMinimize:
+    def test_preserves_language(self):
+        rng = random.Random(7)
+        for _ in range(25):
+            dfa = random_dfa(rng, rng.randint(1, 8))
+            minimal = minimize(dfa)
+            for word in all_words("ab", 6):
+                assert minimal.accepts(word) == dfa.accepts(word), word
+
+    def test_idempotent(self):
+        rng = random.Random(8)
+        for _ in range(10):
+            dfa = random_dfa(rng, 6)
+            once = minimize(dfa)
+            twice = minimize(once)
+            assert len(once.states) == len(twice.states)
+
+    def test_minimal_size_known_case(self):
+        # (a|b)*abb has a 4-state minimal DFA.
+        dfa = compile_regex("(a|b)*abb", "ab")
+        assert len(minimize(dfa).states) == 4
+
+    def test_canonical_form_equality(self):
+        """Two different automata for the same language canonicalize equal."""
+        one = compile_regex("(ab)*", "ab")
+        two = compile_regex("(ab)*()?", "ab")
+        c1, c2 = canonical_form(one), canonical_form(two)
+        assert c1.transitions == c2.transitions
+        assert c1.accepting == c2.accepting
+        assert c1.start == c2.start
+
+    @given(dfas())
+    @settings(max_examples=30, deadline=None)
+    def test_minimize_never_grows(self, dfa):
+        assert len(minimize(dfa).states) <= max(len(dfa.trimmed().states), 1)
+
+
+class TestOperations:
+    def setup_method(self):
+        self.ends_ab = compile_regex("(a|b)*ab", "ab")
+        self.even_a = compile_regex("(b*ab*a)*b*", "ab")
+
+    def test_union(self):
+        combined = union(self.ends_ab, self.even_a)
+        for word in all_words("ab", 5):
+            expected = self.ends_ab.accepts(word) or self.even_a.accepts(word)
+            assert combined.accepts(word) == expected, word
+
+    def test_intersection(self):
+        combined = intersection(self.ends_ab, self.even_a)
+        for word in all_words("ab", 5):
+            expected = self.ends_ab.accepts(word) and self.even_a.accepts(word)
+            assert combined.accepts(word) == expected, word
+
+    def test_complement(self):
+        flipped = complement(self.ends_ab)
+        for word in all_words("ab", 5):
+            assert flipped.accepts(word) != self.ends_ab.accepts(word), word
+
+    def test_double_complement_is_identity(self):
+        assert equivalent(complement(complement(self.even_a)), self.even_a)
+
+    def test_concatenate(self):
+        a_star = compile_regex("a*", "ab")
+        b_plus = compile_regex("b+", "ab")
+        combined = concatenate(a_star, b_plus)
+        reference = compile_regex("a*b+", "ab")
+        assert equivalent(combined, reference)
+
+    def test_reverse(self):
+        reversed_dfa = reverse(self.ends_ab)
+        reference = compile_regex("ba(a|b)*", "ab")
+        assert equivalent(reversed_dfa, reference)
+
+    def test_star(self):
+        ab = compile_regex("ab", "ab")
+        starred = star(ab)
+        reference = compile_regex("(ab)*", "ab")
+        assert equivalent(starred, reference)
+
+    def test_alphabet_mismatch(self):
+        other = compile_regex("a", "ac")
+        with pytest.raises(AutomatonError, match="alphabet mismatch"):
+            union(self.ends_ab, other)
+
+    def test_de_morgan(self):
+        """complement(A union B) == intersect(complement A, complement B)."""
+        left = complement(union(self.ends_ab, self.even_a))
+        right = intersection(complement(self.ends_ab), complement(self.even_a))
+        assert equivalent(left, right)
+
+
+class TestEquivalence:
+    def test_equivalent_same_language(self):
+        one = compile_regex("a(a|b)*", "ab")
+        two = compile_regex("a(b|a)*", "ab")
+        assert equivalent(one, two)
+        assert distinguishing_word(one, two) is None
+
+    def test_distinguishing_word_is_valid(self):
+        one = compile_regex("a*", "ab")
+        two = compile_regex("a*b?", "ab")
+        word = distinguishing_word(one, two)
+        assert word is not None
+        assert one.accepts(word) != two.accepts(word)
+
+    def test_alphabet_mismatch(self):
+        one = compile_regex("a", "ab")
+        two = compile_regex("a", "abc")
+        with pytest.raises(AutomatonError):
+            equivalent(one, two)
+
+    @given(dfas(), dfas())
+    @settings(max_examples=25, deadline=None)
+    def test_agrees_with_exhaustive_check(self, left, right):
+        word = distinguishing_word(left, right)
+        if word is None:
+            for probe in all_words("ab", 5):
+                assert left.accepts(probe) == right.accepts(probe), probe
+        else:
+            assert left.accepts(word) != right.accepts(word)
+
+
+class TestProperties:
+    def test_empty(self):
+        dfa = DFA(
+            states=frozenset({0}),
+            alphabet=("a",),
+            transitions={(0, "a"): 0},
+            start=0,
+            accepting=frozenset(),
+        )
+        assert is_empty(dfa)
+        assert shortest_accepted(dfa) is None
+
+    def test_shortest_accepted(self):
+        dfa = compile_regex("aab|b", "ab")
+        assert shortest_accepted(dfa) == "b"
+
+    def test_universal(self):
+        assert is_universal(compile_regex("(a|b)*", "ab"))
+        assert not is_universal(compile_regex("a*", "ab"))
+
+    def test_finite_language(self):
+        assert is_finite_language(compile_regex("a|ab|abb", "ab"))
+        assert not is_finite_language(compile_regex("a*", "ab"))
+        assert is_finite_language(
+            compile_regex("", "ab")
+        )  # just the empty word
+
+    def test_pumping_length(self):
+        dfa = compile_regex("(a|b)*abb", "ab")
+        assert pumping_length(dfa) == 4
+
+    def test_residual_classes(self):
+        dfa = compile_regex("(a|b)*abb", "ab")
+        classes = residual_classes(dfa)
+        assert len(classes) == 4
+        assert "" in classes.values()
+        # Access words reach pairwise-distinct states.
+        minimal = minimize(dfa)
+        reached = {minimal.run(word) for word in classes.values()}
+        assert len(reached) == 4

@@ -1,0 +1,155 @@
+"""Tests for repro.automata.nfa and repro.automata.regex.
+
+The regex layer is cross-checked against Python's ``re`` module on random
+words (hypothesis), which is the strongest oracle available offline.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import EPSILON, NFA
+from repro.automata.regex import compile_regex, parse_regex, regex_to_nfa
+from repro.errors import AutomatonError, RegexError
+
+
+class TestNFA:
+    def simple_nfa(self) -> NFA:
+        # Accepts words ending in "ab".
+        return NFA(
+            states=frozenset({0, 1, 2}),
+            alphabet=("a", "b"),
+            transitions={
+                (0, "a"): frozenset({0, 1}),
+                (0, "b"): frozenset({0}),
+                (1, "b"): frozenset({2}),
+            },
+            start=0,
+            accepting=frozenset({2}),
+        )
+
+    def test_accepts(self):
+        nfa = self.simple_nfa()
+        assert nfa.accepts("ab")
+        assert nfa.accepts("aab")
+        assert nfa.accepts("bab")
+        assert not nfa.accepts("a")
+        assert not nfa.accepts("ba")
+        assert not nfa.accepts("")
+
+    def test_epsilon_closure(self):
+        nfa = NFA(
+            states=frozenset({0, 1, 2}),
+            alphabet=("a",),
+            transitions={
+                (0, EPSILON): frozenset({1}),
+                (1, EPSILON): frozenset({2}),
+            },
+            start=0,
+            accepting=frozenset({2}),
+        )
+        assert nfa.epsilon_closure({0}) == frozenset({0, 1, 2})
+        assert nfa.accepts("")
+
+    def test_determinize_equivalent(self):
+        nfa = self.simple_nfa()
+        dfa = nfa.determinize()
+        for word in ["", "a", "b", "ab", "ba", "aab", "abb", "abab", "bbab"]:
+            assert dfa.accepts(word) == nfa.accepts(word), word
+
+    def test_determinize_is_total(self):
+        dfa = self.simple_nfa().determinize()
+        for state in dfa.states:
+            for symbol in dfa.alphabet:
+                assert (state, symbol) in dfa.transitions
+
+    def test_from_dfa_round_trip(self):
+        dfa = DFA(
+            states=frozenset({0, 1}),
+            alphabet=("a",),
+            transitions={(0, "a"): 1, (1, "a"): 0},
+            start=0,
+            accepting=frozenset({1}),
+        )
+        nfa = NFA.from_dfa(dfa)
+        for word in ["", "a", "aa", "aaa"]:
+            assert nfa.accepts(word) == dfa.accepts(word)
+
+    def test_rejects_epsilon_in_alphabet(self):
+        with pytest.raises(AutomatonError):
+            NFA(frozenset({0}), ("",), {}, 0, frozenset())
+
+    def test_rejects_unknown_symbol(self):
+        assert not self.simple_nfa().accepts("z")
+
+
+class TestRegexParsing:
+    def test_invalid_patterns(self):
+        for pattern in ["(", ")", "a|*", "*a", "[", "[]", "a)b"]:
+            with pytest.raises(RegexError):
+                parse_regex(pattern)
+
+    def test_escape(self):
+        dfa = compile_regex(r"\*", alphabet="*a")
+        assert dfa.accepts("*")
+        assert not dfa.accepts("a")
+
+    def test_literal_not_in_alphabet(self):
+        with pytest.raises(RegexError, match="not in alphabet"):
+            compile_regex("c", alphabet="ab")
+
+
+class TestRegexSemantics:
+    CASES = [
+        ("", ["", None], "ab"),
+        ("a", ["a"], "ab"),
+        ("ab", ["ab"], "ab"),
+        ("a|b", ["a", "b"], "ab"),
+        ("a*", ["", "a", "aaa"], "ab"),
+        ("a+", ["a", "aa"], "ab"),
+        ("a?b", ["b", "ab"], "ab"),
+        ("(ab)*", ["", "ab", "abab"], "ab"),
+        (".b", ["ab", "bb"], "ab"),
+        ("[ab]c", ["ac", "bc"], "abc"),
+    ]
+
+    def test_positive_examples(self):
+        for pattern, words, alphabet in self.CASES:
+            dfa = compile_regex(pattern, alphabet)
+            for word in words:
+                if word is not None:
+                    assert dfa.accepts(word), (pattern, word)
+
+    @given(st.data())
+    def test_against_python_re(self, data):
+        """Random patterns from a safe subset, compared with re.fullmatch."""
+        pattern = data.draw(
+            st.sampled_from(
+                [
+                    "(a|b)*abb",
+                    "a*b*",
+                    "(ab|ba)+",
+                    "a(a|b)?b",
+                    "(a|b)(a|b)(a|b)",
+                    "b+a*",
+                    "(aa)*",
+                    "(a|b)*a(a|b)",
+                ]
+            )
+        )
+        word = data.draw(st.text(alphabet="ab", max_size=8))
+        dfa = compile_regex(pattern, "ab")
+        expected = re.fullmatch(pattern, word) is not None
+        assert dfa.accepts(word) == expected, (pattern, word)
+
+    def test_nfa_and_dfa_agree(self):
+        pattern = "(a|b)*abb"
+        nfa = regex_to_nfa(pattern, "ab")
+        dfa = compile_regex(pattern, "ab")
+        for word in ["", "abb", "aabb", "ab", "babb", "abba"]:
+            assert nfa.accepts(word) == dfa.accepts(word), word

@@ -1,0 +1,219 @@
+"""Unit and property tests for repro.bits (bit strings and codecs)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bits import (
+    BitReader,
+    Bits,
+    decode_fixed,
+    elias_gamma_length,
+    encode_elias_gamma,
+    encode_fixed,
+    encode_unary,
+    fixed_width_for,
+)
+from repro.errors import BitsError, DecodeError
+
+
+class TestBitsConstruction:
+    def test_from_string(self):
+        assert list(Bits("1010")) == [1, 0, 1, 0]
+
+    def test_from_iterable(self):
+        assert str(Bits([1, 1, 0])) == "110"
+
+    def test_from_bits_is_identity(self):
+        original = Bits("101")
+        assert Bits(original) == original
+
+    def test_empty(self):
+        assert len(Bits.empty()) == 0
+        assert Bits.empty() == Bits("")
+
+    def test_zeros_and_ones(self):
+        assert str(Bits.zeros(3)) == "000"
+        assert str(Bits.ones(2)) == "11"
+        assert Bits.zeros(0) == Bits.empty()
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(BitsError):
+            Bits([0, 2])
+
+    def test_rejects_bad_chars(self):
+        with pytest.raises(BitsError):
+            Bits("10x")
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(BitsError):
+            Bits.zeros(-1)
+        with pytest.raises(BitsError):
+            Bits.ones(-1)
+
+
+class TestBitsOperations:
+    def test_concatenation(self):
+        assert Bits("10") + Bits("01") == Bits("1001")
+
+    def test_concat_many(self):
+        assert Bits("1").concat(Bits("0"), Bits("11")) == Bits("1011")
+
+    def test_indexing(self):
+        bits = Bits("1101")
+        assert bits[0] == 1
+        assert bits[3] == 1
+        assert bits[1:3] == Bits("10")
+
+    def test_hashable(self):
+        assert len({Bits("10"), Bits("10"), Bits("01")}) == 2
+
+    def test_equality_with_non_bits(self):
+        assert Bits("1") != "1"
+
+    def test_startswith(self):
+        assert Bits("1101").startswith(Bits("11"))
+        assert not Bits("1101").startswith(Bits("10"))
+        assert Bits("1").startswith(Bits.empty())
+
+    def test_repr_round_trip(self):
+        bits = Bits("10110")
+        assert eval(repr(bits)) == bits
+
+    def test_to_int(self):
+        assert Bits("101").to_int() == 5
+        assert Bits.empty().to_int() == 0
+
+
+class TestFixedWidth:
+    def test_width_for_cardinality(self):
+        assert fixed_width_for(1) == 1
+        assert fixed_width_for(2) == 1
+        assert fixed_width_for(3) == 2
+        assert fixed_width_for(4) == 2
+        assert fixed_width_for(5) == 3
+        assert fixed_width_for(1024) == 10
+
+    def test_width_rejects_zero(self):
+        with pytest.raises(BitsError):
+            fixed_width_for(0)
+
+    def test_encode_decode(self):
+        assert encode_fixed(5, 4) == Bits("0101")
+        assert decode_fixed(Bits("0101"), 4) == 5
+
+    def test_encode_overflow(self):
+        with pytest.raises(BitsError):
+            encode_fixed(4, 2)
+
+    def test_encode_negative(self):
+        with pytest.raises(BitsError):
+            encode_fixed(-1, 4)
+
+    def test_zero_width(self):
+        assert encode_fixed(0, 0) == Bits.empty()
+        with pytest.raises(BitsError):
+            encode_fixed(1, 0)
+
+    def test_decode_wrong_length(self):
+        with pytest.raises(DecodeError):
+            decode_fixed(Bits("10"), 3)
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_round_trip_property(self, value):
+        assert decode_fixed(encode_fixed(value, 16), 16) == value
+
+
+class TestUnary:
+    def test_zero(self):
+        assert encode_unary(0) == Bits("0")
+
+    def test_three(self):
+        assert encode_unary(3) == Bits("1110")
+
+    def test_negative(self):
+        with pytest.raises(BitsError):
+            encode_unary(-1)
+
+    @given(st.integers(min_value=0, max_value=200))
+    def test_round_trip(self, value):
+        reader = BitReader(encode_unary(value))
+        assert reader.read_unary() == value
+        reader.expect_exhausted()
+
+
+class TestEliasGamma:
+    def test_one(self):
+        assert encode_elias_gamma(1) == Bits("1")
+
+    def test_two(self):
+        assert encode_elias_gamma(2) == Bits("010")
+
+    def test_seventeen(self):
+        assert encode_elias_gamma(17) == Bits("000010001")
+
+    def test_rejects_zero(self):
+        with pytest.raises(BitsError):
+            encode_elias_gamma(0)
+
+    def test_length_formula(self):
+        for value in [1, 2, 3, 7, 8, 100, 1023, 1024]:
+            assert elias_gamma_length(value) == len(encode_elias_gamma(value))
+            assert elias_gamma_length(value) == 2 * (value.bit_length() - 1) + 1
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_round_trip(self, value):
+        reader = BitReader(encode_elias_gamma(value))
+        assert reader.read_elias_gamma() == value
+        reader.expect_exhausted()
+
+    @given(st.lists(st.integers(min_value=1, max_value=10**6), max_size=8))
+    def test_self_delimiting_under_concatenation(self, values):
+        """Gamma codes can be concatenated and parsed back unambiguously."""
+        stream = Bits.empty()
+        for value in values:
+            stream = stream + encode_elias_gamma(value)
+        reader = BitReader(stream)
+        decoded = [reader.read_elias_gamma() for _ in values]
+        assert decoded == values
+        reader.expect_exhausted()
+
+
+class TestBitReader:
+    def test_sequential_fields(self):
+        message = Bits("1") + encode_fixed(5, 3) + encode_elias_gamma(9)
+        reader = BitReader(message)
+        assert reader.read_bit() == 1
+        assert reader.read_fixed(3) == 5
+        assert reader.read_elias_gamma() == 9
+        reader.expect_exhausted()
+
+    def test_position_tracking(self):
+        reader = BitReader(Bits("1010"))
+        assert reader.position == 0
+        reader.read_bits(3)
+        assert reader.position == 3
+        assert reader.remaining == 1
+
+    def test_read_past_end(self):
+        reader = BitReader(Bits("1"))
+        reader.read_bit()
+        with pytest.raises(DecodeError):
+            reader.read_bit()
+
+    def test_read_rest(self):
+        reader = BitReader(Bits("11010"))
+        reader.read_bit()
+        assert reader.read_rest() == Bits("1010")
+
+    def test_expect_exhausted_fails_on_leftover(self):
+        reader = BitReader(Bits("10"))
+        reader.read_bit()
+        with pytest.raises(DecodeError):
+            reader.expect_exhausted()
+
+    def test_negative_count(self):
+        with pytest.raises(DecodeError):
+            BitReader(Bits("1")).read_bits(-1)

@@ -1,0 +1,82 @@
+"""Integration tests: every experiment passes in quick mode; CLI works.
+
+These are the paper's claims end-to-end: a failing experiment means a
+theorem's measured shape broke somewhere in the stack.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ReproError
+from repro.experiments import ALL_EXPERIMENTS, get_experiment
+from repro.experiments.base import ExperimentResult, Sweep, default_rng
+
+
+class TestRegistry:
+    def test_all_twelve_registered(self):
+        assert list(ALL_EXPERIMENTS) == [f"E{i}" for i in range(1, 13)]
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("e7") is ALL_EXPERIMENTS["E7"]
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ReproError, match="unknown experiment"):
+            get_experiment("E99")
+
+
+@pytest.mark.parametrize("exp_id", list(ALL_EXPERIMENTS))
+def test_experiment_passes_quick(exp_id):
+    """Each experiment's claim check holds on the reduced sweep."""
+    result = get_experiment(exp_id)(True)
+    assert isinstance(result, ExperimentResult)
+    assert result.rows, f"{exp_id} produced no rows"
+    assert result.conclusions, f"{exp_id} drew no conclusions"
+    result.require_passed()
+
+
+class TestExperimentResult:
+    def test_render_contains_table_and_verdict(self):
+        result = get_experiment("E11")(True)
+        text = result.render()
+        assert "E11" in text
+        assert "claim:" in text
+        assert "RESULT: PASS" in text
+
+    def test_require_passed_raises_on_failure(self):
+        result = ExperimentResult(
+            exp_id="EX",
+            title="t",
+            claim="c",
+            columns=["a"],
+            rows=[{"a": 1}],
+            passed=False,
+        )
+        with pytest.raises(ReproError, match="EX failed"):
+            result.require_passed()
+
+    def test_sweep_selection(self):
+        sweep = Sweep(full=(1, 2, 3), quick=(1,))
+        assert sweep.sizes(quick=True) == (1,)
+        assert sweep.sizes(quick=False) == (1, 2, 3)
+
+    def test_default_rng_deterministic(self):
+        assert default_rng().random() == default_rng().random()
+
+
+class TestCLI:
+    def test_single_experiment(self, capsys):
+        assert main(["E11", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "E11" in output and "PASS" in output
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["e8", "E10", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "E8" in output and "E10" in output
+        assert "all 2 experiment(s) passed" in output
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ReproError):
+            main(["E42", "--quick"])

@@ -1,0 +1,288 @@
+"""Tests for the language layer: membership predicates and samplers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LanguageError
+from repro.languages import (
+    AnBn,
+    AnBnCn,
+    CopyLanguage,
+    EqualCounts,
+    FunctionLanguage,
+    MajorityLanguage,
+    MarkedPalindrome,
+    PrimeLength,
+    SquareLanguage,
+)
+from repro.languages.nonregular import is_prime
+from repro.languages.regular import (
+    length_mod_language,
+    mod_count_language,
+    parity_language,
+    regex_language,
+    substring_language,
+    tradeoff_language,
+)
+from repro.languages.hierarchy import (
+    STANDARD_GROWTHS,
+    GrowthFunction,
+    PeriodicLanguage,
+    block_length,
+)
+
+
+ALL_NONREGULAR = [
+    AnBn(),
+    AnBnCn(),
+    CopyLanguage(),
+    MarkedPalindrome(),
+    EqualCounts(),
+    MajorityLanguage(),
+    SquareLanguage(),
+    PrimeLength(),
+]
+
+
+class TestBase:
+    def test_function_language(self):
+        lang = FunctionLanguage("odd-length", "ab", lambda w: len(w) % 2 == 1)
+        assert "a" in lang
+        assert "ab" not in lang
+
+    def test_alphabet_validation(self):
+        with pytest.raises(LanguageError):
+            FunctionLanguage("bad", "", lambda w: True)
+        with pytest.raises(LanguageError):
+            FunctionLanguage("bad", ["ab"], lambda w: True)
+        with pytest.raises(LanguageError):
+            FunctionLanguage("bad", "aa", lambda w: True)
+
+    def test_words_of_length(self):
+        lang = FunctionLanguage("all", "ab", lambda w: True)
+        assert sorted(lang.words_of_length(2)) == ["aa", "ab", "ba", "bb"]
+
+    def test_members_of_length(self):
+        lang = AnBn()
+        assert list(lang.members_of_length(4)) == ["aabb"]
+        assert list(lang.members_of_length(3)) == []
+
+    def test_default_samplers(self, rng):
+        lang = FunctionLanguage("has-a", "ab", lambda w: "a" in w)
+        member = lang.sample_member(6, rng)
+        assert member is not None and "a" in member
+        non_member = lang.sample_non_member(6, rng)
+        assert non_member == "b" * 6
+
+
+class TestSamplerContracts:
+    """Every sampler must return an exact-length word on the right side."""
+
+    @pytest.mark.parametrize("language", ALL_NONREGULAR, ids=lambda l: l.name)
+    def test_members(self, language, rng):
+        for n in range(1, 25):
+            word = language.sample_member(n, rng)
+            if word is not None:
+                assert len(word) == n
+                assert language.contains(word), (language.name, word)
+
+    @pytest.mark.parametrize("language", ALL_NONREGULAR, ids=lambda l: l.name)
+    def test_non_members(self, language, rng):
+        for n in range(1, 25):
+            word = language.sample_non_member(n, rng)
+            if word is not None:
+                assert len(word) == n
+                assert not language.contains(word), (language.name, word)
+
+
+class TestNonRegularPredicates:
+    def test_anbn(self):
+        lang = AnBn()
+        assert "" in lang
+        assert "ab" in lang
+        assert "aabb" in lang
+        assert "ba" not in lang
+        assert "aab" not in lang
+
+    def test_anbncn(self):
+        lang = AnBnCn()
+        assert "" in lang
+        assert "012" in lang
+        assert "001122" in lang
+        assert "010212" not in lang
+        assert "0122" not in lang
+
+    def test_copy(self):
+        lang = CopyLanguage()
+        assert "c" in lang
+        assert "acba" not in lang
+        assert "acab" not in lang
+        assert "abcab" in lang
+        assert "abcba" not in lang
+        assert "abab" not in lang  # no marker
+        assert "ccc" not in lang  # extra markers
+
+    def test_marked_palindrome(self):
+        lang = MarkedPalindrome()
+        assert "c" in lang
+        assert "abcba" in lang
+        assert "abcab" not in lang
+
+    def test_equal_counts(self):
+        lang = EqualCounts()
+        assert "ab" in lang and "ba" in lang and "" in lang
+        assert "aab" not in lang
+
+    def test_majority(self):
+        lang = MajorityLanguage()
+        assert "a" in lang and "aab" in lang
+        assert "ab" not in lang and "" not in lang
+
+    def test_square(self):
+        lang = SquareLanguage()
+        assert "" in lang and "abab" in lang
+        assert "aba" not in lang and "abba" not in lang
+
+    def test_prime_length(self):
+        lang = PrimeLength()
+        assert "aa" in lang and "aba" in lang and "ababa" in lang
+        assert "a" not in lang and "aaaa" not in lang
+
+    def test_is_prime(self):
+        primes = [i for i in range(60) if is_prime(i)]
+        assert primes == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59]
+
+
+class TestRegularFactories:
+    def test_parity(self, rng):
+        lang = parity_language()
+        assert "" in lang and "aa" in lang and "bab" not in lang
+
+    def test_mod_count(self):
+        lang = mod_count_language("a", 3, 1)
+        assert "a" in lang and "abba" not in lang and "aaaa" in lang
+
+    def test_mod_count_validation(self):
+        with pytest.raises(LanguageError):
+            mod_count_language("z", 2, 0)
+        with pytest.raises(LanguageError):
+            mod_count_language("a", 2, 5)
+
+    def test_substring(self):
+        lang = substring_language("abb")
+        assert "abb" in lang and "aabba" in lang and "babbab" in lang
+        assert "ab" not in lang and "bba" not in lang
+
+    def test_substring_overlapping(self):
+        lang = substring_language("aba")
+        assert "ababa" in lang and "abba" not in lang
+
+    def test_length_mod(self):
+        lang = length_mod_language(3, 2)
+        assert "ab" in lang and "a" not in lang and "aabab" in lang
+
+    def test_regex_language(self):
+        lang = regex_language("ends-ab", "(a|b)*ab", "ab")
+        assert "ab" in lang and "bab" in lang and "ba" not in lang
+
+    def test_regular_sampler_exact(self, rng):
+        lang = substring_language("abb")
+        for n in range(3, 20):
+            member = lang.sample_member(n, rng)
+            assert member is not None and len(member) == n
+            assert lang.contains(member)
+        assert lang.sample_member(2, rng) is None
+
+    def test_regular_sampler_impossible_length(self, rng):
+        lang = length_mod_language(4, 3)
+        assert lang.sample_member(4, rng) is None
+        assert lang.sample_member(3, rng) is not None
+
+
+class TestTradeoffLanguage:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_membership_definition(self, k):
+        lang = tradeoff_language(k)
+        for word in ["", "0", "01", "0011", lang.alphabet[-1] * 5]:
+            index = len(word) % lang.modulus
+            expected = word.count(lang.alphabet[index]) % 2 == 0
+            assert lang.contains(word) == expected, word
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_dfa_agrees(self, k, rng):
+        lang = tradeoff_language(k)
+        dfa = lang.to_dfa()
+        for _ in range(80):
+            word = lang.random_word(rng.randrange(8), rng)
+            assert dfa.accepts(word) == lang.contains(word), word
+
+    def test_dfa_limit(self):
+        with pytest.raises(LanguageError):
+            tradeoff_language(4).to_dfa()
+
+    def test_k_range(self):
+        with pytest.raises(LanguageError):
+            tradeoff_language(0)
+        with pytest.raises(LanguageError):
+            tradeoff_language(6)
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5])
+    def test_samplers(self, k, rng):
+        lang = tradeoff_language(k)
+        for n in range(1, 20):
+            member = lang.sample_member(n, rng)
+            assert member is not None and lang.contains(member)
+            non_member = lang.sample_non_member(n, rng)
+            assert non_member is not None and not lang.contains(non_member)
+
+
+class TestHierarchyFamily:
+    def test_block_length(self):
+        growth = STANDARD_GROWTHS[0]  # n log2 n
+        assert block_length(growth, 16) == 4
+        assert block_length(growth, 256) == 8
+
+    def test_growth_requires_positive(self):
+        with pytest.raises(LanguageError):
+            STANDARD_GROWTHS[0](0)
+
+    def test_membership_full_periodicity(self):
+        growth = GrowthFunction("quarter", lambda n: n * 3)
+        lang = PeriodicLanguage(growth)  # p = 3
+        assert lang.contains("abaaba")
+        assert lang.contains("abaabaa")  # tail 'a' = prefix of 'aba'
+        assert not lang.contains("abaabb")
+
+    def test_empty_word(self):
+        lang = PeriodicLanguage(STANDARD_GROWTHS[0])
+        assert not lang.contains("")
+
+    def test_degenerate_p_over_n(self):
+        growth = GrowthFunction("huge", lambda n: n * n * 4)
+        lang = PeriodicLanguage(growth)  # p = 4n > n
+        assert not lang.contains("ab")
+
+    @given(st.integers(min_value=2, max_value=60), st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_sampler_properties(self, n, seed):
+        rng = random.Random(seed)
+        for growth in STANDARD_GROWTHS:
+            lang = PeriodicLanguage(growth)
+            member = lang.sample_member(n, rng)
+            if member is not None:
+                assert len(member) == n and lang.contains(member)
+            non_member = lang.sample_non_member(n, rng)
+            if non_member is not None:
+                assert len(non_member) == n and not lang.contains(non_member)
+
+    def test_p_one_is_constant_words(self):
+        growth = GrowthFunction("n", lambda n: float(n))
+        lang = PeriodicLanguage(growth)
+        assert lang.contains("aaaa")
+        assert lang.contains("bbb")
+        assert not lang.contains("aab")

@@ -1,0 +1,207 @@
+"""Tests for the Turing machine substrate and the Summary-section bridge."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tm_bridge import TMRingAlgorithm, predicted_bridge_bits
+from repro.languages import AnBn, CopyLanguage
+from repro.languages.regular import parity_language
+from repro.ring import run_bidirectional
+from repro.ring.token import is_token_trace
+from repro.tm import Move, TuringMachine, anbn_machine, copy_machine, parity_machine
+from repro.tm.machine import TMError
+
+
+class TestMachineSemantics:
+    def test_rejects_empty_tape(self):
+        with pytest.raises(TMError):
+            parity_machine().run("")
+
+    def test_rejects_foreign_symbol(self):
+        with pytest.raises(TMError):
+            parity_machine().run("az")
+
+    def test_missing_transition_raises(self):
+        machine = TuringMachine(
+            name="partial",
+            states=frozenset({"s", "acc", "rej"}),
+            input_alphabet=("a",),
+            tape_alphabet=("a",),
+            transitions={("s", "a", True): ("s", "a", Move.R)},
+            start_state="s",
+            accept_state="acc",
+            reject_state="rej",
+        )
+        with pytest.raises(TMError, match="no transition"):
+            machine.run("aa")
+
+    def test_step_cap(self):
+        machine = TuringMachine(
+            name="loop",
+            states=frozenset({"s", "acc", "rej"}),
+            input_alphabet=("a",),
+            tape_alphabet=("a",),
+            transitions={
+                ("s", "a", True): ("s", "a", Move.R),
+                ("s", "a", False): ("s", "a", Move.R),
+            },
+            start_state="s",
+            accept_state="acc",
+            reject_state="rej",
+        )
+        with pytest.raises(TMError, match="exceeded"):
+            machine.run("aaa", max_steps=50)
+
+    def test_construction_validation(self):
+        with pytest.raises(TMError, match="missing from state set"):
+            TuringMachine(
+                name="bad",
+                states=frozenset({"s"}),
+                input_alphabet=("a",),
+                tape_alphabet=("a",),
+                transitions={},
+                start_state="s",
+                accept_state="acc",
+                reject_state="rej",
+            )
+
+    def test_result_fields(self):
+        result = parity_machine().run("ab")
+        assert result.accepted is False  # one 'a'
+        assert result.steps == 3  # two moves + halting transition
+        assert result.final_tape == ("a", "b")
+        assert result.head_travel == 2
+
+    def test_work_states(self):
+        machine = parity_machine()
+        assert machine.work_states == frozenset({"init", "even", "odd"})
+
+
+class TestConcreteMachines:
+    def test_parity_exhaustive(self):
+        machine, language = parity_machine(), parity_language()
+        for length in range(1, 9):
+            for letters in itertools.product("ab", repeat=length):
+                word = "".join(letters)
+                assert machine.accepts(word) == language.contains(word), word
+
+    def test_parity_linear_time(self):
+        machine = parity_machine()
+        for n in [1, 5, 20, 100]:
+            assert machine.run("a" * n).steps == n + 1
+
+    def test_copy_exhaustive(self):
+        machine, language = copy_machine(), CopyLanguage()
+        for length in range(1, 7):
+            for letters in itertools.product("abc", repeat=length):
+                word = "".join(letters)
+                assert machine.accepts(word) == language.contains(word), word
+
+    def test_copy_quadratic_time(self):
+        machine = copy_machine()
+        steps = {}
+        for k in [4, 8, 16]:
+            word = "a" * k + "c" + "a" * k
+            steps[k] = machine.run(word).steps
+        # Doubling the input roughly quadruples the time.
+        assert 3.0 < steps[8] / steps[4] < 5.0
+        assert 3.0 < steps[16] / steps[8] < 5.0
+
+    def test_anbn_exhaustive(self):
+        machine, language = anbn_machine(), AnBn()
+        for length in range(1, 11):
+            for letters in itertools.product("ab", repeat=length):
+                word = "".join(letters)
+                assert machine.accepts(word) == language.contains(word), word
+
+    def test_anbn_rejects_dyck_words(self):
+        """The order-checking sweep rejects balanced-but-interleaved words."""
+        machine = anbn_machine()
+        for word in ["abab", "aabbab", "abaabb"]:
+            assert not machine.accepts(word), word
+
+    @given(st.text(alphabet="abc", min_size=1, max_size=14))
+    @settings(max_examples=80, deadline=None)
+    def test_copy_property(self, word):
+        assert copy_machine().accepts(word) == CopyLanguage().contains(word)
+
+
+class TestBridge:
+    CASES = [
+        (parity_machine, parity_language),
+        (copy_machine, CopyLanguage),
+        (anbn_machine, AnBn),
+    ]
+
+    @pytest.mark.parametrize("build_machine,build_language", CASES,
+                             ids=["parity", "copy", "anbn"])
+    def test_bridge_equals_machine_equals_language(
+        self, build_machine, build_language, rng
+    ):
+        machine, language = build_machine(), build_language()
+        algorithm = TMRingAlgorithm(machine)
+        for length in range(1, 8):
+            for _ in range(10):
+                word = "".join(
+                    rng.choice(machine.input_alphabet) for _ in range(length)
+                )
+                result = machine.run(word)
+                trace = run_bidirectional(algorithm, word)
+                assert trace.decision == result.accepted == language.contains(
+                    word
+                ), word
+                assert is_token_trace(trace)
+
+    def test_exact_bit_accounting(self):
+        machine = copy_machine()
+        algorithm = TMRingAlgorithm(machine)
+        for word in ["abcab", "aabcaab", "abcba", "bcb", "c"]:
+            result = machine.run(word)
+            trace = run_bidirectional(algorithm, word)
+            halting_cell = result.head_positions[-1]
+            verdict_hops = (0 - halting_cell) % len(word) if halting_cell else 0
+            assert trace.total_bits == predicted_bridge_bits(
+                machine, result.steps, verdict_hops
+            ), word
+
+    def test_summary_bound(self, rng):
+        """The paper's bound: BIT <= t * (log|Q| + 1) + O(n)."""
+        import math
+
+        for build_machine in (parity_machine, copy_machine, anbn_machine):
+            machine = build_machine()
+            algorithm = TMRingAlgorithm(machine)
+            width = math.ceil(math.log2(len(machine.work_states)))
+            for length in [5, 9, 15]:
+                word = "".join(
+                    rng.choice(machine.input_alphabet) for _ in range(length)
+                )
+                result = machine.run(word)
+                trace = run_bidirectional(algorithm, word)
+                bound = result.steps * (width + 1) + 2 * length + 2
+                assert trace.total_bits <= bound, (machine.name, word)
+
+    def test_message_direction_follows_head(self):
+        """L-moves become CCW messages, R-moves CW messages."""
+        from repro.ring.messages import Direction
+
+        machine = copy_machine()
+        algorithm = TMRingAlgorithm(machine)
+        word = "abcab"
+        result = machine.run(word)
+        trace = run_bidirectional(algorithm, word)
+        head_messages = [e for e in trace.events if e.bits[0] == 0]
+        positions = result.head_positions
+        n = len(word)
+        for event, (before, after) in zip(
+            head_messages, zip(positions, positions[1:])
+        ):
+            expected = (
+                Direction.CW if (after - before) % n == 1 else Direction.CCW
+            )
+            assert event.direction is expected
