@@ -1,0 +1,104 @@
+"""Micro-benchmarks for the int-packed :class:`repro.bits.Bits` hot paths.
+
+These time the representation-layer primitives the simulators lean on —
+concatenation, hashing, sequential decoding, codec round-trips — so a
+regression in the packed-integer backing shows up independently of any
+experiment sweep.  Run with ``pytest benchmarks/bench_bits.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bits import (
+    BitReader,
+    Bits,
+    decode_fixed,
+    encode_elias_gamma,
+    encode_fixed,
+)
+
+_RNG = random.Random(0xB17)
+_WORDS = [Bits([_RNG.randrange(2) for _ in range(64)]) for _ in range(64)]
+
+
+def bench_concat_chain(benchmark):
+    """Left-fold concatenation of 64 64-bit strings (shift+or per step)."""
+
+    def run():
+        acc = Bits.empty()
+        for chunk in _WORDS:
+            acc = acc + chunk
+        return acc
+
+    result = benchmark(run)
+    assert len(result) == 64 * 64
+
+
+def bench_hash_and_equality(benchmark):
+    """Hashing into a set plus membership probes (message-graph keying)."""
+
+    def run():
+        seen = set(_WORDS)
+        return sum(1 for w in _WORDS if w in seen)
+
+    assert benchmark(run) == len(_WORDS)
+
+
+def bench_bitreader_decode_loop(benchmark):
+    """Sequential flag/fixed/gamma parsing of a composite message."""
+    message = Bits.empty()
+    for value in range(1, 65):
+        message = message + Bits("1") + encode_fixed(value, 8) + encode_elias_gamma(value)
+
+    def run():
+        reader = BitReader(message)
+        total = 0
+        while reader.remaining:
+            reader.read_bit()
+            total += reader.read_fixed(8)
+            total += reader.read_elias_gamma()
+        return total
+
+    assert benchmark(run) == 2 * sum(range(1, 65))
+
+
+def bench_fixed_roundtrip(benchmark):
+    """encode_fixed/decode_fixed over the cached small-value range."""
+
+    def run():
+        total = 0
+        for value in range(256):
+            total += decode_fixed(encode_fixed(value, 9), 9)
+        return total
+
+    assert benchmark(run) == sum(range(256))
+
+
+def bench_gamma_roundtrip(benchmark):
+    """Elias-gamma encode + BitReader decode across two decades."""
+    values = [1, 2, 3, 5, 17, 100, 999, 4097, 10**6]
+
+    def run():
+        stream = Bits.empty()
+        for value in values:
+            stream = stream + encode_elias_gamma(value)
+        reader = BitReader(stream)
+        return [reader.read_elias_gamma() for _ in values]
+
+    assert benchmark(run) == values
+
+
+def bench_slice_and_startswith(benchmark):
+    """Prefix strip + prefix test (the token/line transformation idiom)."""
+    payload = _WORDS[0]
+    tagged = Bits("1") + payload
+
+    def run():
+        ok = 0
+        for _ in range(256):
+            if tagged.startswith(Bits("1")) and tagged[1:] == payload:
+                ok += 1
+        return ok
+
+    assert benchmark(run) == 256

@@ -5,7 +5,7 @@ the claimed shape.  See src/repro/experiments/e01_regular_linear.py for the
 sweep definition.
 """
 
-from conftest import run_experiment_benchmark
+from bench_harness import run_experiment_benchmark
 
 
 def bench_e1_regular_linear(benchmark):

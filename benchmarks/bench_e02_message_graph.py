@@ -5,7 +5,7 @@ the claimed shape.  See src/repro/experiments/e02_message_graph.py for the
 sweep definition.
 """
 
-from conftest import run_experiment_benchmark
+from bench_harness import run_experiment_benchmark
 
 
 def bench_e2_message_graph(benchmark):

@@ -5,7 +5,7 @@ claimed shape.  See src/repro/experiments/e12_tm_bridge.py for the sweep
 definition.
 """
 
-from conftest import run_experiment_benchmark
+from bench_harness import run_experiment_benchmark
 
 
 def bench_e12_tm_bridge(benchmark):

@@ -1,0 +1,85 @@
+"""Benchmarks comparing ``trace="full"`` vs ``trace="metrics"`` runs.
+
+The metrics policy streams per-delivery accounting into
+:class:`~repro.ring.trace.TraceStats` instead of materializing a
+:class:`~repro.ring.trace.MessageEvent` per message plus per-processor
+logs.  These benchmarks record the gap on the Θ(n²) E7 workload (where
+the full trace holds O(n²) bits of payload objects) and on a linear DFA
+sweep, for both ring models.  Run with ``pytest benchmarks/bench_trace_modes.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.comparison import CopyRecognizer
+from repro.core.regular_bidirectional import BidirectionalDFARecognizer
+from repro.core.regular_onepass import DFARecognizer
+from repro.languages import CopyLanguage
+from repro.languages.regular import parity_language
+from repro.ring import run_bidirectional, run_unidirectional
+
+_E7_SIZES = (17, 33, 65, 129)
+_COPY_WORDS = [
+    CopyLanguage().sample_member(n, random.Random(n)) for n in _E7_SIZES
+]
+
+
+def _run_e7_quick(trace: str):
+    algorithm = CopyRecognizer()
+    last = None
+    for word in _COPY_WORDS:
+        last = run_unidirectional(algorithm, word, trace=trace)
+    return last
+
+
+def bench_e7_quick_full_trace(benchmark):
+    """E7 quick-sweep sizes with the complete ExecutionTrace."""
+    result = benchmark(_run_e7_quick, "full")
+    assert result.decision is True
+
+
+def bench_e7_quick_metrics_trace(benchmark):
+    """Same executions streaming into TraceStats (acceptance: >=5x vs seed)."""
+    result = benchmark(_run_e7_quick, "metrics")
+    assert result.decision is True
+
+
+def bench_unidirectional_dfa_full(benchmark):
+    """Linear DFA recognizer, n=1024, full trace."""
+    algorithm = DFARecognizer(parity_language().dfa)
+    word = "ab" * 512
+    result = benchmark(run_unidirectional, algorithm, word)
+    assert result.decision is True
+
+
+def bench_unidirectional_dfa_metrics(benchmark):
+    """Linear DFA recognizer, n=1024, metrics-only accounting."""
+    algorithm = DFARecognizer(parity_language().dfa)
+    word = "ab" * 512
+
+    def run():
+        return run_unidirectional(algorithm, word, trace="metrics")
+
+    result = benchmark(run)
+    assert result.decision is True
+
+
+def bench_bidirectional_dfa_full(benchmark):
+    """Scheduler-driven bidirectional recognizer, n=256, full trace."""
+    algorithm = BidirectionalDFARecognizer(parity_language().dfa)
+    word = "ab" * 128
+    result = benchmark(run_bidirectional, algorithm, word)
+    assert result.decision is True
+
+
+def bench_bidirectional_dfa_metrics(benchmark):
+    """Scheduler-driven bidirectional recognizer, n=256, metrics-only."""
+    algorithm = BidirectionalDFARecognizer(parity_language().dfa)
+    word = "ab" * 128
+
+    def run():
+        return run_bidirectional(algorithm, word, trace="metrics")
+
+    result = benchmark(run)
+    assert result.decision is True

@@ -44,6 +44,7 @@ from repro.ring import (
     Processor,
     RingAlgorithm,
     Send,
+    TraceStats,
     UnidirectionalRing,
     run_bidirectional,
     run_unidirectional,
@@ -59,6 +60,7 @@ __all__ = [
     "Processor",
     "RingAlgorithm",
     "ExecutionTrace",
+    "TraceStats",
     "UnidirectionalRing",
     "BidirectionalRing",
     "LineNetwork",

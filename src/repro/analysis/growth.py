@@ -29,9 +29,36 @@ __all__ = [
     "fit_model",
     "classify_growth",
     "log_log_slope",
+    "measure_curve",
     "ThetaCheck",
     "theta_check",
 ]
+
+
+def measure_curve(sizes, measure) -> tuple[list[int], list[int]]:
+    """Evaluate ``measure(n)`` over a sweep, returning ``(ns, bits)`` lists.
+
+    ``measure`` typically wraps a ``trace="metrics"`` simulator run and
+    returns its ``total_bits`` — e.g.::
+
+        ns, bits = measure_curve(
+            sweep.sizes(quick),
+            lambda n: run_unidirectional(
+                algorithm, language.sample_member(n, rng), trace="metrics"
+            ).total_bits,
+        )
+        fit = classify_growth(ns, bits)
+
+    Nothing but the two integer lists is retained, so arbitrarily long
+    sweeps stay O(#sizes) memory regardless of how many messages each
+    execution delivers.
+    """
+    ns: list[int] = []
+    bits: list[int] = []
+    for n in sizes:
+        ns.append(n)
+        bits.append(measure(n))
+    return ns, bits
 
 
 @dataclass(frozen=True)

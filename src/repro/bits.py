@@ -6,6 +6,18 @@ Python objects whose size would be ambiguous.  :class:`Bits` is an immutable
 sequence of 0/1 integers supporting concatenation, slicing, and hashing (so
 bit strings can key dictionaries, e.g. in the Theorem 2 message graph).
 
+Representation
+--------------
+A :class:`Bits` value is packed into a single arbitrary-precision machine
+integer plus a length: bit ``i`` (0-based from the left / most significant
+end) is ``(value >> (length - 1 - i)) & 1``.  This makes concatenation a
+shift+or, ``to_int``/equality/hashing O(1)-ish machine-int operations, and
+contiguous slicing a mask+shift — versus the per-bit Python-object cost of
+the previous ``tuple[int, ...]`` backing.  The empty string and the two
+single-bit strings are interned, and small ``encode_fixed`` /
+``encode_elias_gamma`` results are memoized, so the per-message codec work
+on the simulator hot path touches no allocator at all for common values.
+
 Codecs
 ------
 Three integer codecs are provided, each of which shows up in the paper's
@@ -20,7 +32,8 @@ constructions:
   counter-based recognizers whose messages must carry ``Theta(log n)``-bit
   counters that a receiver can parse without knowing their width.
 
-A :class:`BitReader` incrementally decodes composite messages.
+A :class:`BitReader` incrementally decodes composite messages using the same
+bit arithmetic, without materializing intermediate sequences.
 """
 
 from __future__ import annotations
@@ -42,26 +55,61 @@ __all__ = [
 
 
 class Bits(Sequence[int]):
-    """An immutable string of bits.
+    """An immutable string of bits, packed into ``(int value, int length)``.
 
     Instances are hashable and support ``+`` (concatenation), slicing,
     indexing, iteration, and equality.  The constructor accepts any iterable
     of integers equal to 0 or 1, or a string of ``'0'``/``'1'`` characters.
+    Passing an existing :class:`Bits` returns it unchanged (values are
+    immutable, so identity is safe).
     """
 
-    __slots__ = ("_bits",)
+    __slots__ = ("_value", "_length")
 
-    def __init__(self, bits: Iterable[int] | str = ()) -> None:
+    _value: int
+    _length: int
+
+    def __new__(cls, bits: "Iterable[int] | str | Bits" = ()) -> "Bits":
+        if type(bits) is Bits:
+            return bits
         if isinstance(bits, str):
-            values = tuple(_char_to_bit(ch) for ch in bits)
-        elif isinstance(bits, Bits):
-            values = bits._bits
+            length = len(bits)
+            if length == 0:
+                value = 0
+            else:
+                # int(s, 2) is the C fast path but tolerates '_', signs, and
+                # whitespace; pre-check that every character is literally 0/1.
+                if bits.count("0") + bits.count("1") != length:
+                    for ch in bits:
+                        if ch not in "01":
+                            raise BitsError(
+                                f"bit characters must be '0' or '1', got {ch!r}"
+                            )
+                value = int(bits, 2)
+        elif isinstance(bits, Bits):  # Bits subclass
+            value, length = bits._value, bits._length
         else:
-            values = tuple(int(b) for b in bits)
-            for b in values:
+            value = 0
+            length = 0
+            for b in bits:
+                b = int(b)
                 if b not in (0, 1):
                     raise BitsError(f"bit values must be 0 or 1, got {b!r}")
-        self._bits: tuple[int, ...] = values
+                value = (value << 1) | b
+                length += 1
+        return cls._make(value, length)
+
+    @classmethod
+    def _make(cls, value: int, length: int) -> "Bits":
+        """Internal fast constructor: trusted, pre-validated fields."""
+        if length < 2:
+            interned = _INTERNED.get((value, length))
+            if interned is not None:
+                return interned
+        self = object.__new__(cls)
+        self._value = value
+        self._length = length
+        return self
 
     @classmethod
     def empty(cls) -> "Bits":
@@ -73,14 +121,14 @@ class Bits(Sequence[int]):
         """``count`` zero bits."""
         if count < 0:
             raise BitsError("count must be non-negative")
-        return cls((0,) * count)
+        return cls._make(0, count)
 
     @classmethod
     def ones(cls, count: int) -> "Bits":
         """``count`` one bits."""
         if count < 0:
             raise BitsError("count must be non-negative")
-        return cls((1,) * count)
+        return cls._make((1 << count) - 1, count)
 
     @classmethod
     def from_int(cls, value: int, width: int) -> "Bits":
@@ -89,63 +137,87 @@ class Bits(Sequence[int]):
 
     def to_int(self) -> int:
         """Interpret the whole bit string as a big-endian binary integer."""
-        value = 0
-        for bit in self._bits:
-            value = (value << 1) | bit
-        return value
+        return self._value
 
     def concat(self, *others: "Bits") -> "Bits":
         """Concatenate this bit string with ``others`` (left to right)."""
-        combined = self._bits
+        value = self._value
+        length = self._length
         for other in others:
-            combined = combined + Bits(other)._bits
-        return Bits(combined)
+            other = Bits(other)
+            value = (value << other._length) | other._value
+            length += other._length
+        return Bits._make(value, length)
 
     def __add__(self, other: "Bits") -> "Bits":
         if not isinstance(other, Bits):
             return NotImplemented
-        return Bits(self._bits + other._bits)
+        return Bits._make(
+            (self._value << other._length) | other._value,
+            self._length + other._length,
+        )
 
     def __len__(self) -> int:
-        return len(self._bits)
+        return self._length
 
     def __iter__(self) -> Iterator[int]:
-        return iter(self._bits)
+        value = self._value
+        for shift in range(self._length - 1, -1, -1):
+            yield (value >> shift) & 1
 
     def __getitem__(self, index):  # type: ignore[override]
+        length = self._length
         if isinstance(index, slice):
-            return Bits(self._bits[index])
-        return self._bits[index]
+            start, stop, step = index.indices(length)
+            if step == 1:
+                width = max(stop - start, 0)
+                return Bits._make(
+                    (self._value >> (length - start - width)) & ((1 << width) - 1)
+                    if width
+                    else 0,
+                    width,
+                )
+            value = 0
+            count = 0
+            for i in range(start, stop, step):
+                value = (value << 1) | ((self._value >> (length - 1 - i)) & 1)
+                count += 1
+            return Bits._make(value, count)
+        if index < 0:
+            index += length
+        if not 0 <= index < length:
+            raise IndexError("Bits index out of range")
+        return (self._value >> (length - 1 - index)) & 1
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, Bits):
-            return self._bits == other._bits
+            return self._value == other._value and self._length == other._length
         return NotImplemented
 
     def __hash__(self) -> int:
-        return hash(("Bits", self._bits))
+        return hash(("Bits", self._value, self._length))
 
     def __repr__(self) -> str:
         return f"Bits('{self}')"
 
     def __str__(self) -> str:
-        return "".join(str(b) for b in self._bits)
+        if self._length == 0:
+            return ""
+        return format(self._value, f"0{self._length}b")
 
     def startswith(self, prefix: "Bits") -> bool:
         """True when ``prefix`` is a prefix of this bit string."""
         other = Bits(prefix)
-        return self._bits[: len(other._bits)] == other._bits
+        if other._length > self._length:
+            return False
+        return (self._value >> (self._length - other._length)) == other._value
 
 
+_INTERNED: dict[tuple[int, int], "Bits"] = {}
 _EMPTY = Bits(())
-
-
-def _char_to_bit(ch: str) -> int:
-    if ch == "0":
-        return 0
-    if ch == "1":
-        return 1
-    raise BitsError(f"bit characters must be '0' or '1', got {ch!r}")
+_INTERNED[(0, 0)] = _EMPTY
+_INTERNED[(0, 1)] = Bits("0")
+_INTERNED[(1, 1)] = Bits("1")
 
 
 def fixed_width_for(cardinality: int) -> int:
@@ -161,19 +233,31 @@ def fixed_width_for(cardinality: int) -> int:
     return max(width, 1)
 
 
+# Fixed-width encodings recur per message on the simulator hot path (one DFA
+# state per hop), so small (value, width) pairs are cached.
+_FIXED_CACHE: dict[tuple[int, int], Bits] = {}
+_FIXED_CACHE_MAX = 4096
+
+
 def encode_fixed(value: int, width: int) -> Bits:
     """Encode ``value`` in exactly ``width`` big-endian bits."""
+    cached = _FIXED_CACHE.get((value, width))
+    if cached is not None:
+        return cached
     if width < 0:
         raise BitsError("width must be non-negative")
     if value < 0:
         raise BitsError("value must be non-negative")
-    if value >= (1 << width) and width > 0:
-        raise BitsError(f"value {value} does not fit in {width} bits")
     if width == 0:
         if value != 0:
             raise BitsError("only zero fits in zero bits")
         return Bits.empty()
-    return Bits(tuple((value >> shift) & 1 for shift in range(width - 1, -1, -1)))
+    if value >= (1 << width):
+        raise BitsError(f"value {value} does not fit in {width} bits")
+    result = Bits._make(value, width)
+    if width <= 16 and len(_FIXED_CACHE) < _FIXED_CACHE_MAX:
+        _FIXED_CACHE[(value, width)] = result
+    return result
 
 
 def decode_fixed(bits: Bits, width: int) -> int:
@@ -187,7 +271,11 @@ def encode_unary(value: int) -> Bits:
     """Self-delimiting unary code: ``value`` ones then a terminating zero."""
     if value < 0:
         raise BitsError("unary code requires a non-negative value")
-    return Bits.ones(value) + Bits.zeros(1)
+    return Bits._make((1 << (value + 1)) - 2, value + 1)
+
+
+_GAMMA_CACHE: dict[int, Bits] = {}
+_GAMMA_CACHE_MAX = 4096
 
 
 def encode_elias_gamma(value: int) -> Bits:
@@ -196,10 +284,16 @@ def encode_elias_gamma(value: int) -> Bits:
     ``floor(log2 value)`` zero bits, then the binary representation of
     ``value`` (which starts with a 1).  Length is ``2*floor(log2 v) + 1``.
     """
+    cached = _GAMMA_CACHE.get(value)
+    if cached is not None:
+        return cached
     if value < 1:
         raise BitsError("Elias gamma encodes positive integers only")
-    binary = bin(value)[2:]
-    return Bits.zeros(len(binary) - 1) + Bits(binary)
+    width = value.bit_length()
+    result = Bits._make(value, 2 * width - 1)
+    if value <= _GAMMA_CACHE_MAX and len(_GAMMA_CACHE) < _GAMMA_CACHE_MAX:
+        _GAMMA_CACHE[value] = result
+    return result
 
 
 def elias_gamma_length(value: int) -> int:
@@ -213,11 +307,17 @@ class BitReader:
     """Sequential decoder over a :class:`Bits` value.
 
     Used by processors to parse composite messages (flag bits, gamma-coded
-    counters, fixed-width fields) exactly as they arrive on the wire.
+    counters, fixed-width fields) exactly as they arrive on the wire.  All
+    reads are mask+shift arithmetic on the packed integer.
     """
 
+    __slots__ = ("_bits", "_value", "_length", "_pos")
+
     def __init__(self, bits: Bits) -> None:
-        self._bits = Bits(bits)
+        bits = Bits(bits)
+        self._bits = bits
+        self._value = bits._value
+        self._length = bits._length
         self._pos = 0
 
     @property
@@ -228,31 +328,41 @@ class BitReader:
     @property
     def remaining(self) -> int:
         """Number of bits left to read."""
-        return len(self._bits) - self._pos
+        return self._length - self._pos
 
     def read_bit(self) -> int:
         """Read one bit."""
-        if self._pos >= len(self._bits):
+        pos = self._pos
+        if pos >= self._length:
             raise DecodeError("attempt to read past the end of the message")
-        bit = self._bits[self._pos]
-        self._pos += 1
-        return bit
+        self._pos = pos + 1
+        return (self._value >> (self._length - 1 - pos)) & 1
 
     def read_bits(self, count: int) -> Bits:
         """Read ``count`` raw bits."""
         if count < 0:
             raise DecodeError("count must be non-negative")
-        if self.remaining < count:
+        remaining = self._length - self._pos
+        if remaining < count:
             raise DecodeError(
-                f"attempt to read {count} bits with only {self.remaining} left"
+                f"attempt to read {count} bits with only {remaining} left"
             )
-        chunk = self._bits[self._pos : self._pos + count]
         self._pos += count
-        return chunk
+        shift = self._length - self._pos
+        return Bits._make((self._value >> shift) & ((1 << count) - 1), count)
 
     def read_fixed(self, width: int) -> int:
         """Read a fixed-width big-endian integer."""
-        return self.read_bits(width).to_int()
+        if width < 0:
+            raise DecodeError("width must be non-negative")
+        remaining = self._length - self._pos
+        if remaining < width:
+            raise DecodeError(
+                f"attempt to read {width} bits with only {remaining} left"
+            )
+        self._pos += width
+        shift = self._length - self._pos
+        return (self._value >> shift) & ((1 << width) - 1)
 
     def read_unary(self) -> int:
         """Read a unary-coded non-negative integer."""
@@ -269,16 +379,17 @@ class BitReader:
             if bit == 1:
                 break
             zeros += 1
-        value = 1
-        for _ in range(zeros):
-            value = (value << 1) | self.read_bit()
-        return value
+        if zeros == 0:
+            return 1
+        return (1 << zeros) | self.read_fixed(zeros)
 
     def read_rest(self) -> Bits:
         """Read all remaining bits."""
-        return self.read_bits(self.remaining)
+        return self.read_bits(self._length - self._pos)
 
     def expect_exhausted(self) -> None:
         """Raise :class:`DecodeError` unless the message is fully consumed."""
-        if self.remaining:
-            raise DecodeError(f"{self.remaining} unread bits at end of message")
+        if self._length - self._pos:
+            raise DecodeError(
+                f"{self._length - self._pos} unread bits at end of message"
+            )

@@ -5,15 +5,20 @@ Usage::
     ring-repro all            # every experiment, full sweeps
     ring-repro E7 E8          # selected experiments
     ring-repro all --quick    # reduced sweeps (what the tests run)
+    ring-repro all --profile  # also print per-experiment wall-clock time
     python -m repro.cli E9    # equivalent module form
 
-Exit status is non-zero when any executed experiment's claim check fails.
+Experiments that only need counters run their sweeps with
+``trace="metrics"`` (see PERFORMANCE.md), so the full sweeps stay cheap
+even at the extended ring sizes.  Exit status is non-zero when any
+executed experiment's claim check fails.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
 from repro.experiments import ALL_EXPERIMENTS, get_experiment
@@ -40,6 +45,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="use reduced sweeps (faster, smaller tables)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-experiment wall-clock time (perf regression check)",
+    )
     args = parser.parse_args(argv)
 
     if any(item.lower() == "all" for item in args.experiments):
@@ -49,8 +59,12 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     failures = 0
     for exp_id in exp_ids:
+        started = time.perf_counter()
         result = get_experiment(exp_id)(args.quick)
+        elapsed = time.perf_counter() - started
         print(result.render())
+        if args.profile:
+            print(f"[{exp_id} took {elapsed:.2f}s]")
         print()
         if not result.passed:
             failures += 1

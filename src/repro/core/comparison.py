@@ -58,16 +58,25 @@ def predicted_copy_bits(n: int) -> int:
     return collect + marker + compare
 
 
-def _encode(mode: int, fail: int, buffer: tuple[int, ...]) -> Bits:
-    return Bits([mode, fail]) + Bits(buffer)
+# The (mode, fail) header is two bits; the buffer rides behind it as a
+# packed Bits value, so append/pop are shift-and-mask operations instead of
+# per-letter tuple copies (this is what keeps the Theta(n^2) sweep's cost
+# at n^2 *bits*, not n^2 Python objects).
+_HEADERS = {
+    (mode, fail): Bits([mode, fail]) for mode in (0, 1) for fail in (0, 1)
+}
+_BIT = {0: Bits("0"), 1: Bits("1")}
 
 
-def _decode(message: Bits) -> tuple[int, int, tuple[int, ...]]:
+def _encode(mode: int, fail: int, buffer: Bits) -> Bits:
+    return _HEADERS[(mode, fail)] + buffer
+
+
+def _decode(message: Bits) -> tuple[int, int, Bits]:
     reader = BitReader(message)
     mode = reader.read_bit()
     fail = reader.read_bit()
-    buffer = tuple(reader.read_rest())
-    return mode, fail, buffer
+    return mode, fail, reader.read_rest()
 
 
 class _ComparisonProcessorBase(Processor):
@@ -80,8 +89,8 @@ class _ComparisonProcessorBase(Processor):
     pop_front = True
 
     def _apply_letter(
-        self, mode: int, fail: int, buffer: tuple[int, ...]
-    ) -> tuple[int, int, tuple[int, ...]]:
+        self, mode: int, fail: int, buffer: Bits
+    ) -> tuple[int, int, Bits]:
         letter = self.letter
         if letter == "c":
             if mode == _COMPARE:
@@ -89,7 +98,7 @@ class _ComparisonProcessorBase(Processor):
             return _COMPARE, fail, buffer
         bit = _LETTER_BIT[letter]
         if mode == _COLLECT:
-            return mode, fail, buffer + (bit,)
+            return mode, fail, buffer + _BIT[bit]
         if not buffer:
             return mode, 1, buffer  # right side longer than the left
         if self.pop_front:
@@ -103,7 +112,7 @@ class _ComparisonProcessorBase(Processor):
 
 class _ComparisonLeader(_ComparisonProcessorBase):
     def on_start(self) -> Iterable[Send]:
-        mode, fail, buffer = self._apply_letter(_COLLECT, 0, ())
+        mode, fail, buffer = self._apply_letter(_COLLECT, 0, Bits.empty())
         return [Send.cw(_encode(mode, fail, buffer))]
 
     def on_receive(self, message: Bits, arrived_from: Direction) -> Iterable[Send]:

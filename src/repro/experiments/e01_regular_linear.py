@@ -30,7 +30,7 @@ from repro.ring.bidirectional import run_bidirectional
 from repro.ring.schedulers import RandomScheduler
 from repro.ring.unidirectional import run_unidirectional
 
-SWEEP = Sweep(full=(4, 8, 16, 32, 64, 128, 256, 512), quick=(4, 8, 16, 32))
+SWEEP = Sweep(full=(4, 8, 16, 32, 64, 128, 256, 512, 1024), quick=(4, 8, 16, 32))
 
 
 def _languages() -> list[RegularLanguage]:
@@ -81,13 +81,13 @@ def run(quick: bool = False) -> ExperimentResult:
                 if word is not None
             ]
             for word in words:
-                trace = run_unidirectional(uni, word)
+                trace = run_unidirectional(uni, word, trace="metrics")
                 if trace.decision != language.contains(word):
                     decisions_ok = False
                 if trace.total_bits != uni.predicted_bits(n):
                     exact = False
                 bi_trace = run_bidirectional(
-                    bidi, word, scheduler=RandomScheduler(seed=n)
+                    bidi, word, scheduler=RandomScheduler(seed=n), trace="metrics"
                 )
                 if bi_trace.decision != language.contains(word):
                     decisions_ok = False

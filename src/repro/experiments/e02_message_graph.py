@@ -8,6 +8,9 @@ Infinite side: the one-pass counting transducer's graph blows through every
 vertex budget; the BFS-tree witness word of length ``n`` forces ``n``
 pairwise-distinct messages whose total size is ``Theta(n log n)`` —
 Corollary 1/2 in numbers.
+
+Trace policy: distinct-message counting inspects every delivered payload, so this
+experiment runs with the default ``trace="full"`` policy.
 """
 
 from __future__ import annotations

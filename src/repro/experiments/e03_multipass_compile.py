@@ -68,8 +68,8 @@ def run(quick: bool = False) -> ExperimentResult:
         for length in range(1, exhaustive_len + 1):
             for letters in itertools.product(language.alphabet, repeat=length):
                 word = "".join(letters)
-                source = run_unidirectional(two_pass, word)
-                target = run_unidirectional(compiled_algorithm, word)
+                source = run_unidirectional(two_pass, word, trace="metrics")
+                target = run_unidirectional(compiled_algorithm, word, trace="metrics")
                 if not (
                     source.decision
                     == target.decision
@@ -79,8 +79,8 @@ def run(quick: bool = False) -> ExperimentResult:
                 compiled_bits_per_message = target.total_bits // length
         for n in (20, 45) if quick else (30, 80, 150):
             word = "".join(rng.choice(language.alphabet) for _ in range(n))
-            source = run_unidirectional(two_pass, word)
-            target = run_unidirectional(compiled_algorithm, word)
+            source = run_unidirectional(two_pass, word, trace="metrics")
+            target = run_unidirectional(compiled_algorithm, word, trace="metrics")
             if not (source.decision == target.decision == language.contains(word)):
                 equivalent = False
             compiled_bits_per_message = target.total_bits // n

@@ -15,6 +15,9 @@ Plus the cut-segment lemma, run as surgery: on the *regular* parity
 recognizer (many shared states) every equal-state cut preserves the
 decision and the survivors' states, while the counting recognizer has no
 two processors to cut between — the two sides of Theorem 4's dichotomy.
+
+Trace policy: information states are reconstructed from per-processor logs, so this
+experiment runs with the default ``trace="full"`` policy.
 """
 
 from __future__ import annotations

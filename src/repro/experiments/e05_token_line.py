@@ -11,6 +11,10 @@ a size sweep:
 * apply the Theorem 5 ring->line transformation: ratio <= 4, and the
   inverse transformation restores the original event sequence exactly
   (the proof's "no processor can tell" step).
+
+Trace policy: the token serialization and the Theorem 5 line transformation replay
+individual messages, so this experiment runs with the default
+``trace="full"`` policy.
 """
 
 from __future__ import annotations

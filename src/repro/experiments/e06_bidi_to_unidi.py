@@ -61,13 +61,13 @@ def run(quick: bool = False) -> ExperimentResult:
         for length in range(2, exhaustive_len + 1):
             for letters in itertools.product(language.alphabet, repeat=length):
                 word = "".join(letters)
-                expected = run_bidirectional(source, word).decision
-                trace = run_unidirectional(compiler, word)
+                expected = run_bidirectional(source, word, trace="metrics").decision
+                trace = run_unidirectional(compiler, word, trace="metrics")
                 if not (trace.decision == expected == language.contains(word)):
                     equivalent = False
         for n in large_sizes:
             word = "".join(rng.choice(language.alphabet) for _ in range(n))
-            trace = run_unidirectional(compiler, word)
+            trace = run_unidirectional(compiler, word, trace="metrics")
             if trace.decision != language.contains(word):
                 equivalent = False
             ns.append(n)

@@ -25,7 +25,7 @@ from repro.experiments.base import ExperimentResult, Sweep, default_rng
 from repro.languages.nonregular import CopyLanguage, MarkedPalindrome
 from repro.ring.unidirectional import run_unidirectional
 
-SWEEP = Sweep(full=(9, 17, 33, 65, 129, 257, 513), quick=(17, 33, 65, 129))
+SWEEP = Sweep(full=(9, 17, 33, 65, 129, 257, 513, 1025), quick=(17, 33, 65, 129))
 
 
 def run(quick: bool = False) -> ExperimentResult:
@@ -53,11 +53,11 @@ def run(quick: bool = False) -> ExperimentResult:
             member = language.sample_member(n, rng)
             non_member = language.sample_non_member(n, rng)
             decision_ok = True
-            trace = run_unidirectional(algorithm, member)
+            trace = run_unidirectional(algorithm, member, trace="metrics")
             if trace.decision is not True:
                 decision_ok = False
             if non_member is not None:
-                bad = run_unidirectional(algorithm, non_member)
+                bad = run_unidirectional(algorithm, non_member, trace="metrics")
                 if bad.decision is not False:
                     decision_ok = False
             if name == "copy wcw" and trace.total_bits != predicted_copy_bits(n):

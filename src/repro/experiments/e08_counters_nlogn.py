@@ -22,7 +22,7 @@ from repro.languages.nonregular import AnBnCn
 from repro.ring.unidirectional import run_unidirectional
 
 SWEEP = Sweep(
-    full=(6, 12, 24, 48, 96, 192, 384, 510), quick=(6, 12, 24, 48)
+    full=(6, 12, 24, 48, 96, 192, 384, 510, 1023), quick=(6, 12, 24, 48)
 )
 
 
@@ -43,10 +43,13 @@ def run(quick: bool = False) -> ExperimentResult:
     for n in SWEEP.sizes(quick):
         member = language.sample_member(n, rng)
         assert member is not None
-        trace = run_unidirectional(algorithm, member)
+        trace = run_unidirectional(algorithm, member, trace="metrics")
         predicted = predicted_block_counter_bits(n, 3)
         non_member = language.sample_non_member(n, rng)
-        rejected = run_unidirectional(algorithm, non_member).decision is False
+        rejected = (
+            run_unidirectional(algorithm, non_member, trace="metrics").decision
+            is False
+        )
         decision_ok = (
             trace.decision is True and rejected and trace.total_bits == predicted
         )

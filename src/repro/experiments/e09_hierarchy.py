@@ -24,7 +24,7 @@ from repro.experiments.base import ExperimentResult, Sweep, default_rng
 from repro.languages.hierarchy import STANDARD_GROWTHS, PeriodicLanguage
 from repro.ring.unidirectional import run_unidirectional
 
-SWEEP = Sweep(full=(16, 32, 64, 128, 192, 256, 384), quick=(16, 32, 64, 96))
+SWEEP = Sweep(full=(16, 32, 64, 128, 192, 256, 384, 512), quick=(16, 32, 64, 96))
 
 
 def run(quick: bool = False) -> ExperimentResult:
@@ -53,11 +53,11 @@ def run(quick: bool = False) -> ExperimentResult:
             member = language.sample_member(n, rng)
             if member is None:
                 continue
-            trace = run_unidirectional(algorithm, member)
+            trace = run_unidirectional(algorithm, member, trace="metrics")
             decision_ok = trace.decision is True
             non_member = language.sample_non_member(n, rng)
             if non_member is not None:
-                rejected = run_unidirectional(algorithm, non_member)
+                rejected = run_unidirectional(algorithm, non_member, trace="metrics")
                 decision_ok = decision_ok and rejected.decision is False
             all_ok = all_ok and decision_ok
             compare = trace.bits_of_pass(1)

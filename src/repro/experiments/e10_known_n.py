@@ -28,7 +28,7 @@ from repro.languages.hierarchy import GrowthFunction, PeriodicLanguage
 from repro.languages.nonregular import is_prime
 from repro.ring.unidirectional import run_unidirectional
 
-SWEEP = Sweep(full=(8, 16, 32, 64, 128, 256), quick=(8, 16, 32))
+SWEEP = Sweep(full=(8, 16, 32, 64, 128, 256, 512), quick=(8, 16, 32))
 
 _GROWTHS = (
     GrowthFunction("n", lambda n: float(n)),
@@ -57,11 +57,16 @@ def run(quick: bool = False) -> ExperimentResult:
             member = language.sample_member(n, rng)
             if member is None:
                 continue
-            trace = run_unidirectional(algorithm, member)
+            trace = run_unidirectional(algorithm, member, trace="metrics")
             ok = trace.decision is True
             non_member = language.sample_non_member(n, rng)
             if non_member is not None:
-                ok = ok and run_unidirectional(algorithm, non_member).decision is False
+                ok = ok and (
+                    run_unidirectional(
+                        algorithm, non_member, trace="metrics"
+                    ).decision
+                    is False
+                )
             all_ok = all_ok and ok
             ns.append(n)
             bits.append(trace.total_bits)
@@ -89,8 +94,8 @@ def run(quick: bool = False) -> ExperimentResult:
     unknown = LengthPredicateRecognizer(is_prime, name="prime (count)")
     for n in SWEEP.sizes(quick):
         word = "a" * n
-        known_trace = run_unidirectional(known, word)
-        unknown_trace = run_unidirectional(unknown, word)
+        known_trace = run_unidirectional(known, word, trace="metrics")
+        unknown_trace = run_unidirectional(unknown, word, trace="metrics")
         ok = (
             known_trace.decision == unknown_trace.decision == is_prime(n)
             and known_trace.total_bits == n

@@ -22,7 +22,7 @@ from repro.experiments.base import ExperimentResult, Sweep, default_rng
 from repro.languages.regular import tradeoff_language
 from repro.ring.unidirectional import run_unidirectional
 
-SWEEP = Sweep(full=(16, 64, 256), quick=(8, 16))
+SWEEP = Sweep(full=(16, 64, 256, 512), quick=(8, 16))
 
 
 def run(quick: bool = False) -> ExperimentResult:
@@ -56,8 +56,8 @@ def run(quick: bool = False) -> ExperimentResult:
             for word, expected in ((member, True), (non_member, False)):
                 if word is None:
                     continue
-                one_trace = run_unidirectional(one_pass, word)
-                two_trace = run_unidirectional(two_pass, word)
+                one_trace = run_unidirectional(one_pass, word, trace="metrics")
+                two_trace = run_unidirectional(two_pass, word, trace="metrics")
                 if not (one_trace.decision == two_trace.decision == expected):
                     exact = False
                 if one_trace.total_bits != one_pass_bits(k, n):

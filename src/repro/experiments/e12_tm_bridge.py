@@ -76,14 +76,14 @@ def run(quick: bool = False) -> ExperimentResult:
             if word is None:
                 continue
             tm_result = machine.run(word)
-            trace = run_bidirectional(algorithm, word)
+            trace = run_bidirectional(algorithm, word, trace="metrics")
             bound = tm_result.steps * (width + 1) + 2 * len(word) + 2
             decisions_ok = (
                 trace.decision == tm_result.accepted == language.contains(word)
             )
             non_member = language.sample_non_member(len(word), rng)
             if non_member is not None:
-                bad = run_bidirectional(algorithm, non_member)
+                bad = run_bidirectional(algorithm, non_member, trace="metrics")
                 decisions_ok = decisions_ok and bad.decision is False
             bound_ok = trace.total_bits <= bound and decisions_ok
             all_ok = all_ok and bound_ok
@@ -91,7 +91,7 @@ def run(quick: bool = False) -> ExperimentResult:
             bridge_bits.append(trace.total_bits)
             native_cost = ""
             if native is not None:
-                native_trace = run_unidirectional(native, word)
+                native_trace = run_unidirectional(native, word, trace="metrics")
                 native_cost = native_trace.total_bits
                 native_bits.append(native_trace.total_bits)
             result.rows.append(

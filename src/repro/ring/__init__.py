@@ -12,7 +12,9 @@ This subpackage is the paper's execution model made executable:
 * :mod:`repro.ring.bidirectional` — the bidirectional ring with pluggable
   schedulers covering the asynchronous adversary.
 * :mod:`repro.ring.trace` — execution traces: ordered message events,
-  per-link totals, per-processor *information states* (paper §4).
+  per-link totals, per-processor *information states* (paper §4); plus
+  :class:`~repro.ring.trace.TraceStats`, the O(n)-memory streaming
+  counters every simulator can produce instead via ``trace="metrics"``.
 * :mod:`repro.ring.token` — token-algorithm checks and the chaotic→token
   serialization used by Theorem 5.
 * :mod:`repro.ring.line` — the Theorem 5 ring→line execution transformation
@@ -21,7 +23,12 @@ This subpackage is the paper's execution model made executable:
 
 from repro.ring.messages import Direction, Send
 from repro.ring.processor import LeaderMixin, Processor, RingAlgorithm
-from repro.ring.trace import ExecutionTrace, InformationState, MessageEvent
+from repro.ring.trace import (
+    ExecutionTrace,
+    InformationState,
+    MessageEvent,
+    TraceStats,
+)
 from repro.ring.unidirectional import UnidirectionalRing, run_unidirectional
 from repro.ring.bidirectional import BidirectionalRing, run_bidirectional
 from repro.ring.schedulers import (
@@ -31,7 +38,12 @@ from repro.ring.schedulers import (
     RandomScheduler,
     Scheduler,
 )
-from repro.ring.token import TokenTrace, is_token_trace, serialize_to_token
+from repro.ring.token import (
+    TokenStats,
+    TokenTrace,
+    is_token_trace,
+    serialize_to_token,
+)
 from repro.ring.line import LineNetwork, LineTransformResult, ring_to_line
 
 __all__ = [
@@ -43,6 +55,7 @@ __all__ = [
     "MessageEvent",
     "InformationState",
     "ExecutionTrace",
+    "TraceStats",
     "UnidirectionalRing",
     "run_unidirectional",
     "BidirectionalRing",
@@ -53,6 +66,7 @@ __all__ = [
     "RandomScheduler",
     "AdversarialScheduler",
     "TokenTrace",
+    "TokenStats",
     "is_token_trace",
     "serialize_to_token",
     "LineNetwork",

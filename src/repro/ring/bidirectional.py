@@ -17,7 +17,13 @@ from repro.errors import ProtocolError, RingError
 from repro.ring.messages import Direction, Send
 from repro.ring.processor import Processor, RingAlgorithm
 from repro.ring.schedulers import FifoScheduler, Scheduler
-from repro.ring.trace import ExecutionTrace, MessageEvent
+from repro.ring.trace import (
+    ExecutionTrace,
+    MessageEvent,
+    TracePolicy,
+    TraceStats,
+    validate_trace_policy,
+)
 
 __all__ = ["BidirectionalRing", "run_bidirectional"]
 
@@ -50,32 +56,50 @@ class BidirectionalRing:
             for index, letter in enumerate(word)
         ]
 
-    def run(self, max_messages: int = _DEFAULT_MESSAGE_CAP) -> ExecutionTrace:
-        """Execute to quiescence under the scheduler; return the trace."""
+    def run(
+        self,
+        max_messages: int = _DEFAULT_MESSAGE_CAP,
+        trace: TracePolicy = "full",
+    ) -> ExecutionTrace | TraceStats:
+        """Execute to quiescence under the scheduler; return the trace.
+
+        ``trace="metrics"`` streams counters into :class:`TraceStats`
+        instead of materializing events and local logs (same execution,
+        same scheduler choices, O(n) memory).
+        """
+        validate_trace_policy(trace)
         n = len(self.word)
-        trace = ExecutionTrace(
-            word=self.word,
-            leader=0,
-            local_logs=[[] for _ in range(n)],
-        )
+        full = trace == "full"
+        record: ExecutionTrace | TraceStats
+        if full:
+            record = ExecutionTrace(
+                word=self.word,
+                leader=0,
+                local_logs=[[] for _ in range(n)],
+            )
+        else:
+            record = TraceStats(self.word, leader=0)
         # One FIFO queue per (sender, direction); values carry the global
         # enqueue stamp so schedulers can see age order.
         queues: dict[tuple[int, Direction], deque[tuple[int, Bits]]] = {}
         stamp = 0
         in_flight = 0
+        delivered = 0
 
         def enqueue(sender: int, sends) -> None:
             nonlocal stamp, in_flight
             for send in sends:
                 if not isinstance(send, Send):
                     raise ProtocolError(f"handlers must yield Send, got {send!r}")
-                bits = Bits(send.bits)
-                trace.local_logs[sender].append(("sent", send.direction, bits))
+                bits = send.bits if type(send.bits) is Bits else Bits(send.bits)
+                if full:
+                    record.local_logs[sender].append(("sent", send.direction, bits))
                 key = (sender, send.direction)
                 queues.setdefault(key, deque()).append((stamp, bits))
                 stamp += 1
                 in_flight += 1
-                trace.max_in_flight = max(trace.max_in_flight, in_flight)
+                if in_flight > record.max_in_flight:
+                    record.max_in_flight = in_flight
 
         enqueue(0, self.processors[0].on_start())
 
@@ -87,7 +111,7 @@ class BidirectionalRing:
             )
             if not candidates:
                 break
-            if len(trace.events) >= max_messages:
+            if delivered >= max_messages:
                 raise RingError(
                     f"exceeded {max_messages} messages on n={n}; "
                     "algorithm appears to diverge"
@@ -102,27 +126,32 @@ class BidirectionalRing:
             _, bits = queues[(sender, direction)].popleft()
             in_flight -= 1
             receiver = direction.step(sender, n)
-            trace.events.append(
-                MessageEvent(
-                    index=len(trace.events),
-                    sender=sender,
-                    receiver=receiver,
-                    direction=direction,
-                    bits=bits,
+            if full:
+                record.events.append(
+                    MessageEvent(
+                        index=delivered,
+                        sender=sender,
+                        receiver=receiver,
+                        direction=direction,
+                        bits=bits,
+                    )
                 )
-            )
+            else:
+                record.record(sender, receiver, direction, len(bits))
+            delivered += 1
             arrived_from = direction.opposite()
-            trace.local_logs[receiver].append(("received", arrived_from, bits))
+            if full:
+                record.local_logs[receiver].append(("received", arrived_from, bits))
             responses = self.processors[receiver].on_receive(bits, arrived_from)
             enqueue(receiver, responses)
 
-        trace.decision = self.processors[0].decision
-        if trace.decision is None:
+        record.decision = self.processors[0].decision
+        if record.decision is None:
             raise ProtocolError(
                 f"execution of {self.algorithm.name!r} on {self.word!r} "
                 "quiesced without a leader decision"
             )
-        return trace
+        return record
 
 
 def run_bidirectional(
@@ -130,8 +159,9 @@ def run_bidirectional(
     word: str,
     scheduler: Scheduler | None = None,
     max_messages: int = _DEFAULT_MESSAGE_CAP,
-) -> ExecutionTrace:
+    trace: TracePolicy = "full",
+) -> ExecutionTrace | TraceStats:
     """Convenience wrapper: build the bidirectional ring and run it."""
     return BidirectionalRing(algorithm, word, scheduler).run(
-        max_messages=max_messages
+        max_messages=max_messages, trace=trace
     )

@@ -29,7 +29,13 @@ from repro.errors import ProtocolError, RingError
 from repro.ring.messages import Direction, Send
 from repro.ring.processor import Processor, RingAlgorithm
 from repro.ring.schedulers import FifoScheduler, Scheduler
-from repro.ring.trace import ExecutionTrace, MessageEvent
+from repro.ring.trace import (
+    ExecutionTrace,
+    MessageEvent,
+    TracePolicy,
+    TraceStats,
+    validate_trace_policy,
+)
 
 __all__ = ["LineTransformResult", "ring_to_line", "restore_from_line", "LineNetwork"]
 
@@ -231,17 +237,30 @@ class LineNetwork:
             for index, letter in enumerate(word)
         ]
 
-    def run(self, max_messages: int = 2_000_000) -> ExecutionTrace:
-        """Execute to quiescence; require a leader decision."""
+    def run(
+        self, max_messages: int = 2_000_000, trace: TracePolicy = "full"
+    ) -> ExecutionTrace | TraceStats:
+        """Execute to quiescence; require a leader decision.
+
+        ``trace="metrics"`` streams counters into :class:`TraceStats`
+        instead of materializing events and local logs.
+        """
+        validate_trace_policy(trace)
         n = len(self.word)
-        trace = ExecutionTrace(
-            word=self.word,
-            leader=self.leader,
-            local_logs=[[] for _ in range(n)],
-        )
+        full = trace == "full"
+        record: ExecutionTrace | TraceStats
+        if full:
+            record = ExecutionTrace(
+                word=self.word,
+                leader=self.leader,
+                local_logs=[[] for _ in range(n)],
+            )
+        else:
+            record = TraceStats(self.word, leader=self.leader)
         queues: dict[tuple[int, Direction], deque[tuple[int, Bits]]] = {}
         stamp = 0
         in_flight = 0
+        delivered = 0
 
         def neighbor(index: int, direction: Direction) -> int:
             target = index + (1 if direction is Direction.CW else -1)
@@ -257,14 +276,16 @@ class LineNetwork:
                 if not isinstance(send, Send):
                     raise ProtocolError(f"handlers must yield Send, got {send!r}")
                 neighbor(sender, send.direction)  # validate now
-                bits = Bits(send.bits)
-                trace.local_logs[sender].append(("sent", send.direction, bits))
+                bits = send.bits if type(send.bits) is Bits else Bits(send.bits)
+                if full:
+                    record.local_logs[sender].append(("sent", send.direction, bits))
                 queues.setdefault((sender, send.direction), deque()).append(
                     (stamp, bits)
                 )
                 stamp += 1
                 in_flight += 1
-                trace.max_in_flight = max(trace.max_in_flight, in_flight)
+                if in_flight > record.max_in_flight:
+                    record.max_in_flight = in_flight
 
         enqueue(self.leader, self.processors[self.leader].on_start())
 
@@ -274,7 +295,7 @@ class LineNetwork:
             )
             if not candidates:
                 break
-            if len(trace.events) >= max_messages:
+            if delivered >= max_messages:
                 raise RingError(
                     f"exceeded {max_messages} messages on a line of {n}"
                 )
@@ -283,23 +304,28 @@ class LineNetwork:
             _, bits = queues[(sender, direction)].popleft()
             in_flight -= 1
             receiver = neighbor(sender, direction)
-            trace.events.append(
-                MessageEvent(
-                    index=len(trace.events),
-                    sender=sender,
-                    receiver=receiver,
-                    direction=direction,
-                    bits=bits,
+            if full:
+                record.events.append(
+                    MessageEvent(
+                        index=delivered,
+                        sender=sender,
+                        receiver=receiver,
+                        direction=direction,
+                        bits=bits,
+                    )
                 )
-            )
+            else:
+                record.record(sender, receiver, direction, len(bits))
+            delivered += 1
             arrived_from = direction.opposite()
-            trace.local_logs[receiver].append(("received", arrived_from, bits))
+            if full:
+                record.local_logs[receiver].append(("received", arrived_from, bits))
             enqueue(receiver, self.processors[receiver].on_receive(bits, arrived_from))
 
-        trace.decision = self.processors[self.leader].decision
-        if trace.decision is None:
+        record.decision = self.processors[self.leader].decision
+        if record.decision is None:
             raise ProtocolError(
                 f"line execution of {self.algorithm.name!r} on {self.word!r} "
                 "quiesced without a leader decision"
             )
-        return trace
+        return record

@@ -33,9 +33,15 @@ from typing import Literal
 from repro.bits import Bits
 from repro.errors import RingError, TokenViolation
 from repro.ring.messages import Direction
-from repro.ring.trace import ExecutionTrace
+from repro.ring.trace import ExecutionTrace, TracePolicy, validate_trace_policy
 
-__all__ = ["TokenEvent", "TokenTrace", "is_token_trace", "serialize_to_token"]
+__all__ = [
+    "TokenEvent",
+    "TokenTrace",
+    "TokenStats",
+    "is_token_trace",
+    "serialize_to_token",
+]
 
 
 @dataclass(frozen=True)
@@ -107,6 +113,35 @@ class TokenTrace:
         original = per_link(self.original.events, lambda e: e.bits)
         replayed = per_link(self.payload_events(), lambda e: e.bits[1:])
         return original == replayed
+
+
+@dataclass
+class TokenStats:
+    """Streaming counters of a token serialization (``trace="metrics"``).
+
+    Same accounting as :class:`TokenTrace` (``total_bits``, ``move_bits``,
+    ``carry_bits``, ``overhead_ratio``) without materializing the
+    :class:`TokenEvent` list; payload-preservation checks need the full
+    variant.
+    """
+
+    original_bits: int
+    move_bits: int = 0
+    carry_bits: int = 0
+    move_count: int = 0
+    carry_count: int = 0
+
+    @property
+    def total_bits(self) -> int:
+        """Bit complexity of the token execution."""
+        return self.move_bits + self.carry_bits
+
+    @property
+    def overhead_ratio(self) -> float:
+        """token bits / original bits (>= 1 for non-trivial executions)."""
+        if self.original_bits == 0:
+            return 1.0
+        return self.total_bits / self.original_bits
 
 
 def is_token_trace(trace: ExecutionTrace) -> bool:
@@ -196,7 +231,9 @@ def _compute_triggers(trace: ExecutionTrace) -> list[int | None]:
     return triggers
 
 
-def serialize_to_token(trace: ExecutionTrace) -> TokenTrace:
+def serialize_to_token(
+    trace: ExecutionTrace, trace_policy: TracePolicy = "full"
+) -> TokenTrace | TokenStats:
     """Simulate ``trace`` by a token algorithm (see module docstring).
 
     The deliveries are replayed in a *causally valid* order chosen to keep
@@ -207,11 +244,17 @@ def serialize_to_token(trace: ExecutionTrace) -> TokenTrace:
     algorithms the nearest enabled delivery is always at the token, so the
     only overhead is the flag bit; concurrent executions (several enabled
     deliveries at once) pay measured movement, reported by experiment E5.
+
+    ``trace_policy="metrics"`` returns streaming :class:`TokenStats`
+    counters instead of the full :class:`TokenTrace` event list.
     """
+    validate_trace_policy(trace_policy)
+    full = trace_policy == "full"
     size = trace.ring_size
     if size == 0:
         raise RingError("cannot serialize an empty ring execution")
     result = TokenTrace(original=trace)
+    stats = TokenStats(original_bits=trace.total_bits)
     events = trace.events
     triggers = _compute_triggers(trace)
     # Per-link FIFO predecessor for each event.
@@ -242,28 +285,35 @@ def serialize_to_token(trace: ExecutionTrace) -> TokenTrace:
             enabled,
             key=lambda e: (_arc_distance(token_at, e.sender, size), e.index),
         )
-        for sender, receiver, direction in _shorter_arc(
-            token_at, chosen.sender, size
-        ):
+        if full:
+            for sender, receiver, direction in _shorter_arc(
+                token_at, chosen.sender, size
+            ):
+                result.events.append(
+                    TokenEvent(
+                        kind="move",
+                        sender=sender,
+                        receiver=receiver,
+                        direction=direction,
+                        bits=Bits("0"),
+                    )
+                )
             result.events.append(
                 TokenEvent(
-                    kind="move",
-                    sender=sender,
-                    receiver=receiver,
-                    direction=direction,
-                    bits=Bits("0"),
+                    kind="carry",
+                    sender=chosen.sender,
+                    receiver=chosen.receiver,
+                    direction=chosen.direction,
+                    bits=Bits("1") + chosen.bits,
                 )
             )
-        result.events.append(
-            TokenEvent(
-                kind="carry",
-                sender=chosen.sender,
-                receiver=chosen.receiver,
-                direction=chosen.direction,
-                bits=Bits("1") + chosen.bits,
-            )
-        )
+        else:
+            hops = _arc_distance(token_at, chosen.sender, size)
+            stats.move_count += hops
+            stats.move_bits += hops
+            stats.carry_count += 1
+            stats.carry_bits += 1 + len(chosen.bits)
         token_at = chosen.receiver
         done[chosen.index] = True
         remaining -= 1
-    return result
+    return result if full else stats

@@ -11,6 +11,23 @@ everything the paper's proofs look at:
   chronological sequence of messages it sent or received, with directions
   (paper §4).  Theorem 4/5's counting argument is about how many *distinct*
   information states an execution must produce.
+
+Trace policies
+--------------
+Materializing a :class:`MessageEvent` per delivery plus per-processor
+``local_logs`` costs O(total messages) memory and allocator time, which is
+what a Θ(n²)-bit sweep actually pays for.  Every simulator therefore takes
+a ``trace`` policy:
+
+* ``trace="full"`` (default) — build the complete :class:`ExecutionTrace`;
+  needed by consumers that inspect individual messages or information
+  states (message graphs, Theorem 4/5 arguments, the Theorem 5 and token
+  transformations).
+* ``trace="metrics"`` — stream every delivery into a :class:`TraceStats`:
+  total bits, message count, per-link bit totals, per-processor send
+  counts, per-pass bit totals, ``max_in_flight`` and the decision, in O(n)
+  memory.  The counters are *defined* to agree bit-for-bit with the values
+  derived from a full trace of the same execution.
 """
 
 from __future__ import annotations
@@ -22,7 +39,17 @@ from repro.bits import Bits
 from repro.errors import RingError
 from repro.ring.messages import Direction
 
-__all__ = ["MessageEvent", "InformationState", "ExecutionTrace"]
+__all__ = ["MessageEvent", "InformationState", "ExecutionTrace", "TraceStats"]
+
+TracePolicy = Literal["full", "metrics"]
+
+
+def validate_trace_policy(policy: str) -> None:
+    """Raise :class:`RingError` unless ``policy`` is a known trace policy."""
+    if policy not in ("full", "metrics"):
+        raise RingError(
+            f"unknown trace policy {policy!r}; expected 'full' or 'metrics'"
+        )
 
 EventKind = Literal["sent", "received"]
 
@@ -216,3 +243,115 @@ class ExecutionTrace:
             f"bits={self.total_bits} decision={self.decision} "
             f"passes={self.pass_count()}"
         )
+
+    def stats(self) -> "TraceStats":
+        """Derive the streaming counters from this full trace.
+
+        Used by cross-check tests: ``run(trace="metrics")`` must equal
+        ``run(trace="full").stats()`` field for field.
+        """
+        stats = TraceStats(self.word, self.leader)
+        for event in self.events:
+            stats.record(event.sender, event.receiver, event.direction, event.size)
+        stats.max_in_flight = self.max_in_flight
+        stats.decision = self.decision
+        return stats
+
+
+class TraceStats:
+    """Streaming, O(n)-memory accounting of one execution (``trace="metrics"``).
+
+    Exposes the counter-shaped subset of the :class:`ExecutionTrace` API
+    (``total_bits``, ``message_count``, ``bits_per_link``, ``min_bits_link``,
+    ``messages_per_processor``, ``pass_count``, ``bits_of_pass``,
+    ``max_in_flight``, ``decision``) with identical values, but never
+    materializes :class:`MessageEvent` objects or per-processor logs.
+    Message-level consumers (information states, message graphs, the
+    Theorem 5 / token transformations) need ``trace="full"``.
+    """
+
+    __slots__ = (
+        "word",
+        "leader",
+        "total_bits",
+        "message_count",
+        "link_bits",
+        "sent_counts",
+        "pass_bits",
+        "max_in_flight",
+        "decision",
+    )
+
+    def __init__(self, word: str, leader: int = 0) -> None:
+        self.word = word
+        self.leader = leader
+        self.total_bits = 0
+        self.message_count = 0
+        self.link_bits: list[int] = [0] * len(word)
+        self.sent_counts: list[int] = [0] * len(word)
+        self.pass_bits: list[int] = []
+        self.max_in_flight = 0
+        self.decision: bool | None = None
+
+    @property
+    def ring_size(self) -> int:
+        """Number of processors (= pattern length)."""
+        return len(self.word)
+
+    def record(
+        self, sender: int, receiver: int, direction: Direction, size: int
+    ) -> None:
+        """Account one delivered message (simulator hot path)."""
+        index = self.message_count
+        self.message_count = index + 1
+        self.total_bits += size
+        # Undirected link id, matching MessageEvent.link(): the link between
+        # p_i and p_{i+1} is i, so CW messages charge the sender's id and
+        # CCW messages the receiver's.
+        link = sender if direction is Direction.CW else receiver
+        self.link_bits[link] += size
+        self.sent_counts[sender] += 1
+        pass_index = index // len(self.word)
+        if pass_index == len(self.pass_bits):
+            self.pass_bits.append(size)
+        else:
+            self.pass_bits[pass_index] += size
+
+    # -- ExecutionTrace-compatible accessors ---------------------------------
+
+    def bits_per_link(self) -> dict[int, int]:
+        """Total bits per undirected link (both directions combined)."""
+        return dict(enumerate(self.link_bits))
+
+    def min_bits_link(self) -> int:
+        """The link carrying the fewest bits (ties toward the smallest id)."""
+        return min(
+            range(self.ring_size), key=lambda link: (self.link_bits[link], link)
+        )
+
+    def messages_per_processor(self) -> list[int]:
+        """Sent-message count per node — sup over nodes is the paper's pi_A."""
+        return list(self.sent_counts)
+
+    def pass_count(self) -> int:
+        """Number of (possibly partial) passes."""
+        return len(self.pass_bits)
+
+    def bits_of_pass(self, index: int) -> int:
+        """Total bits of the ``index``-th pass."""
+        if not 0 <= index < len(self.pass_bits):
+            raise RingError(
+                f"no pass {index} in a {len(self.pass_bits)}-pass execution"
+            )
+        return self.pass_bits[index]
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"n={self.ring_size} messages={self.message_count} "
+            f"bits={self.total_bits} decision={self.decision} "
+            f"passes={self.pass_count()}"
+        )
+
+    def __repr__(self) -> str:
+        return f"TraceStats({self.summary()})"

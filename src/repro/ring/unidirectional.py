@@ -23,7 +23,13 @@ from repro.bits import Bits
 from repro.errors import ProtocolError, RingError
 from repro.ring.messages import Direction, Send
 from repro.ring.processor import Processor, RingAlgorithm
-from repro.ring.trace import ExecutionTrace, MessageEvent
+from repro.ring.trace import (
+    ExecutionTrace,
+    MessageEvent,
+    TracePolicy,
+    TraceStats,
+    validate_trace_policy,
+)
 
 __all__ = ["UnidirectionalRing", "run_unidirectional"]
 
@@ -50,20 +56,34 @@ class UnidirectionalRing:
             for index, letter in enumerate(word)
         ]
 
-    def run(self, max_messages: int = _DEFAULT_MESSAGE_CAP) -> ExecutionTrace:
-        """Execute to quiescence and return the trace.
+    def run(
+        self,
+        max_messages: int = _DEFAULT_MESSAGE_CAP,
+        trace: TracePolicy = "full",
+    ) -> ExecutionTrace | TraceStats:
+        """Execute to quiescence and return the trace or its counters.
 
-        Raises :class:`ProtocolError` on model violations and
+        ``trace="full"`` returns the complete :class:`ExecutionTrace`;
+        ``trace="metrics"`` streams into an O(n)-memory
+        :class:`TraceStats` instead (same counter values, no per-message
+        objects).  Raises :class:`ProtocolError` on model violations and
         :class:`RingError` if ``max_messages`` is exceeded (diverging
         algorithm).
         """
+        validate_trace_policy(trace)
         n = len(self.word)
-        trace = ExecutionTrace(
-            word=self.word,
-            leader=0,
-            local_logs=[[] for _ in range(n)],
-        )
+        full = trace == "full"
+        record: ExecutionTrace | TraceStats
+        if full:
+            record = ExecutionTrace(
+                word=self.word,
+                leader=0,
+                local_logs=[[] for _ in range(n)],
+            )
+        else:
+            record = TraceStats(self.word, leader=0)
         pending: deque[tuple[int, Bits]] = deque()
+        delivered = 0
 
         def enqueue(sender: int, sends) -> None:
             for send in sends:
@@ -74,46 +94,59 @@ class UnidirectionalRing:
                         "unidirectional algorithms may only send CW "
                         f"(p_{sender} tried {send.direction})"
                     )
-                bits = Bits(send.bits)
-                trace.local_logs[sender].append(("sent", Direction.CW, bits))
+                bits = send.bits if type(send.bits) is Bits else Bits(send.bits)
+                if full:
+                    record.local_logs[sender].append(("sent", Direction.CW, bits))
                 pending.append((sender, bits))
-                trace.max_in_flight = max(trace.max_in_flight, len(pending))
+                if len(pending) > record.max_in_flight:
+                    record.max_in_flight = len(pending)
 
         enqueue(0, self.processors[0].on_start())
 
         while pending:
-            if len(trace.events) >= max_messages:
+            if delivered >= max_messages:
                 raise RingError(
                     f"exceeded {max_messages} messages on n={n}; "
                     "algorithm appears to diverge"
                 )
             sender, bits = pending.popleft()
-            receiver = Direction.CW.step(sender, n)
-            trace.events.append(
-                MessageEvent(
-                    index=len(trace.events),
-                    sender=sender,
-                    receiver=receiver,
-                    direction=Direction.CW,
-                    bits=bits,
+            receiver = sender + 1 if sender + 1 < n else 0
+            if full:
+                record.events.append(
+                    MessageEvent(
+                        index=delivered,
+                        sender=sender,
+                        receiver=receiver,
+                        direction=Direction.CW,
+                        bits=bits,
+                    )
                 )
-            )
-            # A CW message arrives on the receiver's CCW port.
-            trace.local_logs[receiver].append(("received", Direction.CCW, bits))
+                # A CW message arrives on the receiver's CCW port.
+                record.local_logs[receiver].append(
+                    ("received", Direction.CCW, bits)
+                )
+            else:
+                record.record(sender, receiver, Direction.CW, len(bits))
+            delivered += 1
             responses = self.processors[receiver].on_receive(bits, Direction.CCW)
             enqueue(receiver, responses)
 
-        trace.decision = self.processors[0].decision
-        if trace.decision is None:
+        record.decision = self.processors[0].decision
+        if record.decision is None:
             raise ProtocolError(
                 f"execution of {self.algorithm.name!r} on {self.word!r} "
                 "quiesced without a leader decision"
             )
-        return trace
+        return record
 
 
 def run_unidirectional(
-    algorithm: RingAlgorithm, word: str, max_messages: int = _DEFAULT_MESSAGE_CAP
-) -> ExecutionTrace:
+    algorithm: RingAlgorithm,
+    word: str,
+    max_messages: int = _DEFAULT_MESSAGE_CAP,
+    trace: TracePolicy = "full",
+) -> ExecutionTrace | TraceStats:
     """Convenience wrapper: build the ring and run it."""
-    return UnidirectionalRing(algorithm, word).run(max_messages=max_messages)
+    return UnidirectionalRing(algorithm, word).run(
+        max_messages=max_messages, trace=trace
+    )

@@ -12,6 +12,7 @@ from repro.analysis.growth import (
     classify_growth,
     fit_model,
     log_log_slope,
+    measure_curve,
     theta_check,
 )
 from repro.analysis.models import STANDARD_MODELS, GrowthModel, model_named
@@ -148,3 +149,27 @@ class TestTables:
     def test_missing_cells(self):
         text = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
         assert "1" in text and "2" in text
+
+
+class TestMeasureCurve:
+    def test_streams_metrics_runs_into_classifiable_lists(self):
+        """The documented idiom: metrics-only sweeps feed the classifier."""
+        from repro.core.regular_onepass import DFARecognizer
+        from repro.languages.regular import parity_language
+        from repro.ring.unidirectional import run_unidirectional
+
+        algorithm = DFARecognizer(parity_language().dfa)
+        ns, bits = measure_curve(
+            NS,
+            lambda n: run_unidirectional(
+                algorithm, "ab" * (n // 2), trace="metrics"
+            ).total_bits,
+        )
+        assert ns == list(NS)
+        assert bits == [n for n in NS]  # parity: 1 bit per message, n messages
+        assert classify_growth(ns, bits).model.name == "n"
+
+    def test_preserves_order_and_handles_generators(self):
+        ns, bits = measure_curve(iter((3, 1, 2)), lambda n: n * n)
+        assert ns == [3, 1, 2]
+        assert bits == [9, 1, 4]

@@ -1,0 +1,189 @@
+"""Property tests pinning the int-packed ``Bits`` to tuple semantics.
+
+The representation changed from ``tuple[int, ...]`` to a packed
+``(int value, int length)`` pair; these tests assert the observable
+behavior is exactly what the tuple backing produced, using a plain tuple
+as the reference model.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bits import (
+    BitReader,
+    Bits,
+    decode_fixed,
+    encode_elias_gamma,
+    encode_fixed,
+    encode_unary,
+)
+from repro.errors import BitsError
+
+bit_tuples = st.lists(st.integers(min_value=0, max_value=1), max_size=64).map(tuple)
+
+
+class TestConstructionMatchesTuple:
+    @given(bit_tuples)
+    def test_str_and_iterable_agree(self, bits):
+        text = "".join(str(b) for b in bits)
+        assert Bits(text) == Bits(bits)
+        assert Bits(text) == Bits(iter(bits))
+
+    @given(bit_tuples)
+    def test_sequence_protocol(self, bits):
+        packed = Bits(bits)
+        assert len(packed) == len(bits)
+        assert tuple(packed) == bits
+        assert list(reversed(packed)) == list(reversed(bits))
+        for i in range(-len(bits), len(bits)):
+            assert packed[i] == bits[i]
+
+    @given(bit_tuples)
+    def test_str_repr_round_trip(self, bits):
+        packed = Bits(bits)
+        assert str(packed) == "".join(str(b) for b in bits)
+        assert eval(repr(packed)) == packed
+
+    def test_leading_zeros_are_significant(self):
+        assert Bits("001") != Bits("01")
+        assert Bits("001") != Bits("1")
+        assert Bits("000") != Bits("00")
+        assert Bits.zeros(5) != Bits.zeros(4)
+
+    def test_rejects_int_like_strings(self):
+        # int(s, 2) would happily parse these; Bits must not.
+        for bad in ("1_0", " 10", "10 ", "+10", "-10", "１0"):
+            with pytest.raises(BitsError):
+                Bits(bad)
+
+    def test_interning(self):
+        assert Bits("") is Bits.empty()
+        assert Bits("0") is Bits("0")
+        assert Bits("1") is Bits([1])
+        original = Bits("1010")
+        assert Bits(original) is original
+
+    @given(bit_tuples)
+    def test_index_out_of_range(self, bits):
+        packed = Bits(bits)
+        with pytest.raises(IndexError):
+            packed[len(bits)]
+        with pytest.raises(IndexError):
+            packed[-len(bits) - 1]
+
+
+class TestSlicingMatchesTuple:
+    @given(
+        bit_tuples,
+        st.integers(min_value=-70, max_value=70),
+        st.integers(min_value=-70, max_value=70),
+        st.integers(min_value=-5, max_value=5).filter(lambda s: s != 0),
+    )
+    def test_arbitrary_slices(self, bits, start, stop, step):
+        packed = Bits(bits)
+        assert tuple(packed[start:stop:step]) == bits[start:stop:step]
+
+    @given(bit_tuples, st.integers(min_value=0, max_value=70))
+    def test_prefix_suffix_split(self, bits, cut):
+        packed = Bits(bits)
+        assert tuple(packed[:cut]) == bits[:cut]
+        assert tuple(packed[cut:]) == bits[cut:]
+        assert packed[:cut] + packed[cut:] == packed
+
+    @given(bit_tuples)
+    def test_reverse_slice(self, bits):
+        assert tuple(Bits(bits)[::-1]) == bits[::-1]
+
+
+class TestOperationsMatchTuple:
+    @given(bit_tuples, bit_tuples)
+    def test_concat(self, left, right):
+        assert tuple(Bits(left) + Bits(right)) == left + right
+        assert tuple(Bits(left).concat(Bits(right))) == left + right
+
+    @given(bit_tuples, bit_tuples, bit_tuples)
+    def test_concat_many(self, a, b, c):
+        assert tuple(Bits(a).concat(Bits(b), Bits(c))) == a + b + c
+
+    @given(bit_tuples, bit_tuples)
+    def test_equality_and_hash_consistency(self, left, right):
+        packed_left, packed_right = Bits(left), Bits(right)
+        assert (packed_left == packed_right) == (left == right)
+        if packed_left == packed_right:
+            assert hash(packed_left) == hash(packed_right)
+
+    @given(bit_tuples, bit_tuples)
+    def test_startswith(self, bits, prefix):
+        expected = bits[: len(prefix)] == prefix
+        assert Bits(bits).startswith(Bits(prefix)) == expected
+
+    @given(bit_tuples)
+    def test_to_int(self, bits):
+        value = 0
+        for b in bits:
+            value = (value << 1) | b
+        assert Bits(bits).to_int() == value
+
+    @given(bit_tuples)
+    def test_membership_and_count(self, bits):
+        packed = Bits(bits)
+        for needle in (0, 1):
+            assert (needle in packed) == (needle in bits)
+            assert packed.count(needle) == bits.count(needle)
+
+
+class TestCodecRoundTrips:
+    @given(st.integers(min_value=0, max_value=2**40), st.integers(min_value=1, max_value=48))
+    def test_fixed(self, value, width):
+        if value >= 1 << width:
+            with pytest.raises(BitsError):
+                encode_fixed(value, width)
+        else:
+            encoded = encode_fixed(value, width)
+            assert len(encoded) == width
+            assert decode_fixed(encoded, width) == value
+
+    @given(st.integers(min_value=0, max_value=300))
+    def test_unary(self, value):
+        encoded = encode_unary(value)
+        assert tuple(encoded) == (1,) * value + (0,)
+        reader = BitReader(encoded)
+        assert reader.read_unary() == value
+        reader.expect_exhausted()
+
+    @given(st.integers(min_value=1, max_value=2**40))
+    def test_gamma(self, value):
+        encoded = encode_elias_gamma(value)
+        width = value.bit_length()
+        assert tuple(encoded)[: width - 1] == (0,) * (width - 1)
+        reader = BitReader(encoded)
+        assert reader.read_elias_gamma() == value
+        reader.expect_exhausted()
+
+    def test_codec_memoization_returns_equal_values(self):
+        assert encode_fixed(5, 4) is encode_fixed(5, 4)
+        assert encode_elias_gamma(17) is encode_elias_gamma(17)
+        # Cached and uncached widths agree.
+        assert str(encode_fixed(5, 20)) == "0" * 17 + "101"
+
+
+class TestBitReaderMatchesSequentialTuple:
+    @given(bit_tuples, st.data())
+    def test_chunked_reads(self, bits, data):
+        reader = BitReader(Bits(bits))
+        position = 0
+        while position < len(bits):
+            count = data.draw(
+                st.integers(min_value=0, max_value=len(bits) - position)
+            )
+            chunk = reader.read_bits(count)
+            assert tuple(chunk) == bits[position : position + count]
+            position += count
+            if count == 0:
+                assert reader.read_bit() == bits[position]
+                position += 1
+        assert reader.remaining == 0
+        reader.expect_exhausted()

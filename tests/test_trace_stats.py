@@ -1,0 +1,203 @@
+"""Cross-checks: ``trace="metrics"`` counters equal full-trace accounting.
+
+Every simulator's :class:`~repro.ring.trace.TraceStats` is required to be
+bit-for-bit identical to the values derived from the
+:class:`~repro.ring.trace.ExecutionTrace` of the same execution — this is
+the contract that lets experiments run their sweeps without materializing
+events.  The matrix covers all four execution substrates (unidirectional,
+bidirectional under several schedulers, line, token serialization) over
+randomized algorithms and words.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import random_dfa
+from repro.core.comparison import (
+    CollectAllRecognizer,
+    CopyRecognizer,
+    MarkedPalindromeRecognizer,
+)
+from repro.core.counters import BlockCounterRecognizer
+from repro.core.regular_bidirectional import BidirectionalDFARecognizer
+from repro.core.regular_onepass import DFARecognizer
+from repro.errors import RingError
+from repro.languages.nonregular import AnBnCn, CopyLanguage, MarkedPalindrome
+from repro.ring import (
+    BidirectionalRing,
+    TraceStats,
+    UnidirectionalRing,
+    run_bidirectional,
+    run_unidirectional,
+)
+from repro.ring.schedulers import FifoScheduler, LifoScheduler, RandomScheduler
+from repro.ring.token import TokenStats, serialize_to_token
+
+
+def assert_stats_match(full_trace, stats: TraceStats) -> None:
+    """Field-for-field agreement between a full trace and streamed stats."""
+    assert stats.word == full_trace.word
+    assert stats.leader == full_trace.leader
+    assert stats.ring_size == full_trace.ring_size
+    assert stats.total_bits == full_trace.total_bits
+    assert stats.message_count == full_trace.message_count
+    assert stats.bits_per_link() == full_trace.bits_per_link()
+    assert stats.min_bits_link() == full_trace.min_bits_link()
+    assert stats.messages_per_processor() == full_trace.messages_per_processor()
+    assert stats.pass_count() == full_trace.pass_count()
+    for index in range(full_trace.pass_count()):
+        assert stats.bits_of_pass(index) == full_trace.bits_of_pass(index)
+    assert stats.max_in_flight == full_trace.max_in_flight
+    assert stats.decision == full_trace.decision
+    # And the derived-stats helper agrees with the streamed version.
+    derived = full_trace.stats()
+    assert derived.link_bits == stats.link_bits
+    assert derived.pass_bits == stats.pass_bits
+    assert derived.sent_counts == stats.sent_counts
+
+
+def unidirectional_cases():
+    rng = random.Random(0x7ACE)
+    copy_lang, pal_lang, abc_lang = CopyLanguage(), MarkedPalindrome(), AnBnCn()
+    cases = []
+    for n in (1, 2, 3, 5, 9, 17, 33):
+        word = copy_lang.sample_member(2 * n + 1, rng)
+        cases.append((CopyRecognizer(), word))
+        cases.append((MarkedPalindromeRecognizer(), pal_lang.sample_member(2 * n + 1, rng)))
+        cases.append((CollectAllRecognizer(copy_lang), word))
+    for n in (3, 6, 12, 24):
+        cases.append((BlockCounterRecognizer("012"), abc_lang.sample_member(n, rng)))
+    for size in (2, 3, 5, 8):
+        dfa = random_dfa(rng, size)
+        word = "".join(rng.choice("ab") for _ in range(rng.randrange(1, 40)))
+        cases.append((DFARecognizer(dfa), word))
+    return cases
+
+
+def bidirectional_cases():
+    rng = random.Random(0xB1D1)
+    cases = []
+    for size in (2, 3, 5):
+        dfa = random_dfa(rng, size)
+        for scheduler_factory in (
+            FifoScheduler,
+            LifoScheduler,
+            lambda: RandomScheduler(seed=size),
+        ):
+            word = "".join(rng.choice("ab") for _ in range(rng.randrange(2, 24)))
+            cases.append((BidirectionalDFARecognizer(dfa), word, scheduler_factory))
+    return cases
+
+
+class TestUnidirectionalCrossCheck:
+    @pytest.mark.parametrize(
+        "algorithm,word",
+        unidirectional_cases(),
+        ids=lambda value: getattr(value, "name", None) or f"w{len(value)}",
+    )
+    def test_metrics_equals_full(self, algorithm, word):
+        full_trace = run_unidirectional(algorithm, word)
+        stats = run_unidirectional(algorithm, word, trace="metrics")
+        assert isinstance(stats, TraceStats)
+        assert_stats_match(full_trace, stats)
+
+    def test_ring_class_accepts_policy(self):
+        algorithm = CopyRecognizer()
+        word = CopyLanguage().sample_member(9, random.Random(1))
+        full_trace = UnidirectionalRing(algorithm, word).run()
+        stats = UnidirectionalRing(algorithm, word).run(trace="metrics")
+        assert_stats_match(full_trace, stats)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(RingError, match="trace policy"):
+            run_unidirectional(CopyRecognizer(), "aca", trace="events")
+
+
+class TestBidirectionalCrossCheck:
+    @pytest.mark.parametrize(
+        "algorithm,word,scheduler_factory",
+        bidirectional_cases(),
+        ids=lambda value: getattr(value, "name", None),
+    )
+    def test_metrics_equals_full(self, algorithm, word, scheduler_factory):
+        full_trace = run_bidirectional(algorithm, word, scheduler=scheduler_factory())
+        stats = run_bidirectional(
+            algorithm, word, scheduler=scheduler_factory(), trace="metrics"
+        )
+        assert isinstance(stats, TraceStats)
+        assert_stats_match(full_trace, stats)
+
+    def test_ring_class_accepts_policy(self):
+        dfa = random_dfa(random.Random(7), 3)
+        algorithm = BidirectionalDFARecognizer(dfa)
+        full_trace = BidirectionalRing(algorithm, "abab").run()
+        stats = BidirectionalRing(algorithm, "abab").run(trace="metrics")
+        assert_stats_match(full_trace, stats)
+
+
+def _echo_line(word: str):
+    """A line network whose token bounces end to end once (deterministic)."""
+    from repro.bits import Bits
+    from repro.ring import Processor, RingAlgorithm, Send
+    from repro.ring.line import LineNetwork
+
+    class LineLeader(Processor):
+        def on_start(self):
+            return [Send.cw(Bits("101"))]
+
+        def on_receive(self, message, arrived_from):
+            self.decide(True)
+            return ()
+
+    class LineEcho(Processor):
+        def __init__(self, letter, is_leader, is_last):
+            super().__init__(letter, is_leader)
+            self._is_last = is_last
+
+        def on_receive(self, message, arrived_from):
+            if self._is_last:
+                return [Send.ccw(message + Bits("1"))]
+            return [Send(arrived_from.opposite(), message)]
+
+    class LineAlgo(RingAlgorithm):
+        name = "line-echo"
+
+        def __init__(self):
+            super().__init__("ab")
+
+        def create_processor(self, letter, is_leader):
+            raise AssertionError("positioned only")
+
+        def create_processor_positioned(self, letter, is_leader, index, size):
+            if is_leader:
+                return LineLeader(letter, is_leader=True)
+            return LineEcho(letter, is_leader, is_last=index == size - 1)
+
+    return LineNetwork(LineAlgo(), word)
+
+
+class TestLineCrossCheck:
+    @pytest.mark.parametrize("word", ["ab", "abab", "abababab"])
+    def test_metrics_equals_full(self, word):
+        full_trace = _echo_line(word).run()
+        stats = _echo_line(word).run(trace="metrics")
+        assert_stats_match(full_trace, stats)
+
+
+class TestTokenCrossCheck:
+    @pytest.mark.parametrize("n", [5, 9, 17])
+    def test_token_stats_equal_token_trace(self, n):
+        rng = random.Random(n)
+        word = CopyLanguage().sample_member(2 * (n // 2) + 1, rng)
+        trace = run_unidirectional(CopyRecognizer(), word)
+        token_full = serialize_to_token(trace)
+        token_stats = serialize_to_token(trace, trace_policy="metrics")
+        assert isinstance(token_stats, TokenStats)
+        assert token_stats.total_bits == token_full.total_bits
+        assert token_stats.move_bits == token_full.move_bits
+        assert token_stats.carry_bits == token_full.carry_bits
+        assert token_stats.carry_count == len(token_full.payload_events())
+        assert token_stats.overhead_ratio == token_full.overhead_ratio
