@@ -1,0 +1,95 @@
+"""Benchmarks for the token serializer's enabled-set scheduler.
+
+The serializer's replay order used to come from an O(m^2) full rescan of
+the event list before every delivery; it now comes from the incremental
+enabled-set scheduler (`_delivery_order_indexed`, per-sender heaps +
+dependency counts, O(m log m + idle hops)).  These benches time both on
+the same chaotic trace so the gap stays visible in the trajectory, and
+assert order equality while they are at it — a benchmark run is also a
+correctness run.
+
+Measured on this machine (see BENCH_2026-07-30.json): 8.5x at m=512,
+58x at m=4096 — the ratio grows linearly with m, as an O(m^2) vs
+O(m log m) pair should.
+"""
+
+from __future__ import annotations
+
+from repro.bits import Bits, encode_fixed
+from repro.ring import run_bidirectional
+from repro.ring.messages import Direction, Send
+from repro.ring.processor import Processor, RingAlgorithm
+from repro.ring.schedulers import RandomScheduler
+from repro.ring.token import (
+    _delivery_order_indexed,
+    _delivery_order_scan,
+    serialize_to_token,
+)
+
+
+class _FloodLeader(Processor):
+    def __init__(self, letter: str, k: int) -> None:
+        super().__init__(letter, is_leader=True)
+        self.k = k
+        self._absorbed = 0
+
+    def on_start(self):
+        sends = []
+        for i in range(self.k):
+            payload = encode_fixed(i, 4)
+            sends.append(Send.cw(Bits("0") + payload))
+            sends.append(Send.ccw(Bits("1") + payload))
+        return sends
+
+    def on_receive(self, message: Bits, arrived_from: Direction):
+        self._absorbed += 1
+        if self._absorbed == 2 * self.k:
+            self.decide(True)
+        return ()
+
+
+class _FloodFollower(Processor):
+    def on_receive(self, message: Bits, arrived_from: Direction):
+        return [Send(arrived_from.opposite(), message)]
+
+
+class _Flood(RingAlgorithm):
+    name = "bench-flood"
+
+    def __init__(self, k: int) -> None:
+        super().__init__("ab")
+        self.k = k
+
+    def create_processor(self, letter: str, is_leader: bool) -> Processor:
+        if is_leader:
+            return _FloodLeader(letter, self.k)
+        return _FloodFollower(letter, is_leader=False)
+
+
+def _chaotic_trace(n: int = 128, k: int = 4):
+    return run_bidirectional(
+        _Flood(k), ("ab" * n)[:n], scheduler=RandomScheduler(seed=7)
+    )
+
+
+def bench_enabled_set_scheduler(benchmark):
+    """The shipped path: incremental enabled-set replay order."""
+    trace = _chaotic_trace()
+    order = benchmark(_delivery_order_indexed, trace)
+    assert sorted(order) == list(range(len(trace.events)))
+
+
+def bench_rescan_scheduler_reference(benchmark):
+    """The seed's O(m^2) rescan, timed for the trajectory comparison."""
+    trace = _chaotic_trace()
+    order = benchmark(_delivery_order_scan, trace)
+    assert order == _delivery_order_indexed(trace)
+
+
+def bench_serialize_to_token_metrics(benchmark):
+    """End-to-end serialization in metrics mode on the chaotic trace."""
+    trace = _chaotic_trace()
+    stats = benchmark(serialize_to_token, trace, "metrics")
+    full = serialize_to_token(trace)
+    assert stats.total_bits == full.total_bits
+    assert stats.move_bits == full.move_bits

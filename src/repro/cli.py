@@ -2,16 +2,23 @@
 
 Usage::
 
-    ring-repro all            # every experiment, full sweeps
-    ring-repro E7 E8          # selected experiments
-    ring-repro all --quick    # reduced sweeps (what the tests run)
-    ring-repro all --profile  # also print per-experiment wall-clock time
-    python -m repro.cli E9    # equivalent module form
+    ring-repro all                  # every experiment, full sweeps
+    ring-repro E7 E8                # selected experiments
+    ring-repro all --quick          # reduced sweeps (what the tests run)
+    ring-repro all --preset quick   # same, spelled as a preset
+    ring-repro E8 --preset long     # n >= 10^4 metrics-mode sweeps
+    ring-repro E1 --sizes 64,256,1024   # explicit ring sizes
+    ring-repro all --profile        # also print per-experiment wall time
+    python -m repro.cli E9          # equivalent module form
 
-Experiments that only need counters run their sweeps with
-``trace="metrics"`` (see PERFORMANCE.md), so the full sweeps stay cheap
-even at the extended ring sizes.  Exit status is non-zero when any
-executed experiment's claim check fails.
+Presets select a sweep variant per experiment: ``quick`` (unit-test
+sizes), ``full`` (the EXPERIMENTS.md tables, default), and ``long`` —
+the counter-only experiments (E1, E7-E11) at ring sizes up to ~1.6*10^4,
+which stay cheap because those sweeps stream ``trace="metrics"`` (see
+PERFORMANCE.md); experiments without a dedicated long sweep fall back to
+their full one.  ``--sizes N,N,...`` overrides the ring sizes outright,
+for ad-hoc scaling runs.  Exit status is non-zero when any executed
+experiment's claim check fails.
 """
 
 from __future__ import annotations
@@ -21,9 +28,54 @@ import sys
 import time
 from typing import Sequence
 
-from repro.experiments import ALL_EXPERIMENTS, get_experiment
+from repro.errors import ReproError
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    FIXED_SWEEP_EXPERIMENTS,
+    RunProfile,
+    get_experiment,
+)
 
-__all__ = ["main"]
+__all__ = ["main", "parse_sizes", "build_profile"]
+
+
+def parse_sizes(spec: str) -> tuple[int, ...]:
+    """Parse a ``--sizes`` value: comma-separated positive ring sizes."""
+    items = [piece.strip() for piece in spec.split(",")]
+    if not any(items):
+        raise ReproError("--sizes got an empty list")
+    sizes = []
+    for item in items:
+        if not item:
+            continue
+        try:
+            value = int(item)
+        except ValueError:
+            raise ReproError(
+                f"--sizes expects comma-separated integers, got {item!r}"
+            ) from None
+        if value < 1:
+            raise ReproError(f"--sizes needs positive ring sizes, got {value}")
+        sizes.append(value)
+    return tuple(sizes)
+
+
+def build_profile(
+    preset: str | None, sizes: str | None, quick: bool
+) -> RunProfile:
+    """Combine the sweep flags into one :class:`RunProfile`.
+
+    ``--quick`` is the historical alias for ``--preset quick``; combining
+    it with a *different* preset is a contradiction and an error.
+    """
+    if quick and preset not in (None, "quick"):
+        raise ReproError(
+            f"--quick conflicts with --preset {preset}; pick one"
+        )
+    resolved = "quick" if quick else (preset or "full")
+    return RunProfile(
+        preset=resolved, sizes=parse_sizes(sizes) if sizes else None
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -38,12 +90,25 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        help="experiment ids (E1..E11) or 'all'",
+        help="experiment ids (E1..E12) or 'all'",
     )
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="use reduced sweeps (faster, smaller tables)",
+        help="use reduced sweeps (alias for --preset quick)",
+    )
+    parser.add_argument(
+        "--preset",
+        choices=["quick", "full", "long"],
+        help="sweep preset: quick (test sizes), full (default), "
+        "long (n >= 10^4 metrics-mode sweeps for E1, E7-E11)",
+    )
+    parser.add_argument(
+        "--sizes",
+        metavar="N,N,...",
+        help="override every size sweep's ring sizes (comma-separated; "
+        "growth fits need >= 3 sizes, and size-constrained experiments "
+        "such as E8 — multiples of 3 — fail on incompatible values)",
     )
     parser.add_argument(
         "--profile",
@@ -51,6 +116,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="print per-experiment wall-clock time (perf regression check)",
     )
     args = parser.parse_args(argv)
+    try:
+        profile = build_profile(args.preset, args.sizes, args.quick)
+    except ReproError as error:
+        parser.error(str(error))
 
     if any(item.lower() == "all" for item in args.experiments):
         exp_ids = list(ALL_EXPERIMENTS)
@@ -59,8 +128,14 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     failures = 0
     for exp_id in exp_ids:
+        if profile.sizes is not None and exp_id in FIXED_SWEEP_EXPERIMENTS:
+            print(
+                f"[{exp_id} has no ring-size sweep; --sizes does not apply, "
+                "running its standard workload]",
+                file=sys.stderr,
+            )
         started = time.perf_counter()
-        result = get_experiment(exp_id)(args.quick)
+        result = get_experiment(exp_id)(profile)
         elapsed = time.perf_counter() - started
         print(result.render())
         if args.profile:

@@ -24,13 +24,22 @@ Use :func:`get_experiment` / :data:`ALL_EXPERIMENTS` or the CLI
 (``python -m repro.cli``).
 """
 
-from repro.experiments.base import ExperimentResult, Sweep
-from repro.experiments.registry import ALL_EXPERIMENTS, get_experiment, run_all
+from repro.experiments.base import ExperimentResult, RunProfile, Sweep
+from repro.experiments.registry import (
+    ALL_EXPERIMENTS,
+    FIXED_SWEEP_EXPERIMENTS,
+    LONG_PRESET_EXPERIMENTS,
+    get_experiment,
+    run_all,
+)
 
 __all__ = [
     "ExperimentResult",
+    "RunProfile",
     "Sweep",
     "ALL_EXPERIMENTS",
+    "FIXED_SWEEP_EXPERIMENTS",
+    "LONG_PRESET_EXPERIMENTS",
     "get_experiment",
     "run_all",
 ]

@@ -2,9 +2,16 @@
 
 An experiment produces an :class:`ExperimentResult`: the table rows the
 paper "would have printed", the conclusions drawn, and a ``passed`` flag
-asserting the paper's claimed shape held.  ``quick=True`` shrinks sweeps
-for use inside unit tests; benches and the CLI run the full sweeps
-recorded in EXPERIMENTS.md.
+asserting the paper's claimed shape held.
+
+Every runner takes a single *profile* argument describing which sweep to
+run.  A plain bool is the historical interface (``True`` = quick sweeps,
+as the unit tests use; ``False`` = the full sweeps recorded in
+EXPERIMENTS.md) and still works everywhere; a :class:`RunProfile` adds
+the ``long`` preset (n >= 10^4 metrics-mode sweeps for the counter-only
+experiments) and an explicit ``sizes`` override (the CLI's ``--sizes``).
+:meth:`Sweep.sizes` accepts either form, so experiment bodies stay
+one-liner ``SWEEP.sizes(profile)`` calls.
 """
 
 from __future__ import annotations
@@ -16,7 +23,48 @@ from typing import Sequence
 from repro.analysis.tables import format_table
 from repro.errors import ReproError
 
-__all__ = ["ExperimentResult", "Sweep", "default_rng"]
+__all__ = ["ExperimentResult", "RunProfile", "Sweep", "default_rng", "PRESETS"]
+
+PRESETS = ("quick", "full", "long")
+
+
+@dataclass(frozen=True)
+class RunProfile:
+    """Which sweep an experiment run should execute.
+
+    ``preset`` selects the named sweep variant; ``sizes`` (the CLI's
+    ``--sizes N,N,...``) overrides every :class:`Sweep`'s ring sizes
+    outright.  Truthiness preserves the legacy bool protocol:
+    ``bool(profile)`` is ``True`` exactly for the quick preset, so
+    experiment code written as ``ks = (1, 2) if profile else (1, .., 5)``
+    keeps meaning "shrink auxiliary knobs in quick mode".
+    """
+
+    preset: str = "full"
+    sizes: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.preset not in PRESETS:
+            raise ReproError(
+                f"unknown preset {self.preset!r}; choose from {', '.join(PRESETS)}"
+            )
+        if self.sizes is not None:
+            if not self.sizes or any(
+                not isinstance(n, int) or n < 1 for n in self.sizes
+            ):
+                raise ReproError(
+                    f"--sizes needs positive ring sizes, got {self.sizes!r}"
+                )
+
+    def __bool__(self) -> bool:
+        return self.preset == "quick"
+
+    @classmethod
+    def coerce(cls, profile: "bool | RunProfile") -> "RunProfile":
+        """Normalize the legacy bool form (True = quick, False = full)."""
+        if isinstance(profile, RunProfile):
+            return profile
+        return cls(preset="quick" if profile else "full")
 
 
 @dataclass
@@ -53,14 +101,27 @@ class ExperimentResult:
 
 @dataclass(frozen=True)
 class Sweep:
-    """Ring sizes for the full and quick variants of a sweep."""
+    """Ring sizes for the quick/full/long variants of a sweep.
+
+    ``long`` is the n >= 10^4 metrics-mode preset; experiments whose cost
+    makes that infeasible leave it ``None`` and the long preset falls
+    back to their full sweep.
+    """
 
     full: tuple[int, ...]
     quick: tuple[int, ...]
+    long: tuple[int, ...] | None = None
 
-    def sizes(self, quick: bool) -> tuple[int, ...]:
-        """The sizes to use for this run."""
-        return self.quick if quick else self.full
+    def sizes(self, profile: "bool | RunProfile" = False) -> tuple[int, ...]:
+        """The sizes to use for this run (bool or :class:`RunProfile`)."""
+        profile = RunProfile.coerce(profile)
+        if profile.sizes is not None:
+            return profile.sizes
+        if profile.preset == "quick":
+            return self.quick
+        if profile.preset == "long" and self.long is not None:
+            return self.long
+        return self.full
 
 
 def default_rng(seed: int = 20250612) -> random.Random:

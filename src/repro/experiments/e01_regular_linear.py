@@ -16,7 +16,12 @@ from __future__ import annotations
 from repro.analysis.growth import classify_growth
 from repro.core.regular_bidirectional import BidirectionalDFARecognizer
 from repro.core.regular_onepass import DFARecognizer
-from repro.experiments.base import ExperimentResult, Sweep, default_rng
+from repro.experiments.base import (
+    ExperimentResult,
+    RunProfile,
+    Sweep,
+    default_rng,
+)
 from repro.languages.regular import (
     RegularLanguage,
     length_mod_language,
@@ -30,7 +35,11 @@ from repro.ring.bidirectional import run_bidirectional
 from repro.ring.schedulers import RandomScheduler
 from repro.ring.unidirectional import run_unidirectional
 
-SWEEP = Sweep(full=(4, 8, 16, 32, 64, 128, 256, 512, 1024), quick=(4, 8, 16, 32))
+SWEEP = Sweep(
+    full=(4, 8, 16, 32, 64, 128, 256, 512, 1024),
+    quick=(4, 8, 16, 32),
+    long=(2048, 4096, 8192, 16384),
+)
 
 
 def _languages() -> list[RegularLanguage]:
@@ -45,7 +54,7 @@ def _languages() -> list[RegularLanguage]:
     ]
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def run(profile: bool | RunProfile = False) -> ExperimentResult:
     """Execute the E1 sweep; see module docstring."""
     rng = default_rng()
     result = ExperimentResult(
@@ -71,7 +80,7 @@ def run(quick: bool = False) -> ExperimentResult:
         ns, bits = [], []
         exact = True
         decisions_ok = True
-        for n in SWEEP.sizes(quick):
+        for n in SWEEP.sizes(profile):
             words = [
                 word
                 for word in (

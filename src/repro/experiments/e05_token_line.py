@@ -14,7 +14,11 @@ a size sweep:
 
 Trace policy: the token serialization and the Theorem 5 line transformation replay
 individual messages, so this experiment runs with the default
-``trace="full"`` policy.
+``trace="full"`` policy.  The metrics variants are cross-checked at every
+size: ``serialize_to_token(..., "metrics")`` and
+``ring_to_line(..., trace_policy="metrics")`` must reproduce the full
+variants' accounting exactly — that is the contract large-n line sweeps
+rely on when they skip materializing transformed events.
 """
 
 from __future__ import annotations
@@ -143,7 +147,15 @@ def run(quick: bool = False) -> ExperimentResult:
             trace = runner(algorithm, word)
             token = serialize_to_token(trace)
             payload_match = token.preserves_payloads()
+            token_stats = serialize_to_token(trace, trace_policy="metrics")
             line = ring_to_line(trace)
+            line_stats = ring_to_line(trace, trace_policy="metrics")
+            metrics_match = (
+                line.stats() == line_stats
+                and token_stats.total_bits == token.total_bits
+                and token_stats.move_bits == token.move_bits
+                and token_stats.carry_bits == token.carry_bits
+            )
             restored = restore_from_line(line)
             restored_match = [
                 (event.sender, event.receiver, event.direction, event.bits)
@@ -155,6 +167,7 @@ def run(quick: bool = False) -> ExperimentResult:
             ok = (
                 payload_match
                 and restored_match
+                and metrics_match
                 and token.overhead_ratio <= 3.0
                 and line.ratio <= 4.0
             )
@@ -176,6 +189,8 @@ def run(quick: bool = False) -> ExperimentResult:
         "(sequential algorithms: never > 2; chaotic broadcast also within 3)",
         "the ring->line transformation stayed within the proof's 4x bound "
         "and the inverse transformation restored every original execution",
+        "metrics-mode serialization and line transformation matched the "
+        "full variants' accounting at every size",
     ]
     result.passed = all_ok
     return result

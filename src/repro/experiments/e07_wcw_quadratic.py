@@ -21,14 +21,23 @@ from repro.core.comparison import (
     MarkedPalindromeRecognizer,
     predicted_copy_bits,
 )
-from repro.experiments.base import ExperimentResult, Sweep, default_rng
+from repro.experiments.base import (
+    ExperimentResult,
+    RunProfile,
+    Sweep,
+    default_rng,
+)
 from repro.languages.nonregular import CopyLanguage, MarkedPalindrome
 from repro.ring.unidirectional import run_unidirectional
 
-SWEEP = Sweep(full=(9, 17, 33, 65, 129, 257, 513, 1025), quick=(17, 33, 65, 129))
+SWEEP = Sweep(
+    full=(9, 17, 33, 65, 129, 257, 513, 1025),
+    quick=(17, 33, 65, 129),
+    long=(2049, 4097, 8193, 16385),
+)
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def run(profile: bool | RunProfile = False) -> ExperimentResult:
     """Execute E7; see module docstring."""
     rng = default_rng()
     copy_language = CopyLanguage()
@@ -49,7 +58,7 @@ def run(quick: bool = False) -> ExperimentResult:
     slopes = {}
     for name, algorithm, language in cases:
         ns, bits = [], []
-        for n in SWEEP.sizes(quick):
+        for n in SWEEP.sizes(profile):
             member = language.sample_member(n, rng)
             non_member = language.sample_non_member(n, rng)
             decision_ok = True

@@ -17,16 +17,23 @@ from __future__ import annotations
 
 from repro.analysis.growth import classify_growth, log_log_slope
 from repro.core.counters import BlockCounterRecognizer, predicted_block_counter_bits
-from repro.experiments.base import ExperimentResult, Sweep, default_rng
+from repro.experiments.base import (
+    ExperimentResult,
+    RunProfile,
+    Sweep,
+    default_rng,
+)
 from repro.languages.nonregular import AnBnCn
 from repro.ring.unidirectional import run_unidirectional
 
 SWEEP = Sweep(
-    full=(6, 12, 24, 48, 96, 192, 384, 510, 1023), quick=(6, 12, 24, 48)
+    full=(6, 12, 24, 48, 96, 192, 384, 510, 1023),
+    quick=(6, 12, 24, 48),
+    long=(2046, 4098, 8190, 16383),
 )
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def run(profile: bool | RunProfile = False) -> ExperimentResult:
     """Execute E8; see module docstring."""
     rng = default_rng()
     language = AnBnCn()
@@ -40,7 +47,7 @@ def run(quick: bool = False) -> ExperimentResult:
     )
     all_ok = True
     ns, bits = [], []
-    for n in SWEEP.sizes(quick):
+    for n in SWEEP.sizes(profile):
         member = language.sample_member(n, rng)
         assert member is not None
         trace = run_unidirectional(algorithm, member, trace="metrics")

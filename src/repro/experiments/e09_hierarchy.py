@@ -20,14 +20,23 @@ from __future__ import annotations
 
 from repro.analysis.growth import classify_growth, theta_check
 from repro.core.hierarchy import HierarchyRecognizer
-from repro.experiments.base import ExperimentResult, Sweep, default_rng
+from repro.experiments.base import (
+    ExperimentResult,
+    RunProfile,
+    Sweep,
+    default_rng,
+)
 from repro.languages.hierarchy import STANDARD_GROWTHS, PeriodicLanguage
 from repro.ring.unidirectional import run_unidirectional
 
-SWEEP = Sweep(full=(16, 32, 64, 128, 192, 256, 384, 512), quick=(16, 32, 64, 96))
+SWEEP = Sweep(
+    full=(16, 32, 64, 128, 192, 256, 384, 512),
+    quick=(16, 32, 64, 96),
+    long=(1024, 2048, 4096, 10240),
+)
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def run(profile: bool | RunProfile = False) -> ExperimentResult:
     """Execute E9; see module docstring."""
     rng = default_rng()
     result = ExperimentResult(
@@ -49,7 +58,7 @@ def run(quick: bool = False) -> ExperimentResult:
         language = PeriodicLanguage(growth)
         algorithm = HierarchyRecognizer(language)
         ns, compare_bits, total_ratios = [], [], []
-        for n in SWEEP.sizes(quick):
+        for n in SWEEP.sizes(profile):
             member = language.sample_member(n, rng)
             if member is None:
                 continue

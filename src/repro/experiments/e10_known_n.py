@@ -23,12 +23,21 @@ import math
 from repro.analysis.growth import classify_growth, theta_check
 from repro.core.counting import LengthPredicateRecognizer
 from repro.core.known_n import KnownNHierarchyRecognizer, KnownNLengthRecognizer
-from repro.experiments.base import ExperimentResult, Sweep, default_rng
+from repro.experiments.base import (
+    ExperimentResult,
+    RunProfile,
+    Sweep,
+    default_rng,
+)
 from repro.languages.hierarchy import GrowthFunction, PeriodicLanguage
 from repro.languages.nonregular import is_prime
 from repro.ring.unidirectional import run_unidirectional
 
-SWEEP = Sweep(full=(8, 16, 32, 64, 128, 256, 512), quick=(8, 16, 32))
+SWEEP = Sweep(
+    full=(8, 16, 32, 64, 128, 256, 512),
+    quick=(8, 16, 32),
+    long=(1024, 2048, 4096, 10240),
+)
 
 _GROWTHS = (
     GrowthFunction("n", lambda n: float(n)),
@@ -37,7 +46,7 @@ _GROWTHS = (
 )
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def run(profile: bool | RunProfile = False) -> ExperimentResult:
     """Execute E10; see module docstring."""
     rng = default_rng()
     result = ExperimentResult(
@@ -53,7 +62,7 @@ def run(quick: bool = False) -> ExperimentResult:
         language = PeriodicLanguage(growth)
         algorithm = KnownNHierarchyRecognizer(language)
         ns, bits = [], []
-        for n in SWEEP.sizes(quick):
+        for n in SWEEP.sizes(profile):
             member = language.sample_member(n, rng)
             if member is None:
                 continue
@@ -92,7 +101,7 @@ def run(quick: bool = False) -> ExperimentResult:
 
     known = KnownNLengthRecognizer(is_prime, name="prime (n known)")
     unknown = LengthPredicateRecognizer(is_prime, name="prime (count)")
-    for n in SWEEP.sizes(quick):
+    for n in SWEEP.sizes(profile):
         word = "a" * n
         known_trace = run_unidirectional(known, word, trace="metrics")
         unknown_trace = run_unidirectional(unknown, word, trace="metrics")
@@ -111,7 +120,7 @@ def run(quick: bool = False) -> ExperimentResult:
                 "ok": ok,
             }
         )
-    largest = SWEEP.sizes(quick)[-1]
+    largest = SWEEP.sizes(profile)[-1]
     result.conclusions.extend(
         [
             "prime length with n known costs exactly n bits (non-regular, O(n)!)",

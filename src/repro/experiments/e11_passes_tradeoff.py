@@ -18,14 +18,23 @@ from repro.core.passes_tradeoff import (
     one_pass_bits,
     two_pass_bits,
 )
-from repro.experiments.base import ExperimentResult, Sweep, default_rng
+from repro.experiments.base import (
+    ExperimentResult,
+    RunProfile,
+    Sweep,
+    default_rng,
+)
 from repro.languages.regular import tradeoff_language
 from repro.ring.unidirectional import run_unidirectional
 
-SWEEP = Sweep(full=(16, 64, 256, 512), quick=(8, 16))
+SWEEP = Sweep(
+    full=(16, 64, 256, 512),
+    quick=(8, 16),
+    long=(2048, 4096, 8192, 16384),
+)
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def run(profile: bool | RunProfile = False) -> ExperimentResult:
     """Execute E11; see module docstring."""
     rng = default_rng()
     result = ExperimentResult(
@@ -43,13 +52,13 @@ def run(quick: bool = False) -> ExperimentResult:
             "exact",
         ],
     )
-    ks = (1, 2, 3) if quick else (1, 2, 3, 4, 5)
+    ks = (1, 2, 3) if profile else (1, 2, 3, 4, 5)
     all_ok = True
     for k in ks:
         language = tradeoff_language(k)
         one_pass = OnePassTradeoffRecognizer(language)
         two_pass = TwoPassTradeoffRecognizer(language)
-        for n in SWEEP.sizes(quick):
+        for n in SWEEP.sizes(profile):
             member = language.sample_member(n, rng)
             non_member = language.sample_non_member(n, rng)
             exact = True

@@ -2,6 +2,13 @@
 
 The CLI, the benchmarks, and the integration tests all resolve experiments
 through this table, so there is exactly one definition of each sweep.
+
+Runners take one *profile* argument — a legacy bool (True = quick) or a
+:class:`~repro.experiments.base.RunProfile` carrying a preset
+(quick/full/long) or an explicit ring-size override.
+:data:`LONG_PRESET_EXPERIMENTS` names the counter-only experiments whose
+sweeps define a dedicated ``long`` variant (n >= 10^4, metrics mode); for
+the others the long preset falls back to their full sweep.
 """
 
 from __future__ import annotations
@@ -9,7 +16,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.errors import ReproError
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, RunProfile
 from repro.experiments import (
     e01_regular_linear,
     e02_message_graph,
@@ -25,7 +32,7 @@ from repro.experiments import (
     e12_tm_bridge,
 )
 
-Runner = Callable[[bool], ExperimentResult]
+Runner = Callable[["bool | RunProfile"], ExperimentResult]
 
 ALL_EXPERIMENTS: dict[str, Runner] = {
     "E1": e01_regular_linear.run,
@@ -43,6 +50,16 @@ ALL_EXPERIMENTS: dict[str, Runner] = {
 }
 
 
+# Counter-only experiments: their sweeps run trace="metrics" end to end,
+# so a dedicated `long` sweep (n >= 10^4) stays O(n)-memory and CI-cheap.
+LONG_PRESET_EXPERIMENTS: tuple[str, ...] = ("E1", "E7", "E8", "E9", "E10", "E11")
+
+# Experiments with no ring-size Sweep at all (their workloads are word
+# catalogs / compiler horizons): a --sizes override cannot apply to them,
+# and the CLI says so instead of silently running the defaults.
+FIXED_SWEEP_EXPERIMENTS: tuple[str, ...] = ("E2", "E3", "E6")
+
+
 def get_experiment(exp_id: str) -> Runner:
     """Resolve an experiment id (case-insensitive, 'e7'/'E7' both work)."""
     key = exp_id.upper()
@@ -54,6 +71,6 @@ def get_experiment(exp_id: str) -> Runner:
     return ALL_EXPERIMENTS[key]
 
 
-def run_all(quick: bool = False) -> list[ExperimentResult]:
-    """Run every experiment in order."""
-    return [runner(quick) for runner in ALL_EXPERIMENTS.values()]
+def run_all(profile: bool | RunProfile = False) -> list[ExperimentResult]:
+    """Run every experiment in order under one profile."""
+    return [runner(profile) for runner in ALL_EXPERIMENTS.values()]

@@ -52,7 +52,25 @@ class RegularLanguage(Language):
         number of steps, then walks the DFA choosing uniformly among viable
         symbols; returns None iff no member of this length exists.
         """
-        viable = self._viable_sets(length)
+        return self._sample_walk(length, rng, frozenset(self._dfa.accepting))
+
+    def sample_non_member(self, length: int, rng: random.Random) -> str | None:
+        """Constructive non-member sampling: the same walk toward the
+        complement's accepting states.
+
+        The base class falls back to rejection sampling, which degenerates
+        for dense languages (a random long word almost surely *contains* a
+        given substring, say) — at n = 10^4 the long-preset sweeps would
+        spend their whole budget rejecting.  The viable-set walk is O(n)
+        either way; returns None iff every length-n word is a member.
+        """
+        targets = frozenset(self._dfa.states) - frozenset(self._dfa.accepting)
+        return self._sample_walk(length, rng, targets)
+
+    def _sample_walk(
+        self, length: int, rng: random.Random, targets: frozenset
+    ) -> str | None:
+        viable = self._viable_sets(length, targets)
         if self._dfa.start not in viable[0]:
             return None
         state = self._dfa.start
@@ -68,11 +86,11 @@ class RegularLanguage(Language):
             state = self._dfa.transitions[(state, symbol)]
         return "".join(letters)
 
-    def _viable_sets(self, length: int) -> list[frozenset]:
-        """``viable[i]`` = states from which acceptance is reachable in exactly
-        ``length - i`` more steps."""
+    def _viable_sets(self, length: int, targets: frozenset) -> list[frozenset]:
+        """``viable[i]`` = states from which some state of ``targets`` is
+        reachable in exactly ``length - i`` more steps."""
         viable: list[frozenset] = [frozenset()] * (length + 1)
-        viable[length] = frozenset(self._dfa.accepting)
+        viable[length] = targets
         for i in range(length - 1, -1, -1):
             viable[i] = frozenset(
                 state

@@ -44,7 +44,12 @@ from repro.ring.token import (
     is_token_trace,
     serialize_to_token,
 )
-from repro.ring.line import LineNetwork, LineTransformResult, ring_to_line
+from repro.ring.line import (
+    LineNetwork,
+    LineTransformResult,
+    LineTransformStats,
+    ring_to_line,
+)
 
 __all__ = [
     "Direction",
@@ -71,5 +76,6 @@ __all__ = [
     "serialize_to_token",
     "LineNetwork",
     "LineTransformResult",
+    "LineTransformStats",
     "ring_to_line",
 ]

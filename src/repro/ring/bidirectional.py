@@ -6,6 +6,21 @@ chosen by a :class:`~repro.ring.schedulers.Scheduler` (the asynchronous
 adversary).  Everything else matches the unidirectional simulator: the
 leader ``p_0`` initiates, the run ends at quiescence, and the leader must
 have decided.
+
+Scheduling model and complexity
+-------------------------------
+One FIFO queue per ``(sender, direction)`` link port; before every
+delivery the *active* (non-empty) queues are sorted by the age of their
+head message and the scheduler picks among them.  Per delivery that is
+O(q log q) for q concurrently active queues — q is bounded by the
+algorithm's concurrency (1 for the sequential recognizers, so O(1)
+there), **not** by the ring size: emptied queues leave the active set
+immediately.
+
+Trace modes: ``run(trace="full")`` (default) materializes an
+:class:`~repro.ring.trace.ExecutionTrace`; ``run(trace="metrics")``
+streams the identical accounting — same scheduler choices, same
+execution — into an O(n)-memory :class:`~repro.ring.trace.TraceStats`.
 """
 
 from __future__ import annotations
@@ -80,8 +95,12 @@ class BidirectionalRing:
         else:
             record = TraceStats(self.word, leader=0)
         # One FIFO queue per (sender, direction); values carry the global
-        # enqueue stamp so schedulers can see age order.
+        # enqueue stamp so schedulers can see age order.  `active` tracks
+        # the keys with pending messages so candidate collection costs
+        # O(active), not O(every key ever used) — with a ring-size sweep
+        # the latter is O(n) per delivery and dominates the whole run.
         queues: dict[tuple[int, Direction], deque[tuple[int, Bits]]] = {}
+        active: set[tuple[int, Direction]] = set()
         stamp = 0
         in_flight = 0
         delivered = 0
@@ -96,6 +115,7 @@ class BidirectionalRing:
                     record.local_logs[sender].append(("sent", send.direction, bits))
                 key = (sender, send.direction)
                 queues.setdefault(key, deque()).append((stamp, bits))
+                active.add(key)
                 stamp += 1
                 in_flight += 1
                 if in_flight > record.max_in_flight:
@@ -104,11 +124,7 @@ class BidirectionalRing:
         enqueue(0, self.processors[0].on_start())
 
         while True:
-            candidates = sorted(
-                (queue[0][0], key)
-                for key, queue in queues.items()
-                if queue
-            )
+            candidates = sorted((queues[key][0][0], key) for key in active)
             if not candidates:
                 break
             if delivered >= max_messages:
@@ -123,7 +139,10 @@ class BidirectionalRing:
                     f"{len(candidates)} candidates"
                 )
             _, (sender, direction) = candidates[chosen]
-            _, bits = queues[(sender, direction)].popleft()
+            queue = queues[(sender, direction)]
+            _, bits = queue.popleft()
+            if not queue:
+                active.discard((sender, direction))
             in_flight -= 1
             receiver = direction.step(sender, n)
             if full:

@@ -17,6 +17,25 @@ which is what the proof's "no processor can tell the difference" step needs.
 :class:`LineNetwork` is an actual simulator for processors arranged on a
 line (used by the Theorem 7 stage-1 compiler), with the same processor API
 as the ring simulators; sends off either end are protocol errors.
+
+Scheduling model and complexity
+-------------------------------
+:class:`LineNetwork` delivers from per-``(sender, direction)`` FIFO
+queues; a :class:`~repro.ring.schedulers.Scheduler` picks among the
+non-empty queues, which are re-sorted by enqueue stamp before every
+delivery — O(q log q) per delivery for q active queues (q <= 2n, and
+O(1) for the sequential algorithms the compiler produces).
+
+Trace modes: ``LineNetwork.run(trace="full" | "metrics")`` mirrors the
+ring simulators (full :class:`~repro.ring.trace.ExecutionTrace` vs
+streaming O(n) :class:`~repro.ring.trace.TraceStats`).  The
+:func:`ring_to_line` *transformation* takes the same policy: ``"full"``
+materializes every transformed :class:`MessageEvent` — O(m + n*c)
+objects when c original messages cross the cut link — while
+``"metrics"`` streams the identical accounting into an O(1)
+:class:`LineTransformStats` in one O(m) pass over the input trace.  The
+input trace itself must be full either way (the transformation rewrites
+individual messages).
 """
 
 from __future__ import annotations
@@ -37,7 +56,13 @@ from repro.ring.trace import (
     validate_trace_policy,
 )
 
-__all__ = ["LineTransformResult", "ring_to_line", "restore_from_line", "LineNetwork"]
+__all__ = [
+    "LineTransformResult",
+    "LineTransformStats",
+    "ring_to_line",
+    "restore_from_line",
+    "LineNetwork",
+]
 
 
 @dataclass
@@ -75,30 +100,103 @@ class LineTransformResult:
             if event.link(self.original.ring_size) == self.cut_link
         )
 
+    def stats(self) -> "LineTransformStats":
+        """Derive the streaming counters from this full result.
+
+        Cross-check bridge: ``ring_to_line(trace, trace_policy="metrics")``
+        must equal ``ring_to_line(trace).stats()`` field for field.
+        """
+        return LineTransformStats(
+            original_bits=self.original.total_bits,
+            cut_link=self.cut_link,
+            total_bits=self.total_bits,
+            event_count=len(self.events),
+            rerouted=self.rerouted_messages(),
+        )
+
+
+@dataclass
+class LineTransformStats:
+    """Streaming accounting of a Theorem 5 transformation (``"metrics"``).
+
+    Same ``total_bits`` / ``ratio`` / ``rerouted_messages`` accounting as
+    :class:`LineTransformResult` without materializing the transformed
+    :class:`MessageEvent` list — O(1) memory instead of O(m + n*c) events
+    for c rerouted messages.  Inverting the transformation
+    (:func:`restore_from_line`) needs the full variant.
+    """
+
+    original_bits: int
+    cut_link: int
+    total_bits: int = 0
+    event_count: int = 0
+    rerouted: int = 0
+
+    @property
+    def ratio(self) -> float:
+        """Transformed bits / original bits (Theorem 5 proves <= 4)."""
+        if self.original_bits == 0:
+            return 1.0
+        return self.total_bits / self.original_bits
+
+    def rerouted_messages(self) -> int:
+        """How many original messages crossed the cut link."""
+        return self.rerouted
+
+
+def _choose_cut(trace: ExecutionTrace, cut: int | None) -> int:
+    """The cut link: validated override, or the min-tagged-bits link."""
+    n = trace.ring_size
+    if cut is not None:
+        if not 0 <= cut < n:
+            raise RingError(f"cut link {cut} outside ring of {n}")
+        return cut
+    # Step 1 is accounted implicitly: every surviving message below gets a
+    # leading 0, every rerouted hop a leading 1.
+    tagged_totals = {link: 0 for link in range(n)}
+    for event in trace.events:
+        tagged_totals[event.link(n)] += event.size + 1
+    return min(tagged_totals, key=lambda link: (tagged_totals[link], link))
+
 
 def ring_to_line(
-    trace: ExecutionTrace, cut: int | None = None
-) -> LineTransformResult:
+    trace: ExecutionTrace,
+    cut: int | None = None,
+    trace_policy: TracePolicy = "full",
+) -> LineTransformResult | LineTransformStats:
     """Apply the Theorem 5 transformation to a (token) ring execution.
 
     ``cut`` overrides the cut-link choice (default: the minimum-bits link
     the proof prescribes).  Overriding exists for the ablation benchmark,
     which shows the <= 4x bound genuinely depends on cutting the lightest
     link.
+
+    ``trace_policy="metrics"`` streams the transformation's accounting
+    into :class:`LineTransformStats` (same ``total_bits`` / ``ratio`` /
+    ``rerouted_messages`` values) without materializing the transformed
+    events; large-n line sweeps should use it.
     """
+    validate_trace_policy(trace_policy)
     n = trace.ring_size
     if n < 2:
         raise RingError("the line transformation needs a ring of size >= 2")
+    cut = _choose_cut(trace, cut)
 
-    # Step 1 is accounted implicitly: every surviving message below gets a
-    # leading 0, every rerouted hop a leading 1.
-    tagged_totals = {link: 0 for link in range(n)}
-    for event in trace.events:
-        tagged_totals[event.link(n)] += event.size + 1
-    if cut is None:
-        cut = min(tagged_totals, key=lambda link: (tagged_totals[link], link))
-    elif not 0 <= cut < n:
-        raise RingError(f"cut link {cut} outside ring of {n}")
+    if trace_policy == "metrics":
+        stats = LineTransformStats(
+            original_bits=trace.total_bits, cut_link=cut
+        )
+        for event in trace.events:
+            if event.link(n) != cut:
+                stats.event_count += 1
+                stats.total_bits += event.size + 1
+            else:
+                # The reroute replaces one cut-link message by n-1 tagged
+                # hops the other way around.
+                stats.rerouted += 1
+                stats.event_count += n - 1
+                stats.total_bits += (n - 1) * (event.size + 1)
+        return stats
 
     # Renumber: old (cut+1) becomes line position 0, ..., old cut becomes n-1.
     new_index = [(i - (cut + 1)) % n for i in range(n)]
@@ -257,7 +355,10 @@ class LineNetwork:
             )
         else:
             record = TraceStats(self.word, leader=self.leader)
+        # Per-(sender, direction) FIFO queues; `active` tracks the
+        # non-empty ones so candidate collection is O(active) per delivery.
         queues: dict[tuple[int, Direction], deque[tuple[int, Bits]]] = {}
+        active: set[tuple[int, Direction]] = set()
         stamp = 0
         in_flight = 0
         delivered = 0
@@ -282,6 +383,7 @@ class LineNetwork:
                 queues.setdefault((sender, send.direction), deque()).append(
                     (stamp, bits)
                 )
+                active.add((sender, send.direction))
                 stamp += 1
                 in_flight += 1
                 if in_flight > record.max_in_flight:
@@ -290,9 +392,7 @@ class LineNetwork:
         enqueue(self.leader, self.processors[self.leader].on_start())
 
         while True:
-            candidates = sorted(
-                (queue[0][0], key) for key, queue in queues.items() if queue
-            )
+            candidates = sorted((queues[key][0][0], key) for key in active)
             if not candidates:
                 break
             if delivered >= max_messages:
@@ -301,7 +401,10 @@ class LineNetwork:
                 )
             chosen = self.scheduler.choose([key for _, key in candidates])
             _, (sender, direction) = candidates[chosen]
-            _, bits = queues[(sender, direction)].popleft()
+            queue = queues[(sender, direction)]
+            _, bits = queue.popleft()
+            if not queue:
+                active.discard((sender, direction))
             in_flight -= 1
             receiver = neighbor(sender, direction)
             if full:

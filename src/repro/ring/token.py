@@ -23,10 +23,33 @@ Two artifacts here:
   protocol; this library implements the simpler serialization above, which
   is exact for the token-style algorithms the paper's recognizers use, and
   reports measured ratios instead of assuming the 3x bound.
+
+Scheduling model and complexity
+-------------------------------
+The serializer replays deliveries in a causally valid order of its own
+choosing: among the *enabled* deliveries (trigger replayed, per-link FIFO
+respected) the one whose sender is nearest the token goes next.  The
+enabled set is maintained **incrementally** — each delivery enables at most
+its causal dependents, and candidates are bucketed per sender position in
+small heaps — so choosing the next delivery costs O(log m) plus one bucket
+probe per idle hop the token then actually makes.  A serialization of m
+deliveries therefore runs in O(m log m + H) time, where H is the number of
+idle token hops it emits (H is output, not overhead; it is 0 for the
+sequential executions our recognizers produce).  The seed implementation
+rescanned every undelivered event per step — O(m^2) — and is kept as
+:func:`_delivery_order_scan`, the oracle the scheduler tests pin against.
+
+Trace modes: ``serialize_to_token(trace, trace_policy="full")`` (default)
+materializes the :class:`TokenEvent` list; ``trace_policy="metrics"``
+streams the same accounting into O(1)-memory :class:`TokenStats` counters.
+The input must always be a *full* :class:`ExecutionTrace` — the causal
+reconstruction reads individual messages and local logs.
 """
 
 from __future__ import annotations
 
+import heapq
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Literal
 
@@ -218,57 +241,125 @@ def _compute_triggers(trace: ExecutionTrace) -> list[int | None]:
         ordinal = link_counters.get(key, 0)
         link_counters[key] = ordinal + 1
         log_position = sent_positions[key][ordinal]
-        # Closest preceding receive in the sender's log.
+        # Closest preceding receive in the sender's log.  The positions are
+        # sorted (log order), so this is a binary search, keeping trigger
+        # reconstruction O(m log m) overall.
         trigger: int | None = None
-        for receive_ordinal, receive_position in enumerate(
-            receive_log_positions[event.sender]
-        ):
-            if receive_position < log_position:
-                trigger = receive_event_index[event.sender][receive_ordinal]
-            else:
-                break
+        receive_ordinal = bisect_left(
+            receive_log_positions[event.sender], log_position
+        )
+        if receive_ordinal > 0:
+            trigger = receive_event_index[event.sender][receive_ordinal - 1]
         triggers.append(trigger)
     return triggers
 
 
-def serialize_to_token(
-    trace: ExecutionTrace, trace_policy: TracePolicy = "full"
-) -> TokenTrace | TokenStats:
-    """Simulate ``trace`` by a token algorithm (see module docstring).
-
-    The deliveries are replayed in a *causally valid* order chosen to keep
-    the token busy: among the enabled deliveries (trigger already replayed,
-    per-link FIFO respected) the one nearest the token's position goes
-    next.  The token moves there with idle 1-bit hops along the shorter
-    arc, then carries the payload (1 flag bit + payload).  For sequential
-    algorithms the nearest enabled delivery is always at the token, so the
-    only overhead is the flag bit; concurrent executions (several enabled
-    deliveries at once) pay measured movement, reported by experiment E5.
-
-    ``trace_policy="metrics"`` returns streaming :class:`TokenStats`
-    counters instead of the full :class:`TokenTrace` event list.
-    """
-    validate_trace_policy(trace_policy)
-    full = trace_policy == "full"
-    size = trace.ring_size
-    if size == 0:
-        raise RingError("cannot serialize an empty ring execution")
-    result = TokenTrace(original=trace)
-    stats = TokenStats(original_bits=trace.total_bits)
-    events = trace.events
-    triggers = _compute_triggers(trace)
-    # Per-link FIFO predecessor for each event.
+def _link_predecessors(trace: ExecutionTrace) -> list[int | None]:
+    """Per-link FIFO predecessor for each event (None for a link's first)."""
     previous_on_link: list[int | None] = []
     last_on_link: dict[tuple[int, Direction], int] = {}
-    for event in events:
+    for event in trace.events:
         key = (event.sender, event.direction)
         previous_on_link.append(last_on_link.get(key))
         last_on_link[key] = event.index
+    return previous_on_link
 
-    done = [False] * len(events)
-    remaining = len(events)
+
+class _EnabledSet:
+    """The serializer's enabled deliveries, bucketed by sender position.
+
+    One small heap of event indices per ring position; ``pop_nearest``
+    walks positions outward from the token (both arcs in lockstep) until a
+    non-empty bucket appears, which costs one probe per idle hop the token
+    is then charged for anyway, plus O(log m) for the heap pop.  Ties in
+    arc distance (the two arcs meet a bucket at the same d) resolve to the
+    smaller event index — exactly the ``min`` key of the seed's full scan.
+    """
+
+    __slots__ = ("size", "buckets", "count")
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.buckets: list[list[int]] = [[] for _ in range(size)]
+        self.count = 0
+
+    def add(self, event_index: int, sender: int) -> None:
+        heapq.heappush(self.buckets[sender], event_index)
+        self.count += 1
+
+    def pop_nearest(self, token_at: int) -> int:
+        """Remove and return the enabled event minimizing (arc, index)."""
+        n = self.size
+        buckets = self.buckets
+        for distance in range(n // 2 + 1):
+            cw = (token_at + distance) % n
+            ccw = (token_at - distance) % n
+            best_position = -1
+            if buckets[cw]:
+                best_position = cw
+            if ccw != cw and buckets[ccw]:
+                if best_position < 0 or buckets[ccw][0] < buckets[best_position][0]:
+                    best_position = ccw
+            if best_position >= 0:
+                self.count -= 1
+                return heapq.heappop(buckets[best_position])
+        raise RingError("causal reconstruction deadlocked (corrupt trace)")
+
+
+def _delivery_order_indexed(trace: ExecutionTrace) -> list[int]:
+    """Replay order via the incremental enabled-set scheduler (O(m log m + H)).
+
+    Each event waits on at most two prerequisites — its trigger and its
+    per-link FIFO predecessor.  Delivering an event decrements the wait
+    count of its dependents only, so the enabled set never rescans the
+    event list; candidate selection is :meth:`_EnabledSet.pop_nearest`.
+    """
+    events = trace.events
+    size = trace.ring_size
+    triggers = _compute_triggers(trace)
+    previous_on_link = _link_predecessors(trace)
+    waiting = [0] * len(events)
+    dependents: list[list[int]] = [[] for _ in range(len(events))]
+    for event in events:
+        prerequisites = {triggers[event.index], previous_on_link[event.index]}
+        prerequisites.discard(None)
+        waiting[event.index] = len(prerequisites)
+        for prerequisite in prerequisites:
+            dependents[prerequisite].append(event.index)
+
+    enabled = _EnabledSet(size)
+    for event in events:
+        if waiting[event.index] == 0:
+            enabled.add(event.index, event.sender)
+    order: list[int] = []
     token_at = trace.leader
-    while remaining:
+    for _ in range(len(events)):
+        chosen = enabled.pop_nearest(token_at)
+        order.append(chosen)
+        token_at = events[chosen].receiver
+        for dependent in dependents[chosen]:
+            waiting[dependent] -= 1
+            if waiting[dependent] == 0:
+                enabled.add(dependent, events[dependent].sender)
+    return order
+
+
+def _delivery_order_scan(trace: ExecutionTrace) -> list[int]:
+    """The seed's O(m^2) full-rescan scheduler, kept as the test oracle.
+
+    Rebuilds the enabled set from scratch before every delivery and takes
+    the ``(arc distance, index)`` minimum.  The incremental scheduler must
+    reproduce this order bit-for-bit
+    (``tests/test_token_scheduler.py`` pins the equivalence).
+    """
+    events = trace.events
+    size = trace.ring_size
+    triggers = _compute_triggers(trace)
+    previous_on_link = _link_predecessors(trace)
+    done = [False] * len(events)
+    order: list[int] = []
+    token_at = trace.leader
+    for _ in range(len(events)):
         enabled = [
             event
             for event in events
@@ -285,6 +376,44 @@ def serialize_to_token(
             enabled,
             key=lambda e: (_arc_distance(token_at, e.sender, size), e.index),
         )
+        order.append(chosen.index)
+        token_at = chosen.receiver
+        done[chosen.index] = True
+    return order
+
+
+def serialize_to_token(
+    trace: ExecutionTrace, trace_policy: TracePolicy = "full"
+) -> TokenTrace | TokenStats:
+    """Simulate ``trace`` by a token algorithm (see module docstring).
+
+    The deliveries are replayed in a *causally valid* order chosen to keep
+    the token busy: among the enabled deliveries (trigger already replayed,
+    per-link FIFO respected) the one nearest the token's position goes
+    next.  The token moves there with idle 1-bit hops along the shorter
+    arc, then carries the payload (1 flag bit + payload).  For sequential
+    algorithms the nearest enabled delivery is always at the token, so the
+    only overhead is the flag bit; concurrent executions (several enabled
+    deliveries at once) pay measured movement, reported by experiment E5.
+
+    The replay order comes from :func:`_delivery_order_indexed`, the
+    incrementally maintained enabled-set scheduler; it is guaranteed (and
+    tested) to equal the seed's full-rescan order.
+
+    ``trace_policy="metrics"`` returns streaming :class:`TokenStats`
+    counters instead of the full :class:`TokenTrace` event list.
+    """
+    validate_trace_policy(trace_policy)
+    full = trace_policy == "full"
+    size = trace.ring_size
+    if size == 0:
+        raise RingError("cannot serialize an empty ring execution")
+    result = TokenTrace(original=trace)
+    stats = TokenStats(original_bits=trace.total_bits)
+    events = trace.events
+    token_at = trace.leader
+    for index in _delivery_order_indexed(trace):
+        chosen = events[index]
         if full:
             for sender, receiver, direction in _shorter_arc(
                 token_at, chosen.sender, size
@@ -314,6 +443,4 @@ def serialize_to_token(
             stats.carry_count += 1
             stats.carry_bits += 1 + len(chosen.bits)
         token_at = chosen.receiver
-        done[chosen.index] = True
-        remaining -= 1
     return result if full else stats

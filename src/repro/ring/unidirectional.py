@@ -13,6 +13,19 @@ The simulator enforces the model:
 * an execution that quiesces without a leader decision raises
   :class:`ProtocolError` (the algorithm must terminate with accept/reject);
 * a configurable message cap guards against diverging algorithms.
+
+Scheduling model and complexity
+-------------------------------
+No scheduler: one global FIFO deque of pending ``(sender, bits)`` pairs,
+popped in send order — the unique execution needs nothing else.  Each
+delivery costs O(1) simulator overhead on top of the handler's own work,
+so an m-message execution is O(m) simulator time.
+
+Trace modes: ``run(trace="full")`` (default) materializes an
+:class:`~repro.ring.trace.ExecutionTrace` (O(m) events + local logs);
+``run(trace="metrics")`` streams the same accounting into an O(n)-memory
+:class:`~repro.ring.trace.TraceStats`.  Counter-only sweeps (E1, E7-E11
+and the ``--preset long`` workloads) use metrics mode.
 """
 
 from __future__ import annotations

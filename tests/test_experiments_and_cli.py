@@ -8,10 +8,19 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cli import main
+from repro.cli import build_profile, main, parse_sizes
 from repro.errors import ReproError
-from repro.experiments import ALL_EXPERIMENTS, get_experiment
-from repro.experiments.base import ExperimentResult, Sweep, default_rng
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    LONG_PRESET_EXPERIMENTS,
+    get_experiment,
+)
+from repro.experiments.base import (
+    ExperimentResult,
+    RunProfile,
+    Sweep,
+    default_rng,
+)
 
 
 class TestRegistry:
@@ -58,11 +67,141 @@ class TestExperimentResult:
 
     def test_sweep_selection(self):
         sweep = Sweep(full=(1, 2, 3), quick=(1,))
-        assert sweep.sizes(quick=True) == (1,)
-        assert sweep.sizes(quick=False) == (1, 2, 3)
+        assert sweep.sizes(True) == (1,)
+        assert sweep.sizes(False) == (1, 2, 3)
 
     def test_default_rng_deterministic(self):
         assert default_rng().random() == default_rng().random()
+
+
+class TestRunProfile:
+    def test_bool_coercion_matches_legacy_flags(self):
+        assert RunProfile.coerce(True).preset == "quick"
+        assert RunProfile.coerce(False).preset == "full"
+        assert bool(RunProfile(preset="quick"))
+        assert not bool(RunProfile(preset="full"))
+        assert not bool(RunProfile(preset="long"))
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ReproError, match="unknown preset"):
+            RunProfile(preset="huge")
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ReproError, match="positive ring sizes"):
+            RunProfile(sizes=(8, 0))
+        with pytest.raises(ReproError, match="positive ring sizes"):
+            RunProfile(sizes=())
+
+    def test_sweep_profile_selection(self):
+        sweep = Sweep(full=(1, 2, 3), quick=(1,), long=(10, 20))
+        assert sweep.sizes(RunProfile(preset="quick")) == (1,)
+        assert sweep.sizes(RunProfile(preset="full")) == (1, 2, 3)
+        assert sweep.sizes(RunProfile(preset="long")) == (10, 20)
+        assert sweep.sizes(RunProfile(sizes=(7, 8))) == (7, 8)
+
+    def test_long_preset_falls_back_to_full(self):
+        sweep = Sweep(full=(1, 2, 3), quick=(1,))
+        assert sweep.sizes(RunProfile(preset="long")) == (1, 2, 3)
+
+    def test_long_capable_sweeps_reach_ten_thousand(self):
+        """Every long-preset experiment defines a long sweep with n >= 10^4."""
+        import importlib
+
+        modules = {
+            "E1": "e01_regular_linear",
+            "E7": "e07_wcw_quadratic",
+            "E8": "e08_counters_nlogn",
+            "E9": "e09_hierarchy",
+            "E10": "e10_known_n",
+            "E11": "e11_passes_tradeoff",
+        }
+        assert set(modules) == set(LONG_PRESET_EXPERIMENTS)
+        for exp_id, module_name in modules.items():
+            module = importlib.import_module(f"repro.experiments.{module_name}")
+            assert module.SWEEP.long is not None, exp_id
+            assert max(module.SWEEP.long) >= 10_000, exp_id
+
+
+class TestCLIParsing:
+    def test_parse_sizes(self):
+        assert parse_sizes("6,12,24") == (6, 12, 24)
+        assert parse_sizes(" 6, 12 ,24 ") == (6, 12, 24)
+        assert parse_sizes("1024") == (1024,)
+
+    def test_parse_sizes_rejects_garbage(self):
+        with pytest.raises(ReproError, match="comma-separated integers"):
+            parse_sizes("6,twelve")
+        with pytest.raises(ReproError, match="positive"):
+            parse_sizes("6,-12")
+        with pytest.raises(ReproError, match="empty"):
+            parse_sizes(",")
+
+    def test_build_profile_presets(self):
+        assert build_profile(None, None, False) == RunProfile(preset="full")
+        assert build_profile(None, None, True) == RunProfile(preset="quick")
+        assert build_profile("long", None, False) == RunProfile(preset="long")
+        assert build_profile("quick", None, True) == RunProfile(preset="quick")
+        assert build_profile(None, "4,8", False) == RunProfile(
+            preset="full", sizes=(4, 8)
+        )
+
+    def test_build_profile_conflict(self):
+        with pytest.raises(ReproError, match="conflicts"):
+            build_profile("long", None, True)
+
+    def test_cli_sizes_override(self, capsys):
+        import re
+
+        assert main(["E8", "--sizes", "6,12,24"]) == 0
+        output = capsys.readouterr().out
+        assert "E8" in output and "PASS" in output
+        # The override must actually take effect: exactly the requested
+        # sizes appear as table rows, none of the default sweep's extras.
+        rows = re.findall(r"^\s*(\d+)\s", output, flags=re.MULTILINE)
+        assert rows == ["6", "12", "24"]
+
+    def test_cli_bad_sizes_is_clean_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["E8", "--sizes", "6,twelve"])
+        assert excinfo.value.code == 2
+        assert "comma-separated integers" in capsys.readouterr().err
+
+    def test_cli_quick_preset_conflict_is_clean_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["E8", "--quick", "--preset", "long"])
+        assert excinfo.value.code == 2
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_cli_sizes_notice_for_fixed_sweep_experiments(self, capsys):
+        assert main(["E3", "--sizes", "6,12,24", "--quick"]) == 0
+        captured = capsys.readouterr()
+        assert "E3 has no ring-size sweep" in captured.err
+        assert "PASS" in captured.out
+
+    def test_cli_preset_quick_equals_quick_flag(self, capsys):
+        assert main(["E11", "--preset", "quick"]) == 0
+        preset_output = capsys.readouterr().out
+        assert main(["E11", "--quick"]) == 0
+        quick_output = capsys.readouterr().out
+        assert preset_output == quick_output
+
+
+class TestDocs:
+    def test_readme_mentions_every_experiment(self):
+        """The CI docs check, enforced locally: README.md is the front door
+        and must name every registered experiment id."""
+        import pathlib
+        import re
+
+        readme = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+        assert readme.is_file(), "README.md is missing"
+        text = readme.read_text(encoding="utf-8")
+        missing = [
+            exp_id
+            for exp_id in ALL_EXPERIMENTS
+            if not re.search(rf"\b{exp_id}\b", text)
+        ]
+        assert not missing, f"README.md does not mention: {missing}"
 
 
 class TestCLI:

@@ -1,0 +1,168 @@
+"""The incremental enabled-set token scheduler vs the seed's O(m^2) scan.
+
+`serialize_to_token` replays deliveries in the order chosen by
+`_delivery_order_indexed` (per-sender heaps, incremental dependency
+counts).  Its contract is *bit-for-bit* equality with the seed's
+full-rescan scheduler `_delivery_order_scan` on every causally valid
+trace — these tests pin that equivalence on sequential executions, on
+genuinely chaotic ones under randomized schedulers, and property-style
+across random (word, burst, seed) combinations.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import Bits, encode_fixed
+from repro.core.comparison import CopyRecognizer
+from repro.core.counters import BlockCounterRecognizer
+from repro.core.regular_bidirectional import BidirectionalDFARecognizer
+from repro.languages.regular import parity_language
+from repro.ring import run_bidirectional, run_unidirectional
+from repro.ring.line import ring_to_line
+from repro.ring.schedulers import LifoScheduler, RandomScheduler
+from repro.ring.messages import Direction, Send
+from repro.ring.processor import Processor, RingAlgorithm
+from repro.ring.token import (
+    _delivery_order_indexed,
+    _delivery_order_scan,
+    serialize_to_token,
+)
+
+
+class _BurstLeader(Processor):
+    """Floods ``k`` distinct messages down both ports, then absorbs them."""
+
+    def __init__(self, letter: str, k: int) -> None:
+        super().__init__(letter, is_leader=True)
+        self.k = k
+        self._absorbed = 0
+
+    def on_start(self):
+        sends = []
+        for i in range(self.k):
+            payload = encode_fixed(i, 4)
+            sends.append(Send.cw(Bits("0") + payload))
+            sends.append(Send.ccw(Bits("1") + payload))
+        return sends
+
+    def on_receive(self, message: Bits, arrived_from: Direction):
+        self._absorbed += 1
+        if self._absorbed == 2 * self.k:
+            self.decide(True)
+        return ()
+
+
+class _BurstFollower(Processor):
+    """Forwards every message onward in its travel direction."""
+
+    def on_receive(self, message: Bits, arrived_from: Direction):
+        return [Send(arrived_from.opposite(), message)]
+
+
+class BurstFlood(RingAlgorithm):
+    """2k concurrent waves circling the ring — a genuinely chaotic load."""
+
+    name = "burst-flood"
+
+    def __init__(self, k: int) -> None:
+        super().__init__("ab")
+        self.k = k
+
+    def create_processor(self, letter: str, is_leader: bool) -> Processor:
+        if is_leader:
+            return _BurstLeader(letter, self.k)
+        return _BurstFollower(letter, is_leader=False)
+
+
+def _word(n: int) -> str:
+    return ("ab" * n)[:n]
+
+
+class TestOrderEquivalence:
+    def test_sequential_unidirectional(self):
+        for word in ("ab" * 3 + "c" + "ab" * 3, "a" * 4 + "c" + "a" * 4):
+            trace = run_unidirectional(CopyRecognizer(), word)
+            assert _delivery_order_indexed(trace) == _delivery_order_scan(trace)
+
+    def test_sequential_counters(self):
+        trace = run_unidirectional(BlockCounterRecognizer("012"), "001122" * 2)
+        assert _delivery_order_indexed(trace) == _delivery_order_scan(trace)
+
+    def test_bidirectional_dfa_random_schedule(self):
+        parity = parity_language()
+        for seed in range(5):
+            trace = run_bidirectional(
+                BidirectionalDFARecognizer(parity.dfa),
+                _word(9),
+                scheduler=RandomScheduler(seed=seed),
+            )
+            assert _delivery_order_indexed(trace) == _delivery_order_scan(trace)
+
+    def test_chaotic_flood_lifo(self):
+        trace = run_bidirectional(
+            BurstFlood(3), _word(8), scheduler=LifoScheduler()
+        )
+        assert trace.max_in_flight > 1
+        assert _delivery_order_indexed(trace) == _delivery_order_scan(trace)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=14),
+        k=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_property_random_serialized_executions(self, n, k, seed):
+        """The pinning property: identical delivery order on random chaotic
+        executions, hence identical token events bit for bit."""
+        trace = run_bidirectional(
+            BurstFlood(k), _word(n), scheduler=RandomScheduler(seed=seed)
+        )
+        order_indexed = _delivery_order_indexed(trace)
+        order_scan = _delivery_order_scan(trace)
+        assert order_indexed == order_scan
+        assert sorted(order_indexed) == list(range(len(trace.events)))
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_property_token_stats_match_full(self, n, seed):
+        trace = run_bidirectional(
+            BurstFlood(2), _word(n), scheduler=RandomScheduler(seed=seed)
+        )
+        full = serialize_to_token(trace)
+        stats = serialize_to_token(trace, trace_policy="metrics")
+        assert stats.total_bits == full.total_bits
+        assert stats.move_bits == full.move_bits
+        assert stats.carry_bits == full.carry_bits
+        assert stats.carry_count == len(full.payload_events())
+        assert stats.overhead_ratio == full.overhead_ratio
+
+
+class TestLineTransformMetrics:
+    def test_stats_match_full_result(self):
+        trace = run_unidirectional(BlockCounterRecognizer("012"), "000111222")
+        full = ring_to_line(trace)
+        stats = ring_to_line(trace, trace_policy="metrics")
+        assert full.stats() == stats
+        assert stats.ratio == full.ratio
+        assert stats.rerouted_messages() == full.rerouted_messages()
+        assert stats.event_count == len(full.events)
+
+    def test_stats_match_with_forced_cut(self):
+        trace = run_unidirectional(CopyRecognizer(), "ab" * 2 + "c" + "ab" * 2)
+        for cut in range(trace.ring_size):
+            full = ring_to_line(trace, cut=cut)
+            stats = ring_to_line(trace, cut=cut, trace_policy="metrics")
+            assert full.stats() == stats
+
+    def test_chaotic_trace_stats(self):
+        trace = run_bidirectional(
+            BurstFlood(2), _word(7), scheduler=RandomScheduler(seed=11)
+        )
+        assert ring_to_line(trace).stats() == ring_to_line(
+            trace, trace_policy="metrics"
+        )
