@@ -1,0 +1,140 @@
+"""Benchmarks for the bidirectional delivery loop: heap vs per-delivery sort.
+
+Under the default FIFO scheduler the simulator keeps the active queues in
+an age-ordered heap (``Scheduler.head_only``): O(log q) per delivery for
+q concurrently active queues.  The previous implementation rebuilt and
+sorted the whole candidate list before *every* delivery — O(q log q) —
+which is invisible for sequential algorithms (q = 1) but dominates flood
+workloads where q grows with the ring.
+
+``_SortedFifo`` pins the comparison inside one codebase: it delivers in
+exactly the same order as ``FifoScheduler`` but leaves ``head_only``
+False, forcing the sorted-candidates path.  The benchmark asserts the
+two paths produce identical accounting (bits, message count, peak
+in-flight) before timing them.  Run with
+``pytest benchmarks/bench_bidi_delivery.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.bits import Bits
+from repro.ring.bidirectional import run_bidirectional
+from repro.ring.messages import Direction, Send
+from repro.ring.processor import Processor, RingAlgorithm
+from repro.ring.schedulers import FifoScheduler, Scheduler
+
+
+class _SortedFifo(Scheduler):
+    """FIFO delivery order via the sorted-candidates (pre-heap) path."""
+
+    head_only = False
+
+    def choose(self, candidates: Sequence[object]) -> int:
+        return 0
+
+
+_WAVE = Bits("1")
+_ECHO = Bits("0")
+
+
+class _EchoLeader(Processor):
+    """Launch the wave; absorb it plus one echo from every relay."""
+
+    def __init__(self, letter: str, expected: int) -> None:
+        super().__init__(letter, is_leader=True)
+        self._expected = expected
+        self._absorbed = 0
+
+    def on_start(self) -> Iterable[Send]:
+        return [Send.cw(_WAVE)]
+
+    def on_receive(self, message: Bits, arrived_from: Direction) -> Iterable[Send]:
+        self._absorbed += 1
+        if self._absorbed == self._expected:
+            self.decide(True)
+        return ()
+
+
+class _EchoRelay(Processor):
+    """Forward the wave; echo *backward* to the leader when it passes."""
+
+    def on_receive(self, message: Bits, arrived_from: Direction) -> Iterable[Send]:
+        if message == _WAVE:
+            return [Send.cw(_WAVE), Send.ccw(_ECHO)]
+        return [Send.ccw(message)]
+
+
+class EchoFlood(RingAlgorithm):
+    """Every relay the wave passes sends an echo back toward the leader.
+
+    The echoes travel against the wave, so under round-robin
+    (global-FIFO) delivery the live messages sit at *distinct* ring
+    positions and never merge into one frontier queue: the concurrently
+    active queue count q grows with the ring instead of staying O(1) —
+    the regime where per-delivery sorting costs O(q log q) while the
+    heap pays O(log q).  Total deliveries are ~n^2/2.
+    """
+
+    name = "echo-flood"
+
+    def __init__(self) -> None:
+        super().__init__("ab")
+
+    def create_processor_positioned(
+        self, letter: str, is_leader: bool, index: int, size: int
+    ) -> Processor:
+        if is_leader:
+            return _EchoLeader(letter, expected=size)
+        return _EchoRelay(letter, is_leader=False)
+
+    def create_processor(self, letter: str, is_leader: bool) -> Processor:
+        raise NotImplementedError("EchoFlood needs ring positions")
+
+
+_N = 256
+
+
+def _run(scheduler: Scheduler):
+    word = "a" * _N
+    return run_bidirectional(
+        EchoFlood(), word, scheduler=scheduler, trace="metrics"
+    )
+
+
+def _assert_paths_agree():
+    heap = _run(FifoScheduler())
+    sort = _run(_SortedFifo())
+    assert heap.total_bits == sort.total_bits
+    assert heap.message_count == sort.message_count
+    assert heap.max_in_flight == sort.max_in_flight
+
+
+def bench_flood_heap_path(benchmark):
+    """n=256 echo flood, FIFO scheduler on the age-ordered heap (O(log q))."""
+    _assert_paths_agree()
+    result = benchmark(_run, FifoScheduler())
+    assert result.decision is True
+    assert result.max_in_flight >= _N // 2
+
+
+def bench_flood_sorted_path(benchmark):
+    """Same flood, same delivery order, per-delivery sort (O(q log q))."""
+    result = benchmark(_run, _SortedFifo())
+    assert result.decision is True
+    assert result.max_in_flight >= _N // 2
+
+
+def bench_sequential_heap_overhead(benchmark):
+    """q=1 workload: the heap must not tax sequential algorithms."""
+    result = benchmark(_run_sequential)
+    assert result.decision is True
+
+
+def _run_sequential():
+    from repro.core.regular_bidirectional import BidirectionalDFARecognizer
+    from repro.languages.regular import parity_language
+
+    algorithm = BidirectionalDFARecognizer(parity_language().dfa)
+    return run_bidirectional(algorithm, "ab" * 256, trace="metrics")

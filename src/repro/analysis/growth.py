@@ -28,11 +28,31 @@ __all__ = [
     "FitResult",
     "fit_model",
     "classify_growth",
+    "curve_from_records",
     "log_log_slope",
     "measure_curve",
     "ThetaCheck",
     "theta_check",
 ]
+
+
+def curve_from_records(
+    records, n_key: str = "n", bits_key: str = "bits"
+) -> tuple[list[int], list[int]]:
+    """Extract a ``(ns, bits)`` curve from cell records.
+
+    The experiment finalizers fit growth models from stored JSON records
+    (``ring-repro report``) exactly as from fresh measurements: records
+    are plain mappings, and only the two named fields are read.  Records
+    missing ``n_key`` (e.g. skipped sizes a language cannot realize) are
+    dropped rather than treated as zero.
+    """
+    pairs = [
+        (record[n_key], record[bits_key])
+        for record in records
+        if record.get(n_key) is not None
+    ]
+    return [n for n, _ in pairs], [b for _, b in pairs]
 
 
 def measure_curve(sizes, measure) -> tuple[list[int], list[int]]:

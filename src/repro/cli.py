@@ -7,8 +7,11 @@ Usage::
     ring-repro all --quick          # reduced sweeps (what the tests run)
     ring-repro all --preset quick   # same, spelled as a preset
     ring-repro E8 --preset long     # n >= 10^4 metrics-mode sweeps
+    ring-repro E8 --preset long --jobs 4   # cells across 4 processes
+    ring-repro E8 --preset long --resume   # skip cells already in runs/
+    ring-repro report E8 --preset long     # re-render from runs/, no sims
     ring-repro E1 --sizes 64,256,1024   # explicit ring sizes
-    ring-repro all --profile        # also print per-experiment wall time
+    ring-repro all --profile        # also print per-experiment cell time
     python -m repro.cli E9          # equivalent module form
 
 Presets select a sweep variant per experiment: ``quick`` (unit-test
@@ -17,15 +20,26 @@ the counter-only experiments (E1, E7-E11) at ring sizes up to ~1.6*10^4,
 which stay cheap because those sweeps stream ``trace="metrics"`` (see
 PERFORMANCE.md); experiments without a dedicated long sweep fall back to
 their full one.  ``--sizes N,N,...`` overrides the ring sizes outright,
-for ad-hoc scaling runs.  Exit status is non-zero when any executed
-experiment's claim check fails.
+for ad-hoc scaling runs.
+
+Execution is cell-based: each experiment plans independent
+``(experiment, size)`` cells, ``--jobs N`` measures them on N worker
+processes (tables are byte-identical to serial runs: every cell's RNG
+seed derives from its identity, and records fold in plan order), and
+every measured cell persists as a JSON record under ``runs/``
+(``--store DIR`` to relocate, ``--no-store`` to disable).  ``--resume``
+reuses stored records whose config hash still matches, so an interrupted
+sweep continues from what it already measured; ``report`` renders
+entirely from the store and runs no simulations.  ``--profile`` prints
+per-experiment cost as the *sum of per-cell wall clocks* (meaningful
+under any ``--jobs``) alongside the dispatch wall time.  Exit status is
+non-zero when any executed experiment's claim check fails.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import Sequence
 
 from repro.errors import ReproError
@@ -33,8 +47,10 @@ from repro.experiments import (
     ALL_EXPERIMENTS,
     FIXED_SWEEP_EXPERIMENTS,
     RunProfile,
-    get_experiment,
+    get_spec,
 )
+from repro.runner import RunStore, execute_plan, report_from_store
+from repro.runner.store import DEFAULT_STORE_ROOT
 
 __all__ = ["main", "parse_sizes", "build_profile"]
 
@@ -78,6 +94,22 @@ def build_profile(
     )
 
 
+def _profile_line(exp_id: str, execution, profiled: bool) -> str | None:
+    """The ``--profile`` report: per-cell cost, not dispatch-loop time."""
+    if not profiled:
+        return None
+    cached = (
+        f", {execution.cached_count} from store"
+        if execution.cached_count
+        else ""
+    )
+    return (
+        f"[{exp_id} took {execution.cell_seconds:.2f}s of cell time across "
+        f"{len(execution.outcomes)} cells (wall {execution.wall_seconds:.2f}s, "
+        f"jobs={execution.jobs}{cached})]"
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Run the requested experiments; return a process exit code."""
     parser = argparse.ArgumentParser(
@@ -90,7 +122,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        help="experiment ids (E1..E12) or 'all'",
+        help="experiment ids (E1..E12) or 'all'; prefix with 'report' to "
+        "re-render tables from stored cell records without simulating",
     )
     parser.add_argument(
         "--quick",
@@ -111,20 +144,64 @@ def main(argv: Sequence[str] | None = None) -> int:
         "such as E8 — multiples of 3 — fail on incompatible values)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="measure cells on N worker processes (default 1: in-process); "
+        "tables are byte-identical to --jobs 1",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse stored cell records whose config hash still matches; "
+        "only the missing cells are measured",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=DEFAULT_STORE_ROOT,
+        help=f"run-store directory for cell records (default: {DEFAULT_STORE_ROOT}/)",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="do not persist cell records (disables --resume and report)",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
-        help="print per-experiment wall-clock time (perf regression check)",
+        help="print per-experiment cell time, aggregated from per-cell "
+        "wall-clock records (perf regression check, valid under --jobs N)",
     )
     args = parser.parse_args(argv)
     try:
         profile = build_profile(args.preset, args.sizes, args.quick)
+        if args.jobs < 1:
+            raise ReproError(
+                f"--jobs needs a positive worker count, got {args.jobs}"
+            )
     except ReproError as error:
         parser.error(str(error))
 
-    if any(item.lower() == "all" for item in args.experiments):
+    requested = list(args.experiments)
+    report_mode = bool(requested) and requested[0].lower() == "report"
+    if report_mode:
+        requested = requested[1:]
+        if not requested:
+            parser.error("report needs experiment ids (E1..E12) or 'all'")
+        if args.no_store:
+            parser.error("report renders from the store; drop --no-store")
+    if any(item.lower() == "report" for item in requested):
+        parser.error("'report' goes first: ring-repro report E8 [...]")
+    if args.resume and args.no_store:
+        parser.error("--resume reads and refills the store; drop --no-store")
+
+    store = None if args.no_store else RunStore(args.store)
+    if any(item.lower() == "all" for item in requested):
         exp_ids = list(ALL_EXPERIMENTS)
     else:
-        exp_ids = [item.upper() for item in args.experiments]
+        exp_ids = [item.upper() for item in requested]
 
     failures = 0
     for exp_id in exp_ids:
@@ -134,14 +211,28 @@ def main(argv: Sequence[str] | None = None) -> int:
                 "running its standard workload]",
                 file=sys.stderr,
             )
-        started = time.perf_counter()
-        result = get_experiment(exp_id)(profile)
-        elapsed = time.perf_counter() - started
-        print(result.render())
-        if args.profile:
-            print(f"[{exp_id} took {elapsed:.2f}s]")
+        spec = get_spec(exp_id)
+        if report_mode:
+            try:
+                execution = report_from_store(spec, profile, store)
+            except ReproError as error:
+                print(str(error), file=sys.stderr)
+                failures += 1
+                continue
+        else:
+            execution = execute_plan(
+                spec,
+                profile,
+                jobs=args.jobs,
+                store=store,
+                resume=args.resume,
+            )
+        print(execution.result.render())
+        line = _profile_line(exp_id, execution, args.profile)
+        if line:
+            print(line)
         print()
-        if not result.passed:
+        if not execution.result.passed:
             failures += 1
     if failures:
         print(f"{failures} experiment(s) FAILED", file=sys.stderr)

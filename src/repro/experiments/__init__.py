@@ -24,22 +24,36 @@ Use :func:`get_experiment` / :data:`ALL_EXPERIMENTS` or the CLI
 (``python -m repro.cli``).
 """
 
-from repro.experiments.base import ExperimentResult, RunProfile, Sweep
+from repro.experiments.base import (
+    Cell,
+    ExperimentResult,
+    ExperimentSpec,
+    RunProfile,
+    Sweep,
+    cell_seed,
+)
 from repro.experiments.registry import (
     ALL_EXPERIMENTS,
+    ALL_SPECS,
     FIXED_SWEEP_EXPERIMENTS,
     LONG_PRESET_EXPERIMENTS,
     get_experiment,
+    get_spec,
     run_all,
 )
 
 __all__ = [
+    "Cell",
     "ExperimentResult",
+    "ExperimentSpec",
     "RunProfile",
     "Sweep",
+    "cell_seed",
     "ALL_EXPERIMENTS",
+    "ALL_SPECS",
     "FIXED_SWEEP_EXPERIMENTS",
     "LONG_PRESET_EXPERIMENTS",
     "get_experiment",
+    "get_spec",
     "run_all",
 ]

@@ -12,20 +12,58 @@ the ``long`` preset (n >= 10^4 metrics-mode sweeps for the counter-only
 experiments) and an explicit ``sizes`` override (the CLI's ``--sizes``).
 :meth:`Sweep.sizes` accepts either form, so experiment bodies stay
 one-liner ``SWEEP.sizes(profile)`` calls.
+
+Cell model
+----------
+Each experiment is declared as an :class:`ExperimentSpec`: a ``plan``
+mapping a profile to independent :class:`Cell` measurements, plus a
+``finalize`` folding the cells' JSON records back into the
+:class:`ExperimentResult`.  A cell is pure and picklable — a module-level
+measurement function, plain-data params, and a deterministically derived
+RNG seed (:func:`cell_seed`, a function of ``(exp_id, key)`` only) — so
+cells can run in any order, in worker processes, or be skipped entirely
+when a run store already holds their record, without changing a byte of
+the final tables.  ``repro.runner`` provides the parallel executor and
+the persistent store; ``ExperimentSpec.run`` is the serial in-process
+path every legacy ``run(profile)`` entry point delegates to.
 """
 
 from __future__ import annotations
 
+import hashlib
+import inspect
+import json
 import random
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.analysis.tables import format_table
 from repro.errors import ReproError
 
-__all__ = ["ExperimentResult", "RunProfile", "Sweep", "default_rng", "PRESETS"]
+__all__ = [
+    "Cell",
+    "CellFn",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "RunProfile",
+    "Sweep",
+    "cell_seed",
+    "default_rng",
+    "run_cell",
+    "PRESETS",
+    "DEFAULT_SEED",
+]
 
 PRESETS = ("quick", "full", "long")
+
+DEFAULT_SEED = 20250612
+
+# Salt for Cell.config_hash.  The hash covers the cell's params, seed,
+# and its own fn source — but not helpers or the simulators the fn
+# calls.  Bump this when substrate changes alter measured results, so
+# every stored record in runs/ stops matching and --resume/report fail
+# closed instead of serving pre-change numbers.
+CELL_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -124,6 +162,120 @@ class Sweep:
         return self.full
 
 
-def default_rng(seed: int = 20250612) -> random.Random:
+def default_rng(seed: int = DEFAULT_SEED) -> random.Random:
     """The deterministic RNG used by all experiments (reproducible tables)."""
     return random.Random(seed)
+
+
+def cell_seed(exp_id: str, key: str, base: int = DEFAULT_SEED) -> int:
+    """Derive a cell's RNG seed from its identity — never from run order.
+
+    Hashing ``(base, exp_id, key)`` makes every cell's randomness a pure
+    function of *which measurement it is*: the same cell sampled under
+    ``--jobs 1``, ``--jobs 8``, or alone on a resume pass sees identical
+    words, which is what makes parallel and resumed tables byte-identical
+    to serial ones.
+    """
+    digest = hashlib.sha256(f"{base}:{exp_id}:{key}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+CellFn = Callable[[dict, random.Random], dict]
+
+
+def _fn_source(fn: CellFn) -> str:
+    """The measurement function's source text, for the config hash.
+
+    Conservative by design: any edit (even formatting) invalidates
+    stored records.  Source-less callables (builtins, REPL definitions)
+    fall back to the empty string — their identity is then carried by
+    the qualified name alone.
+    """
+    try:
+        return inspect.getsource(fn)
+    except (OSError, TypeError):
+        return ""
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent measurement of an experiment plan.
+
+    ``fn(params, rng)`` must be a module-level function (picklable by
+    reference for process executors) of its arguments only, returning a
+    JSON-serializable record; ``params`` is plain JSON data.  ``weight``
+    is a relative cost hint (typically the ring size) the executor uses
+    to schedule expensive cells first.
+    """
+
+    exp_id: str
+    key: str
+    fn: CellFn
+    params: Mapping
+    seed: int
+    weight: float = 1.0
+
+    def config_hash(self) -> str:
+        """Identity of this measurement for the run store.
+
+        Covers everything the record is a function of: params, the
+        derived seed, and the measurement *code* — the cell fn's
+        qualified name plus its source text — so editing a ``_measure``
+        body invalidates stored records instead of silently serving
+        pre-fix numbers to ``--resume``/``report``.  (Helpers the fn
+        calls are not covered; bump :data:`CELL_SCHEMA_VERSION` when
+        changing those in a result-affecting way.)
+        """
+        blob = json.dumps(
+            {
+                "schema": CELL_SCHEMA_VERSION,
+                "exp_id": self.exp_id,
+                "key": self.key,
+                "params": dict(self.params),
+                "seed": self.seed,
+                "fn": f"{self.fn.__module__}.{self.fn.__qualname__}",
+                "fn_source": _fn_source(self.fn),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()[:12]
+
+
+def run_cell(cell: Cell) -> dict:
+    """Execute one cell in-process and return its JSON record.
+
+    The record is round-tripped through ``json`` so in-memory results are
+    indistinguishable from store-loaded ones (tuples become lists *now*,
+    not only on the resume path) and non-serializable records fail fast.
+    """
+    record = cell.fn(dict(cell.params), random.Random(cell.seed))
+    return json.loads(json.dumps(record))
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative form of one experiment: plan cells, then finalize.
+
+    ``plan(profile)`` returns the independent cells (unique keys, stable
+    order); ``finalize(profile, records)`` folds ``{key: record}`` into
+    the :class:`ExperimentResult`, iterating in plan order so the table
+    is independent of measurement order.
+    """
+
+    exp_id: str
+    plan: Callable[[RunProfile], "list[Cell]"]
+    finalize: Callable[[RunProfile, dict], ExperimentResult]
+
+    def cells(self, profile: "bool | RunProfile" = False) -> "list[Cell]":
+        """The plan under a coerced profile, validated for key uniqueness."""
+        cells = self.plan(RunProfile.coerce(profile))
+        keys = [cell.key for cell in cells]
+        if len(set(keys)) != len(keys):
+            raise ReproError(f"{self.exp_id} plan has duplicate cell keys")
+        return cells
+
+    def run(self, profile: "bool | RunProfile" = False) -> ExperimentResult:
+        """Serial in-process execution: measure every cell, finalize."""
+        profile = RunProfile.coerce(profile)
+        records = {cell.key: run_cell(cell) for cell in self.cells(profile)}
+        return self.finalize(profile, records)

@@ -9,18 +9,26 @@ the bidirectional ring under a random scheduler.  Checks:
 * measured bits equal the construction's exact prediction
   ``ceil(log2 |Q|) * n`` in both models;
 * the growth classifier picks ``n`` over the whole model ladder.
+
+Cell plan: one cell per ring size, measuring all six languages at that
+size; finalize folds the per-size records into one table row per
+language (the per-language growth fits span the sizes).
 """
 
 from __future__ import annotations
+
+import random
 
 from repro.analysis.growth import classify_growth
 from repro.core.regular_bidirectional import BidirectionalDFARecognizer
 from repro.core.regular_onepass import DFARecognizer
 from repro.experiments.base import (
+    Cell,
     ExperimentResult,
+    ExperimentSpec,
     RunProfile,
     Sweep,
-    default_rng,
+    cell_seed,
 )
 from repro.languages.regular import (
     RegularLanguage,
@@ -54,9 +62,66 @@ def _languages() -> list[RegularLanguage]:
     ]
 
 
-def run(profile: bool | RunProfile = False) -> ExperimentResult:
-    """Execute the E1 sweep; see module docstring."""
-    rng = default_rng()
+def _measure(params: dict, rng: random.Random) -> dict:
+    """One ring size: every language through both ring models."""
+    n = params["n"]
+    out = []
+    for language in _languages():
+        uni = DFARecognizer(language.dfa, name=language.name)
+        bidi = BidirectionalDFARecognizer(language.dfa, name=language.name)
+        exact = True
+        decisions_ok = True
+        words = [
+            word
+            for word in (
+                language.sample_member(n, rng),
+                language.sample_non_member(n, rng),
+            )
+            if word is not None
+        ]
+        for word in words:
+            trace = run_unidirectional(uni, word, trace="metrics")
+            if trace.decision != language.contains(word):
+                decisions_ok = False
+            if trace.total_bits != uni.predicted_bits(n):
+                exact = False
+            bi_trace = run_bidirectional(
+                bidi, word, scheduler=RandomScheduler(seed=n), trace="metrics"
+            )
+            if bi_trace.decision != language.contains(word):
+                decisions_ok = False
+            if bi_trace.total_bits != trace.total_bits:
+                exact = False
+        out.append(
+            {
+                "language": language.name,
+                "states": len(uni.dfa.states),
+                "bits_per_message": uni.bits_per_message,
+                "predicted": uni.predicted_bits(n),
+                "exact": exact,
+                "decisions_ok": decisions_ok,
+            }
+        )
+    return {"n": n, "languages": out}
+
+
+def plan(profile: RunProfile) -> list[Cell]:
+    """Independent per-size cells over the profile's sweep."""
+    return [
+        Cell(
+            exp_id="E1",
+            key=f"n={n}",
+            fn=_measure,
+            params={"n": n},
+            seed=cell_seed("E1", f"n={n}"),
+            weight=n,
+        )
+        for n in SWEEP.sizes(profile)
+    ]
+
+
+def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
+    """Fold per-size records into one row per language plus its fit."""
     result = ExperimentResult(
         exp_id="E1",
         title="Regular languages in O(n) bits (Theorems 1 and 6)",
@@ -73,48 +138,26 @@ def run(profile: bool | RunProfile = False) -> ExperimentResult:
             "ok",
         ],
     )
+    sizes = SWEEP.sizes(profile)
+    ordered = [records[f"n={n}"] for n in sizes]
     all_ok = True
-    for language in _languages():
-        uni = DFARecognizer(language.dfa, name=language.name)
-        bidi = BidirectionalDFARecognizer(language.dfa, name=language.name)
-        ns, bits = [], []
-        exact = True
-        decisions_ok = True
-        for n in SWEEP.sizes(profile):
-            words = [
-                word
-                for word in (
-                    language.sample_member(n, rng),
-                    language.sample_non_member(n, rng),
-                )
-                if word is not None
-            ]
-            for word in words:
-                trace = run_unidirectional(uni, word, trace="metrics")
-                if trace.decision != language.contains(word):
-                    decisions_ok = False
-                if trace.total_bits != uni.predicted_bits(n):
-                    exact = False
-                bi_trace = run_bidirectional(
-                    bidi, word, scheduler=RandomScheduler(seed=n), trace="metrics"
-                )
-                if bi_trace.decision != language.contains(word):
-                    decisions_ok = False
-                if bi_trace.total_bits != trace.total_bits:
-                    exact = False
-            ns.append(n)
-            bits.append(uni.predicted_bits(n))
+    for index, summary in enumerate(ordered[-1]["languages"]):
+        per_size = [record["languages"][index] for record in ordered]
+        ns = [record["n"] for record in ordered]
+        bits = [entry["predicted"] for entry in per_size]
+        exact = all(entry["exact"] for entry in per_size)
+        decisions_ok = all(entry["decisions_ok"] for entry in per_size)
         fit = classify_growth(ns, bits)
         ok = decisions_ok and exact and fit.model.name == "n"
         all_ok = all_ok and ok
         result.rows.append(
             {
-                "language": language.name,
-                "|Q|": len(uni.dfa.states),
-                "bits/msg": uni.bits_per_message,
+                "language": summary["language"],
+                "|Q|": summary["states"],
+                "bits/msg": summary["bits_per_message"],
                 "n_max": ns[-1],
                 "bits(n_max)": bits[-1],
-                "predicted": uni.predicted_bits(ns[-1]),
+                "predicted": summary["predicted"],
                 "exact": exact,
                 "fit": fit.model.name,
                 "ok": ok,
@@ -127,3 +170,11 @@ def run(profile: bool | RunProfile = False) -> ExperimentResult:
     ]
     result.passed = all_ok
     return result
+
+
+SPEC = ExperimentSpec(exp_id="E1", plan=plan, finalize=finalize)
+
+
+def run(profile: bool | RunProfile = False) -> ExperimentResult:
+    """Execute E1 serially; see module docstring."""
+    return SPEC.run(profile)

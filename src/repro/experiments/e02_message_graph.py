@@ -11,11 +11,16 @@ Corollary 1/2 in numbers.
 
 Trace policy: distinct-message counting inspects every delivered payload, so this
 experiment runs with the default ``trace="full"`` policy.
+
+Cell plan: one cell per regular language (graph build + DFA extraction),
+one per vertex budget, and one for the witness ring — the experiment has
+no ring-size sweep, so its cells split along its independent workloads.
 """
 
 from __future__ import annotations
 
 import math
+import random
 
 from repro.automata.equivalence import distinguishing_word
 from repro.bits import BitReader, Bits, encode_elias_gamma
@@ -25,7 +30,13 @@ from repro.core.regular_onepass import (
     OnePassTransducer,
     TransducerRingAlgorithm,
 )
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import (
+    Cell,
+    ExperimentResult,
+    ExperimentSpec,
+    RunProfile,
+    cell_seed,
+)
 from repro.languages.regular import (
     mod_count_language,
     parity_language,
@@ -51,8 +62,96 @@ class CountingTransducer(OnePassTransducer):
         return True
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Execute E2; see module docstring."""
+_LANGUAGES = {
+    "parity": parity_language,
+    "mod-b-4-3": lambda: mod_count_language("b", 4, 3),
+    "substring-aba": lambda: substring_language("aba"),
+}
+
+
+def _measure_language(params: dict, rng: random.Random) -> dict:
+    """Finite side for one regular language: graph, extraction, equivalence."""
+    language = _LANGUAGES[params["language"]]()
+    recognizer = DFARecognizer(language.dfa, name=language.name)
+    graph = build_message_graph(recognizer.transducer, max_vertices=10_000)
+    extracted = extract_dfa(
+        graph, recognizer.transducer, accept_empty=language.dfa.accepts("")
+    )
+    witness = distinguishing_word(extracted, language.dfa)
+    return {
+        "case": language.name,
+        "finite": graph.is_finite(),
+        "messages": graph.message_count,
+        "witness": witness,
+    }
+
+
+def _measure_budget(params: dict, rng: random.Random) -> dict:
+    """Infinite side: the counting transducer versus one vertex budget."""
+    graph = build_message_graph(CountingTransducer(), max_vertices=params["budget"])
+    return {
+        "budget": params["budget"],
+        "messages": graph.message_count,
+        "truncated": graph.truncated,
+    }
+
+
+def _measure_witness(params: dict, rng: random.Random) -> dict:
+    """The Corollary 1/2 witness ring: all-distinct messages, n log n bits."""
+    length = params["length"]
+    word = infinite_witness(CountingTransducer(), length)
+    trace = run_unidirectional(TransducerRingAlgorithm(CountingTransducer()), word)
+    return {
+        "length": length,
+        "distinct": len({event.bits for event in trace.events}),
+        "total_bits": trace.total_bits,
+    }
+
+
+def _budgets(profile: RunProfile) -> tuple[int, ...]:
+    return (32, 128) if profile else (32, 128, 512, 2048)
+
+
+def plan(profile: RunProfile) -> list[Cell]:
+    """Per-language, per-budget, and witness cells (no size sweep)."""
+    quick = bool(profile)
+    cells = [
+        Cell(
+            exp_id="E2",
+            key=f"lang={name}",
+            fn=_measure_language,
+            params={"language": name},
+            seed=cell_seed("E2", f"lang={name}"),
+        )
+        for name in _LANGUAGES
+    ]
+    cells.extend(
+        Cell(
+            exp_id="E2",
+            key=f"budget={budget}",
+            fn=_measure_budget,
+            params={"budget": budget},
+            seed=cell_seed("E2", f"budget={budget}"),
+            weight=budget,
+        )
+        for budget in _budgets(profile)
+    )
+    witness_length = 24 if quick else 96
+    cells.append(
+        Cell(
+            exp_id="E2",
+            key="witness",
+            fn=_measure_witness,
+            params={"length": witness_length},
+            seed=cell_seed("E2", "witness"),
+            weight=witness_length,
+        )
+    )
+    return cells
+
+
+def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
+    """Assemble the dichotomy table from the three cell families."""
     result = ExperimentResult(
         exp_id="E2",
         title="Message graphs: finite <=> regular (Theorem 2)",
@@ -61,61 +160,49 @@ def run(quick: bool = False) -> ExperimentResult:
         columns=["case", "graph", "messages", "check", "ok"],
     )
     all_ok = True
-    for language in [
-        parity_language(),
-        mod_count_language("b", 4, 3),
-        substring_language("aba"),
-    ]:
-        recognizer = DFARecognizer(language.dfa, name=language.name)
-        graph = build_message_graph(recognizer.transducer, max_vertices=10_000)
-        extracted = extract_dfa(
-            graph, recognizer.transducer, accept_empty=language.dfa.accepts("")
-        )
-        witness = distinguishing_word(extracted, language.dfa)
-        ok = graph.is_finite() and witness is None
+    for name in _LANGUAGES:
+        record = records[f"lang={name}"]
+        ok = record["finite"] and record["witness"] is None
         all_ok = all_ok and ok
         result.rows.append(
             {
-                "case": language.name,
+                "case": record["case"],
                 "graph": "finite",
-                "messages": graph.message_count,
+                "messages": record["messages"],
                 "check": "extracted DFA equivalent"
-                if witness is None
-                else f"differs on {witness!r}",
+                if record["witness"] is None
+                else f"differs on {record['witness']!r}",
                 "ok": ok,
             }
         )
-
-    counting = CountingTransducer()
-    witness_length = 24 if quick else 96
-    budgets = (32, 128) if quick else (32, 128, 512, 2048)
-    for budget in budgets:
-        graph = build_message_graph(counting, max_vertices=budget)
-        ok = graph.truncated
+    for budget in _budgets(profile):
+        record = records[f"budget={budget}"]
+        ok = record["truncated"]
         all_ok = all_ok and ok
         result.rows.append(
             {
                 "case": "counting",
                 "graph": f"budget {budget}",
-                "messages": graph.message_count,
+                "messages": record["messages"],
                 "check": "truncated (grows without bound)"
-                if graph.truncated
+                if record["truncated"]
                 else "UNEXPECTEDLY finite",
                 "ok": ok,
             }
         )
-    word = infinite_witness(counting, witness_length)
-    trace = run_unidirectional(TransducerRingAlgorithm(counting), word)
-    distinct = len({event.bits for event in trace.events})
-    nlogn = witness_length * math.log2(witness_length)
-    ok = distinct == witness_length and trace.total_bits >= nlogn
+    witness = records["witness"]
+    nlogn = witness["length"] * math.log2(witness["length"])
+    ok = (
+        witness["distinct"] == witness["length"]
+        and witness["total_bits"] >= nlogn
+    )
     all_ok = all_ok and ok
     result.rows.append(
         {
             "case": "counting witness",
-            "graph": f"|w|={witness_length}",
-            "messages": distinct,
-            "check": f"{trace.total_bits} bits >= n log n = {nlogn:.0f}",
+            "graph": f"|w|={witness['length']}",
+            "messages": witness["distinct"],
+            "check": f"{witness['total_bits']} bits >= n log n = {nlogn:.0f}",
             "ok": ok,
         }
     )
@@ -126,3 +213,11 @@ def run(quick: bool = False) -> ExperimentResult:
     ]
     result.passed = all_ok
     return result
+
+
+SPEC = ExperimentSpec(exp_id="E2", plan=plan, finalize=finalize)
+
+
+def run(profile: bool | RunProfile = False) -> ExperimentResult:
+    """Execute E2 serially; see module docstring."""
+    return SPEC.run(profile)

@@ -11,24 +11,108 @@ sequence-enumeration construction.  Checks:
   cost);
 * composing with Theorem 2: the compiled transducer's message graph is
   finite (the "=> regular" step of the proof chain).
+
+Cell plan: one cell per ``k`` — each compilation is an independent
+pipeline (collect, compile, sweep, graph) producing one table row.
 """
 
 from __future__ import annotations
 
 import itertools
+import random
 
 from repro.core.message_graph import build_message_graph
 from repro.core.multipass import collect_message_space, compile_to_one_pass
 from repro.core.passes_tradeoff import TwoPassTradeoffRecognizer, two_pass_bits
 from repro.core.regular_onepass import TransducerRingAlgorithm
-from repro.experiments.base import ExperimentResult, default_rng
+from repro.experiments.base import (
+    Cell,
+    ExperimentResult,
+    ExperimentSpec,
+    RunProfile,
+    cell_seed,
+)
 from repro.languages.regular import tradeoff_language
 from repro.ring.unidirectional import run_unidirectional
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Execute E3; see module docstring."""
-    rng = default_rng()
+def _measure(params: dict, rng: random.Random) -> dict:
+    """Compile one k's two-pass recognizer and sweep it for equivalence."""
+    k = params["k"]
+    exhaustive_len = params["exhaustive_len"]
+    language = tradeoff_language(k)
+    two_pass = TwoPassTradeoffRecognizer(language)
+    probe_words = [
+        "".join(letters)
+        for length in range(1, min(exhaustive_len, 5) + 1)
+        for letters in itertools.product(language.alphabet, repeat=length)
+    ]
+    space = collect_message_space(two_pass, probe_words)
+    compiled = compile_to_one_pass(two_pass.multipass, space)
+    compiled_algorithm = TransducerRingAlgorithm(
+        compiled, name=f"thm3-compiled(k={k})"
+    )
+    equivalent = True
+    compiled_bits_per_message = None
+    for length in range(1, exhaustive_len + 1):
+        for letters in itertools.product(language.alphabet, repeat=length):
+            word = "".join(letters)
+            source = run_unidirectional(two_pass, word, trace="metrics")
+            target = run_unidirectional(compiled_algorithm, word, trace="metrics")
+            if not (
+                source.decision == target.decision == language.contains(word)
+            ):
+                equivalent = False
+            compiled_bits_per_message = target.total_bits // length
+    for n in params["random_sizes"]:
+        word = "".join(rng.choice(language.alphabet) for _ in range(n))
+        source = run_unidirectional(two_pass, word, trace="metrics")
+        target = run_unidirectional(compiled_algorithm, word, trace="metrics")
+        if not (source.decision == target.decision == language.contains(word)):
+            equivalent = False
+        compiled_bits_per_message = target.total_bits // n
+    graph = build_message_graph(compiled, max_vertices=5_000)
+    return {
+        "k": k,
+        "space": len(space),
+        "candidates": compiled.candidate_count,
+        "compiled_bits_per_message": compiled_bits_per_message,
+        "two_pass_bits_per_n": two_pass_bits(k, 1),
+        "equivalent": equivalent,
+        "graph_finite": graph.is_finite(),
+    }
+
+
+def _ks(profile: RunProfile) -> tuple[int, ...]:
+    return (1,) if profile else (1, 2)
+
+
+def plan(profile: RunProfile) -> list[Cell]:
+    """One independent compilation cell per k."""
+    quick = bool(profile)
+    cells = []
+    for k in _ks(profile):
+        # The k=2 compiled transducer carries an 81-candidate table per
+        # message, so its exhaustive sweep is kept shorter (4^4 words).
+        cells.append(
+            Cell(
+                exp_id="E3",
+                key=f"k={k}",
+                fn=_measure,
+                params={
+                    "k": k,
+                    "exhaustive_len": 4 if (quick or k == 2) else 6,
+                    "random_sizes": [20, 45] if quick else [30, 80, 150],
+                },
+                seed=cell_seed("E3", f"k={k}"),
+                weight=k,
+            )
+        )
+    return cells
+
+
+def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
+    """One table row per compiled k."""
     result = ExperimentResult(
         exp_id="E3",
         title="Multi-pass to one-pass compilation (Theorem 3)",
@@ -45,57 +129,20 @@ def run(quick: bool = False) -> ExperimentResult:
             "ok",
         ],
     )
-    ks = (1,) if quick else (1, 2)
     all_ok = True
-    for k in ks:
-        # The k=2 compiled transducer carries an 81-candidate table per
-        # message, so its exhaustive sweep is kept shorter (4^4 words).
-        exhaustive_len = 4 if (quick or k == 2) else 6
-        language = tradeoff_language(k)
-        two_pass = TwoPassTradeoffRecognizer(language)
-        probe_words = [
-            "".join(letters)
-            for length in range(1, min(exhaustive_len, 5) + 1)
-            for letters in itertools.product(language.alphabet, repeat=length)
-        ]
-        space = collect_message_space(two_pass, probe_words)
-        compiled = compile_to_one_pass(two_pass.multipass, space)
-        compiled_algorithm = TransducerRingAlgorithm(
-            compiled, name=f"thm3-compiled(k={k})"
-        )
-        equivalent = True
-        compiled_bits_per_message = None
-        for length in range(1, exhaustive_len + 1):
-            for letters in itertools.product(language.alphabet, repeat=length):
-                word = "".join(letters)
-                source = run_unidirectional(two_pass, word, trace="metrics")
-                target = run_unidirectional(compiled_algorithm, word, trace="metrics")
-                if not (
-                    source.decision
-                    == target.decision
-                    == language.contains(word)
-                ):
-                    equivalent = False
-                compiled_bits_per_message = target.total_bits // length
-        for n in (20, 45) if quick else (30, 80, 150):
-            word = "".join(rng.choice(language.alphabet) for _ in range(n))
-            source = run_unidirectional(two_pass, word, trace="metrics")
-            target = run_unidirectional(compiled_algorithm, word, trace="metrics")
-            if not (source.decision == target.decision == language.contains(word)):
-                equivalent = False
-            compiled_bits_per_message = target.total_bits // n
-        graph = build_message_graph(compiled, max_vertices=5_000)
-        ok = equivalent and graph.is_finite()
+    for k in _ks(profile):
+        record = records[f"k={k}"]
+        ok = record["equivalent"] and record["graph_finite"]
         all_ok = all_ok and ok
         result.rows.append(
             {
-                "k": k,
-                "|M|": len(space),
-                "candidates": compiled.candidate_count,
-                "bits/msg (compiled)": compiled_bits_per_message,
-                "bits/msg (2-pass)": two_pass_bits(k, 1),
-                "equivalent": equivalent,
-                "graph finite": graph.is_finite(),
+                "k": record["k"],
+                "|M|": record["space"],
+                "candidates": record["candidates"],
+                "bits/msg (compiled)": record["compiled_bits_per_message"],
+                "bits/msg (2-pass)": record["two_pass_bits_per_n"],
+                "equivalent": record["equivalent"],
+                "graph finite": record["graph_finite"],
                 "ok": ok,
             }
         )
@@ -108,3 +155,11 @@ def run(quick: bool = False) -> ExperimentResult:
     ]
     result.passed = all_ok
     return result
+
+
+SPEC = ExperimentSpec(exp_id="E3", plan=plan, finalize=finalize)
+
+
+def run(profile: bool | RunProfile = False) -> ExperimentResult:
+    """Execute E3 serially; see module docstring."""
+    return SPEC.run(profile)

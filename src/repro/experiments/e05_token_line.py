@@ -19,17 +19,29 @@ size: ``serialize_to_token(..., "metrics")`` and
 ``ring_to_line(..., trace_policy="metrics")`` must reproduce the full
 variants' accounting exactly — that is the contract large-n line sweeps
 rely on when they skip materializing transformed events.
+
+Cell plan: one cell per (subject algorithm, ring size); every check is
+computed inside the cell (the full traces never leave it) and the record
+is one table row.
 """
 
 from __future__ import annotations
 
+import random
 from typing import Iterable
 
 from repro.bits import Bits
 from repro.core.counters import BlockCounterRecognizer
 from repro.core.comparison import CopyRecognizer
 from repro.core.regular_bidirectional import BidirectionalDFARecognizer
-from repro.experiments.base import ExperimentResult, Sweep, default_rng
+from repro.experiments.base import (
+    Cell,
+    ExperimentResult,
+    ExperimentSpec,
+    RunProfile,
+    Sweep,
+    cell_seed,
+)
 from repro.languages.nonregular import AnBnCn, CopyLanguage
 from repro.languages.regular import parity_language
 from repro.ring.bidirectional import run_bidirectional
@@ -40,6 +52,8 @@ from repro.ring.token import serialize_to_token
 from repro.ring.unidirectional import run_unidirectional
 
 SWEEP = Sweep(full=(4, 8, 16, 32, 64, 128), quick=(4, 8, 16))
+
+_CASES = ("thm6-parity (bidi)", "counters-012", "copy-wcw", "chaotic-broadcast")
 
 
 class _BroadcastLeader(Processor):
@@ -80,51 +94,85 @@ class ChaoticBroadcast(RingAlgorithm):
         return _BroadcastFollower(letter, is_leader=False)
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Execute E5; see module docstring."""
-    rng = default_rng()
+def _subject(case: str, n: int, rng: random.Random):
+    """Build one case's algorithm, worst-case word, and runner."""
     parity = parity_language()
-    copy_language = CopyLanguage()
-    anbncn = AnBnCn()
 
-    def parity_word(n: int) -> str:
+    def parity_word() -> str:
         return parity.sample_member(n, rng) or "a" * n
 
-    def copy_word(n: int) -> str:
-        word = copy_language.sample_member(n if n % 2 else n + 1, rng)
-        assert word is not None
-        return word
-
-    def blocks_word(n: int) -> str:
+    if case == "thm6-parity (bidi)":
+        return BidirectionalDFARecognizer(parity.dfa), parity_word(), run_bidirectional
+    if case == "counters-012":
         k = max(n // 3, 1)
-        return "0" * k + "1" * k + "2" * k
+        word = "0" * k + "1" * k + "2" * k
+        return BlockCounterRecognizer("012"), word, run_unidirectional
+    if case == "copy-wcw":
+        word = CopyLanguage().sample_member(n if n % 2 else n + 1, rng)
+        assert word is not None
+        return CopyRecognizer(), word, run_unidirectional
+    return ChaoticBroadcast(), parity_word(), run_bidirectional
 
-    cases = [
-        (
-            "thm6-parity (bidi)",
-            BidirectionalDFARecognizer(parity.dfa),
-            parity_word,
-            lambda alg, w: run_bidirectional(alg, w),
-        ),
-        (
-            "counters-012",
-            BlockCounterRecognizer("012"),
-            blocks_word,
-            lambda alg, w: run_unidirectional(alg, w),
-        ),
-        (
-            "copy-wcw",
-            CopyRecognizer(),
-            copy_word,
-            lambda alg, w: run_unidirectional(alg, w),
-        ),
-        (
-            "chaotic-broadcast",
-            ChaoticBroadcast(),
-            parity_word,
-            lambda alg, w: run_bidirectional(alg, w),
-        ),
+
+def _measure(params: dict, rng: random.Random) -> dict:
+    """One (algorithm, size): serialization + line-transformation checks."""
+    algorithm, word, runner = _subject(params["case"], params["n"], rng)
+    trace = runner(algorithm, word)
+    token = serialize_to_token(trace)
+    payload_match = token.preserves_payloads()
+    token_stats = serialize_to_token(trace, trace_policy="metrics")
+    line = ring_to_line(trace)
+    line_stats = ring_to_line(trace, trace_policy="metrics")
+    metrics_match = (
+        line.stats() == line_stats
+        and token_stats.total_bits == token.total_bits
+        and token_stats.move_bits == token.move_bits
+        and token_stats.carry_bits == token.carry_bits
+    )
+    restored = restore_from_line(line)
+    restored_match = [
+        (event.sender, event.receiver, event.direction, event.bits)
+        for event in restored
+    ] == [
+        (event.sender, event.receiver, event.direction, event.bits)
+        for event in trace.events
     ]
+    return {
+        "case": params["case"],
+        "word_len": len(word),
+        "bits": trace.total_bits,
+        "in_flight": trace.max_in_flight,
+        "token_ratio": token.overhead_ratio,
+        "line_ratio": line.ratio,
+        "restored": restored_match,
+        "ok": (
+            payload_match
+            and restored_match
+            and metrics_match
+            and token.overhead_ratio <= 3.0
+            and line.ratio <= 4.0
+        ),
+    }
+
+
+def plan(profile: RunProfile) -> list[Cell]:
+    """Independent per-(algorithm, size) cells."""
+    return [
+        Cell(
+            exp_id="E5",
+            key=f"case={case}/n={n}",
+            fn=_measure,
+            params={"case": case, "n": n},
+            seed=cell_seed("E5", f"case={case}/n={n}"),
+            weight=n,
+        )
+        for case in _CASES
+        for n in SWEEP.sizes(profile)
+    ]
+
+
+def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
+    """One row per (algorithm, size), in plan order."""
     result = ExperimentResult(
         exp_id="E5",
         title="Token serialization and ring->line transformation (Theorem 5)",
@@ -141,47 +189,20 @@ def run(quick: bool = False) -> ExperimentResult:
         ],
     )
     all_ok = True
-    for name, algorithm, word_for, runner in cases:
-        for n in SWEEP.sizes(quick):
-            word = word_for(n)
-            trace = runner(algorithm, word)
-            token = serialize_to_token(trace)
-            payload_match = token.preserves_payloads()
-            token_stats = serialize_to_token(trace, trace_policy="metrics")
-            line = ring_to_line(trace)
-            line_stats = ring_to_line(trace, trace_policy="metrics")
-            metrics_match = (
-                line.stats() == line_stats
-                and token_stats.total_bits == token.total_bits
-                and token_stats.move_bits == token.move_bits
-                and token_stats.carry_bits == token.carry_bits
-            )
-            restored = restore_from_line(line)
-            restored_match = [
-                (event.sender, event.receiver, event.direction, event.bits)
-                for event in restored
-            ] == [
-                (event.sender, event.receiver, event.direction, event.bits)
-                for event in trace.events
-            ]
-            ok = (
-                payload_match
-                and restored_match
-                and metrics_match
-                and token.overhead_ratio <= 3.0
-                and line.ratio <= 4.0
-            )
-            all_ok = all_ok and ok
+    for case in _CASES:
+        for n in SWEEP.sizes(profile):
+            record = records[f"case={case}/n={n}"]
+            all_ok = all_ok and record["ok"]
             result.rows.append(
                 {
-                    "algorithm": name,
-                    "n": len(word),
-                    "bits": trace.total_bits,
-                    "in_flight": trace.max_in_flight,
-                    "token_ratio": round(token.overhead_ratio, 3),
-                    "line_ratio": round(line.ratio, 3),
-                    "restored": restored_match,
-                    "ok": ok,
+                    "algorithm": record["case"],
+                    "n": record["word_len"],
+                    "bits": record["bits"],
+                    "in_flight": record["in_flight"],
+                    "token_ratio": round(record["token_ratio"], 3),
+                    "line_ratio": round(record["line_ratio"], 3),
+                    "restored": record["restored"],
+                    "ok": record["ok"],
                 }
             )
     result.conclusions = [
@@ -194,3 +215,11 @@ def run(quick: bool = False) -> ExperimentResult:
     ]
     result.passed = all_ok
     return result
+
+
+SPEC = ExperimentSpec(exp_id="E5", plan=plan, finalize=finalize)
+
+
+def run(profile: bool | RunProfile = False) -> ExperimentResult:
+    """Execute E5 serially; see module docstring."""
+    return SPEC.run(profile)

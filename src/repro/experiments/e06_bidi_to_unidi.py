@@ -12,24 +12,103 @@ enumeration producing a genuine unidirectional ring algorithm.  Checks:
   bits are linear — classified as ``n``;
 * the pass count is bounded by the number of accepting information states,
   a constant of the algorithm.
+
+Cell plan: one cell per language — each compilation (exhaustive sweep,
+beyond-horizon rings, stage-1 embedding check) is an independent
+pipeline producing one table row.
 """
 
 from __future__ import annotations
 
 import itertools
+import random
 
 from repro.analysis.growth import classify_growth
 from repro.core.bidi_to_unidi import BidiToUnidiCompiler, LineEmbeddedAlgorithm
 from repro.core.regular_bidirectional import BidirectionalDFARecognizer
-from repro.experiments.base import ExperimentResult, default_rng
+from repro.experiments.base import (
+    Cell,
+    ExperimentResult,
+    ExperimentSpec,
+    RunProfile,
+    cell_seed,
+)
 from repro.languages.regular import mod_count_language, parity_language
 from repro.ring.bidirectional import run_bidirectional
 from repro.ring.unidirectional import run_unidirectional
 
+_LANGUAGES = {
+    "parity": parity_language,
+    "mod-a-3-0": lambda: mod_count_language("a", 3, 0),
+}
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Execute E6; see module docstring."""
-    rng = default_rng()
+
+def _measure(params: dict, rng: random.Random) -> dict:
+    """Compile one language's Theorem 6 recognizer and sweep it."""
+    language = _LANGUAGES[params["language"]]()
+    source = BidirectionalDFARecognizer(language.dfa, name=language.name)
+    compiler = BidiToUnidiCompiler(source, horizon=params["horizon"])
+    equivalent = True
+    ns, bits = [], []
+    for length in range(2, params["exhaustive_len"] + 1):
+        for letters in itertools.product(language.alphabet, repeat=length):
+            word = "".join(letters)
+            expected = run_bidirectional(source, word, trace="metrics").decision
+            trace = run_unidirectional(compiler, word, trace="metrics")
+            if not (trace.decision == expected == language.contains(word)):
+                equivalent = False
+    for n in params["large_sizes"]:
+        word = "".join(rng.choice(language.alphabet) for _ in range(n))
+        trace = run_unidirectional(compiler, word, trace="metrics")
+        if trace.decision != language.contains(word):
+            equivalent = False
+        ns.append(n)
+        bits.append(trace.total_bits)
+    # Stage-1-only sanity: line embedding alone preserves decisions.
+    embedding = LineEmbeddedAlgorithm(source)
+    embedding_ok = True
+    for length in (3, 5):
+        for letters in itertools.product(language.alphabet, repeat=length):
+            word = "".join(letters)
+            if embedding.run_on_line(word).decision != language.contains(word):
+                embedding_ok = False
+    return {
+        "language": language.name,
+        "catalog": len(compiler.catalog),
+        "bits_per_message": compiler.bits_per_message(),
+        "ns": ns,
+        "bits": bits,
+        "equivalent": equivalent,
+        "embedding_ok": embedding_ok,
+    }
+
+
+def _names(profile: RunProfile) -> list[str]:
+    return ["parity"] if profile else ["parity", "mod-a-3-0"]
+
+
+def plan(profile: RunProfile) -> list[Cell]:
+    """One independent compilation cell per language."""
+    quick = bool(profile)
+    return [
+        Cell(
+            exp_id="E6",
+            key=f"lang={name}",
+            fn=_measure,
+            params={
+                "language": name,
+                "horizon": 5 if quick else 6,
+                "exhaustive_len": 5 if quick else 7,
+                "large_sizes": [12, 18, 26] if quick else [16, 24, 40, 64],
+            },
+            seed=cell_seed("E6", f"lang={name}"),
+        )
+        for name in _names(profile)
+    ]
+
+
+def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
+    """One row per language, plus the fit over the beyond-horizon rings."""
     result = ExperimentResult(
         exp_id="E6",
         title="Bidirectional -> unidirectional compilation (Theorem 7)",
@@ -47,53 +126,24 @@ def run(quick: bool = False) -> ExperimentResult:
             "ok",
         ],
     )
-    languages = [parity_language()]
-    if not quick:
-        languages.append(mod_count_language("a", 3, 0))
-    exhaustive_len = 5 if quick else 7
-    large_sizes = (12, 18, 26) if quick else (16, 24, 40, 64)
     all_ok = True
-    for language in languages:
-        source = BidirectionalDFARecognizer(language.dfa, name=language.name)
-        compiler = BidiToUnidiCompiler(source, horizon=5 if quick else 6)
-        equivalent = True
-        ns, bits = [], []
-        for length in range(2, exhaustive_len + 1):
-            for letters in itertools.product(language.alphabet, repeat=length):
-                word = "".join(letters)
-                expected = run_bidirectional(source, word, trace="metrics").decision
-                trace = run_unidirectional(compiler, word, trace="metrics")
-                if not (trace.decision == expected == language.contains(word)):
-                    equivalent = False
-        for n in large_sizes:
-            word = "".join(rng.choice(language.alphabet) for _ in range(n))
-            trace = run_unidirectional(compiler, word, trace="metrics")
-            if trace.decision != language.contains(word):
-                equivalent = False
-            ns.append(n)
-            bits.append(trace.total_bits)
-        fit = classify_growth(ns, bits)
-        ok = equivalent and fit.model.name == "n"
-        all_ok = all_ok and ok
+    for name in _names(profile):
+        record = records[f"lang={name}"]
+        fit = classify_growth(record["ns"], record["bits"])
+        ok = record["equivalent"] and fit.model.name == "n"
+        all_ok = all_ok and ok and record["embedding_ok"]
         result.rows.append(
             {
-                "language": language.name,
-                "catalog": len(compiler.catalog),
-                "bits/msg": compiler.bits_per_message(),
-                "n_max": ns[-1],
-                "bits(n_max)": bits[-1],
+                "language": record["language"],
+                "catalog": record["catalog"],
+                "bits/msg": record["bits_per_message"],
+                "n_max": record["ns"][-1],
+                "bits(n_max)": record["bits"][-1],
                 "fit": fit.model.name,
-                "equivalent": equivalent,
+                "equivalent": record["equivalent"],
                 "ok": ok,
             }
         )
-        # Stage-1-only sanity: line embedding alone preserves decisions.
-        embedding = LineEmbeddedAlgorithm(source)
-        for length in (3, 5):
-            for letters in itertools.product(language.alphabet, repeat=length):
-                word = "".join(letters)
-                if embedding.run_on_line(word).decision != language.contains(word):
-                    all_ok = False
     result.conclusions = [
         "stage 1 (line embedding) preserved every decision",
         "stage 2 compiled algorithms agree with their sources on exhaustive "
@@ -102,3 +152,11 @@ def run(quick: bool = False) -> ExperimentResult:
     ]
     result.passed = all_ok
     return result
+
+
+SPEC = ExperimentSpec(exp_id="E6", plan=plan, finalize=finalize)
+
+
+def run(profile: bool | RunProfile = False) -> ExperimentResult:
+    """Execute E6 serially; see module docstring."""
+    return SPEC.run(profile)

@@ -10,11 +10,16 @@ worst case: the buffer reaches ``|w|``), cross-checked against:
 * the marked-palindrome recognizer (the linear-grammar cousin), same class.
 
 The growth classifier must put all three curves at ``n^2``.
+
+Cell plan: one cell per (recognizer, ring size); per-recognizer fits and
+slopes fold in at finalize.
 """
 
 from __future__ import annotations
 
-from repro.analysis.growth import classify_growth, log_log_slope
+import random
+
+from repro.analysis.growth import classify_growth, curve_from_records, log_log_slope
 from repro.core.comparison import (
     CollectAllRecognizer,
     CopyRecognizer,
@@ -22,10 +27,12 @@ from repro.core.comparison import (
     predicted_copy_bits,
 )
 from repro.experiments.base import (
+    Cell,
     ExperimentResult,
+    ExperimentSpec,
     RunProfile,
     Sweep,
-    default_rng,
+    cell_seed,
 )
 from repro.languages.nonregular import CopyLanguage, MarkedPalindrome
 from repro.ring.unidirectional import run_unidirectional
@@ -36,17 +43,63 @@ SWEEP = Sweep(
     long=(2049, 4097, 8193, 16385),
 )
 
+_CASES = ("copy wcw", "palindrome wcw^R", "collect-all")
 
-def run(profile: bool | RunProfile = False) -> ExperimentResult:
-    """Execute E7; see module docstring."""
-    rng = default_rng()
-    copy_language = CopyLanguage()
-    palindrome_language = MarkedPalindrome()
-    cases = [
-        ("copy wcw", CopyRecognizer(), copy_language),
-        ("palindrome wcw^R", MarkedPalindromeRecognizer(), palindrome_language),
-        ("collect-all", CollectAllRecognizer(copy_language), copy_language),
+
+def _subject(case: str):
+    if case == "copy wcw":
+        return CopyRecognizer(), CopyLanguage()
+    if case == "palindrome wcw^R":
+        return MarkedPalindromeRecognizer(), MarkedPalindrome()
+    return CollectAllRecognizer(CopyLanguage()), CopyLanguage()
+
+
+def _measure(params: dict, rng: random.Random) -> dict:
+    """One (recognizer, size): member worst case + non-member check."""
+    case, n = params["case"], params["n"]
+    algorithm, language = _subject(case)
+    member = language.sample_member(n, rng)
+    non_member = language.sample_non_member(n, rng)
+    decision_ok = True
+    trace = run_unidirectional(algorithm, member, trace="metrics")
+    if trace.decision is not True:
+        decision_ok = False
+    if non_member is not None:
+        bad = run_unidirectional(algorithm, non_member, trace="metrics")
+        if bad.decision is not False:
+            decision_ok = False
+    if case == "copy wcw" and trace.total_bits != predicted_copy_bits(n):
+        decision_ok = False
+    return {
+        "case": case,
+        "n": n,
+        "bits": trace.total_bits,
+        "decision_ok": decision_ok,
+    }
+
+
+def plan(profile: RunProfile) -> list[Cell]:
+    """Independent per-(recognizer, size) cells.
+
+    The collect-all cells move O(n^2) payload bits per ring, so weight is
+    quadratic: the executor schedules the truly heavy cells first.
+    """
+    return [
+        Cell(
+            exp_id="E7",
+            key=f"case={case}/n={n}",
+            fn=_measure,
+            params={"case": case, "n": n},
+            seed=cell_seed("E7", f"case={case}/n={n}"),
+            weight=float(n) * n,
+        )
+        for case in _CASES
+        for n in SWEEP.sizes(profile)
     ]
+
+
+def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
+    """Rows per (recognizer, size); fits and slopes per recognizer."""
     result = ExperimentResult(
         exp_id="E7",
         title="w c w needs Theta(n^2) bits (§7(1))",
@@ -55,41 +108,29 @@ def run(profile: bool | RunProfile = False) -> ExperimentResult:
         columns=["algorithm", "n", "bits", "bits/n^2", "decision_ok"],
     )
     all_ok = True
-    slopes = {}
-    for name, algorithm, language in cases:
-        ns, bits = [], []
-        for n in SWEEP.sizes(profile):
-            member = language.sample_member(n, rng)
-            non_member = language.sample_non_member(n, rng)
-            decision_ok = True
-            trace = run_unidirectional(algorithm, member, trace="metrics")
-            if trace.decision is not True:
-                decision_ok = False
-            if non_member is not None:
-                bad = run_unidirectional(algorithm, non_member, trace="metrics")
-                if bad.decision is not False:
-                    decision_ok = False
-            if name == "copy wcw" and trace.total_bits != predicted_copy_bits(n):
-                decision_ok = False
-            all_ok = all_ok and decision_ok
-            ns.append(n)
-            bits.append(trace.total_bits)
+    for case in _CASES:
+        ordered = [
+            records[f"case={case}/n={n}"] for n in SWEEP.sizes(profile)
+        ]
+        for record in ordered:
+            all_ok = all_ok and record["decision_ok"]
             result.rows.append(
                 {
-                    "algorithm": name,
-                    "n": n,
-                    "bits": trace.total_bits,
-                    "bits/n^2": round(trace.total_bits / n**2, 4),
-                    "decision_ok": decision_ok,
+                    "algorithm": case,
+                    "n": record["n"],
+                    "bits": record["bits"],
+                    "bits/n^2": round(record["bits"] / record["n"] ** 2, 4),
+                    "decision_ok": record["decision_ok"],
                 }
             )
+        ns, bits = curve_from_records(ordered)
         fit = classify_growth(ns, bits)
-        slopes[name] = log_log_slope(ns, bits)
+        slope = log_log_slope(ns, bits)
         if fit.model.name != "n^2":
             all_ok = False
         result.conclusions.append(
-            f"{name}: classified {fit.model.name}, log-log slope "
-            f"{slopes[name]:.2f}, c={fit.constant:.3f}"
+            f"{case}: classified {fit.model.name}, log-log slope "
+            f"{slope:.2f}, c={fit.constant:.3f}"
         )
     result.conclusions.append(
         "the specialized comparison recognizer beats collect-all by ~2x in "
@@ -97,3 +138,11 @@ def run(profile: bool | RunProfile = False) -> ExperimentResult:
     )
     result.passed = all_ok
     return result
+
+
+SPEC = ExperimentSpec(exp_id="E7", plan=plan, finalize=finalize)
+
+
+def run(profile: bool | RunProfile = False) -> ExperimentResult:
+    """Execute E7 serially; see module docstring."""
+    return SPEC.run(profile)

@@ -11,17 +11,27 @@ counter worst case) and non-members.  Checks:
   a context-sensitive, non-context-free language at ``Theta(n log n)``,
   *below* the linear language of E7.  The Chomsky hierarchy does not order
   ring bit complexity.
+
+Cell plan: one cell per ring size (member + non-member runs); the fit and
+the conclusions fold in at finalize.  The long sweep carries six sizes so
+the largest cell is well under half the total — a ``--jobs 4`` run keeps
+every worker busy instead of serializing behind n_max.
 """
 
 from __future__ import annotations
 
-from repro.analysis.growth import classify_growth, log_log_slope
+import math
+import random
+
+from repro.analysis.growth import classify_growth, curve_from_records, log_log_slope
 from repro.core.counters import BlockCounterRecognizer, predicted_block_counter_bits
 from repro.experiments.base import (
+    Cell,
     ExperimentResult,
+    ExperimentSpec,
     RunProfile,
     Sweep,
-    default_rng,
+    cell_seed,
 )
 from repro.languages.nonregular import AnBnCn
 from repro.ring.unidirectional import run_unidirectional
@@ -29,15 +39,51 @@ from repro.ring.unidirectional import run_unidirectional
 SWEEP = Sweep(
     full=(6, 12, 24, 48, 96, 192, 384, 510, 1023),
     quick=(6, 12, 24, 48),
-    long=(2046, 4098, 8190, 16383),
+    long=(2046, 4098, 6144, 8190, 12288, 16383),
 )
 
 
-def run(profile: bool | RunProfile = False) -> ExperimentResult:
-    """Execute E8; see module docstring."""
-    rng = default_rng()
+def _measure(params: dict, rng: random.Random) -> dict:
+    """One ring size: member worst case + non-member rejection."""
+    n = params["n"]
     language = AnBnCn()
     algorithm = BlockCounterRecognizer("012")
+    member = language.sample_member(n, rng)
+    assert member is not None
+    trace = run_unidirectional(algorithm, member, trace="metrics")
+    non_member = language.sample_non_member(n, rng)
+    rejected = (
+        run_unidirectional(algorithm, non_member, trace="metrics").decision
+        is False
+    )
+    predicted = predicted_block_counter_bits(n, 3)
+    return {
+        "n": n,
+        "bits": trace.total_bits,
+        "predicted": predicted,
+        "decision_ok": (
+            trace.decision is True and rejected and trace.total_bits == predicted
+        ),
+    }
+
+
+def plan(profile: RunProfile) -> list[Cell]:
+    """Independent per-size cells over the profile's sweep."""
+    return [
+        Cell(
+            exp_id="E8",
+            key=f"n={n}",
+            fn=_measure,
+            params={"n": n},
+            seed=cell_seed("E8", f"n={n}"),
+            weight=n,
+        )
+        for n in SWEEP.sizes(profile)
+    ]
+
+
+def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
+    """Fold per-size records into the table, the fit, and the verdict."""
     result = ExperimentResult(
         exp_id="E8",
         title="0^k 1^k 2^k in Theta(n log n) bits (§7(2))",
@@ -45,37 +91,22 @@ def run(profile: bool | RunProfile = False) -> ExperimentResult:
         "Theta(n log n) bits",
         columns=["n", "bits", "predicted", "bits/(n log n)", "decision_ok"],
     )
-    all_ok = True
-    ns, bits = [], []
-    for n in SWEEP.sizes(profile):
-        member = language.sample_member(n, rng)
-        assert member is not None
-        trace = run_unidirectional(algorithm, member, trace="metrics")
-        predicted = predicted_block_counter_bits(n, 3)
-        non_member = language.sample_non_member(n, rng)
-        rejected = (
-            run_unidirectional(algorithm, non_member, trace="metrics").decision
-            is False
-        )
-        decision_ok = (
-            trace.decision is True and rejected and trace.total_bits == predicted
-        )
-        all_ok = all_ok and decision_ok
-        ns.append(n)
-        bits.append(trace.total_bits)
-        import math
-
+    ordered = [records[f"n={n}"] for n in SWEEP.sizes(profile)]
+    all_ok = all(record["decision_ok"] for record in ordered)
+    for record in ordered:
+        n = record["n"]
         result.rows.append(
             {
                 "n": n,
-                "bits": trace.total_bits,
-                "predicted": predicted,
+                "bits": record["bits"],
+                "predicted": record["predicted"],
                 "bits/(n log n)": round(
-                    trace.total_bits / (n * math.log2(n)), 3
+                    record["bits"] / (n * math.log2(n)), 3
                 ),
-                "decision_ok": decision_ok,
+                "decision_ok": record["decision_ok"],
             }
         )
+    ns, bits = curve_from_records(ordered)
     fit = classify_growth(ns, bits)
     slope = log_log_slope(ns, bits)
     if fit.model.name != "n*log(n)":
@@ -90,3 +121,11 @@ def run(profile: bool | RunProfile = False) -> ExperimentResult:
     ]
     result.passed = all_ok
     return result
+
+
+SPEC = ExperimentSpec(exp_id="E8", plan=plan, finalize=finalize)
+
+
+def run(profile: bool | RunProfile = False) -> ExperimentResult:
+    """Execute E8 serially; see module docstring."""
+    return SPEC.run(profile)

@@ -14,17 +14,24 @@ member words (worst case: full windows travel the whole ring).  Checks:
 * the total (counting pass + compare pass) stays within a constant of
   ``g(n)`` — the counting phase is absorbed because
   ``g(n) = Omega(n log n)``, exactly the paper's accounting.
+
+Cell plan: one cell per (growth law, ring size); the envelope and
+boundedness checks fold in at finalize over each law's size curve.
 """
 
 from __future__ import annotations
 
+import random
+
 from repro.analysis.growth import classify_growth, theta_check
 from repro.core.hierarchy import HierarchyRecognizer
 from repro.experiments.base import (
+    Cell,
     ExperimentResult,
+    ExperimentSpec,
     RunProfile,
     Sweep,
-    default_rng,
+    cell_seed,
 )
 from repro.languages.hierarchy import STANDARD_GROWTHS, PeriodicLanguage
 from repro.ring.unidirectional import run_unidirectional
@@ -35,10 +42,53 @@ SWEEP = Sweep(
     long=(1024, 2048, 4096, 10240),
 )
 
+_GROWTHS = {growth.name: growth for growth in STANDARD_GROWTHS}
 
-def run(profile: bool | RunProfile = False) -> ExperimentResult:
-    """Execute E9; see module docstring."""
-    rng = default_rng()
+
+def _measure(params: dict, rng: random.Random) -> dict:
+    """One (growth law, size): member + non-member runs, pass split."""
+    growth = _GROWTHS[params["growth"]]
+    n = params["n"]
+    language = PeriodicLanguage(growth)
+    algorithm = HierarchyRecognizer(language)
+    member = language.sample_member(n, rng)
+    if member is None:
+        return {"skipped": True}
+    trace = run_unidirectional(algorithm, member, trace="metrics")
+    decision_ok = trace.decision is True
+    non_member = language.sample_non_member(n, rng)
+    if non_member is not None:
+        rejected = run_unidirectional(algorithm, non_member, trace="metrics")
+        decision_ok = decision_ok and rejected.decision is False
+    return {
+        "skipped": False,
+        "n": n,
+        "p": language.block_length(n),
+        "compare_bits": trace.bits_of_pass(1),
+        "total_bits": trace.total_bits,
+        "total_ratio": trace.total_bits / max(growth(n), 1),
+        "decision_ok": decision_ok,
+    }
+
+
+def plan(profile: RunProfile) -> list[Cell]:
+    """Independent per-(growth law, size) cells."""
+    return [
+        Cell(
+            exp_id="E9",
+            key=f"g={name}/n={n}",
+            fn=_measure,
+            params={"growth": name, "n": n},
+            seed=cell_seed("E9", f"g={name}/n={n}"),
+            weight=_GROWTHS[name](n),
+        )
+        for name in _GROWTHS
+        for n in SWEEP.sizes(profile)
+    ]
+
+
+def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
+    """Rows per (law, size); envelope + boundedness verdicts per law."""
     result = ExperimentResult(
         exp_id="E9",
         title="The Theta(g(n)) hierarchy (§7(3))",
@@ -54,35 +104,29 @@ def run(profile: bool | RunProfile = False) -> ExperimentResult:
         ],
     )
     all_ok = True
-    for growth in STANDARD_GROWTHS:
-        language = PeriodicLanguage(growth)
-        algorithm = HierarchyRecognizer(language)
+    for name, growth in _GROWTHS.items():
+        measured = [
+            record
+            for record in (
+                records[f"g={name}/n={n}"] for n in SWEEP.sizes(profile)
+            )
+            if not record["skipped"]
+        ]
         ns, compare_bits, total_ratios = [], [], []
-        for n in SWEEP.sizes(profile):
-            member = language.sample_member(n, rng)
-            if member is None:
-                continue
-            trace = run_unidirectional(algorithm, member, trace="metrics")
-            decision_ok = trace.decision is True
-            non_member = language.sample_non_member(n, rng)
-            if non_member is not None:
-                rejected = run_unidirectional(algorithm, non_member, trace="metrics")
-                decision_ok = decision_ok and rejected.decision is False
-            all_ok = all_ok and decision_ok
-            compare = trace.bits_of_pass(1)
-            ns.append(n)
-            compare_bits.append(compare)
-            total_ratio = trace.total_bits / max(growth(n), 1)
-            total_ratios.append(total_ratio)
+        for record in measured:
+            all_ok = all_ok and record["decision_ok"]
+            ns.append(record["n"])
+            compare_bits.append(record["compare_bits"])
+            total_ratios.append(record["total_ratio"])
             result.rows.append(
                 {
-                    "g": growth.name,
-                    "n": n,
-                    "p": language.block_length(n),
-                    "compare bits": compare,
-                    "total bits": trace.total_bits,
-                    "total/g(n)": round(total_ratio, 3),
-                    "decision_ok": decision_ok,
+                    "g": name,
+                    "n": record["n"],
+                    "p": record["p"],
+                    "compare bits": record["compare_bits"],
+                    "total bits": record["total_bits"],
+                    "total/g(n)": round(record["total_ratio"], 3),
+                    "decision_ok": record["decision_ok"],
                 }
             )
         best = classify_growth(ns, compare_bits)
@@ -93,7 +137,7 @@ def run(profile: bool | RunProfile = False) -> ExperimentResult:
         )
         all_ok = all_ok and envelope.ok and bounded
         result.conclusions.append(
-            f"L_g[{growth.name}]: compare/g in [{envelope.min_ratio:.2f}, "
+            f"L_g[{name}]: compare/g in [{envelope.min_ratio:.2f}, "
             f"{envelope.max_ratio:.2f}], tail cv={envelope.dispersion:.3f} "
             f"=> Theta(g); best-fit shelf: {best.model.name}; "
             f"total/g in [{min(total_ratios):.2f}, {max(total_ratios):.2f}] "
@@ -106,3 +150,11 @@ def run(profile: bool | RunProfile = False) -> ExperimentResult:
     )
     result.passed = all_ok
     return result
+
+
+SPEC = ExperimentSpec(exp_id="E9", plan=plan, finalize=finalize)
+
+
+def run(profile: bool | RunProfile = False) -> ExperimentResult:
+    """Execute E9 serially; see module docstring."""
+    return SPEC.run(profile)

@@ -14,20 +14,27 @@ Two exhibits:
   counted (E4's recognizer).  The measured ratio between the two grows
   like ``log n``: the ``Omega(n log n)`` barrier of Theorem 4 is purely
   the price of not knowing ``n``.
+
+Cell plan: one cell per (known-n law, ring size) plus one per prime-length
+ring size (which runs both the known-n and the counting recognizer so the
+ratio column never mixes cells).
 """
 
 from __future__ import annotations
 
 import math
+import random
 
-from repro.analysis.growth import classify_growth, theta_check
+from repro.analysis.growth import classify_growth, curve_from_records, theta_check
 from repro.core.counting import LengthPredicateRecognizer
 from repro.core.known_n import KnownNHierarchyRecognizer, KnownNLengthRecognizer
 from repro.experiments.base import (
+    Cell,
     ExperimentResult,
+    ExperimentSpec,
     RunProfile,
     Sweep,
-    default_rng,
+    cell_seed,
 )
 from repro.languages.hierarchy import GrowthFunction, PeriodicLanguage
 from repro.languages.nonregular import is_prime
@@ -39,16 +46,88 @@ SWEEP = Sweep(
     long=(1024, 2048, 4096, 10240),
 )
 
-_GROWTHS = (
-    GrowthFunction("n", lambda n: float(n)),
-    GrowthFunction("n^1.5", lambda n: n**1.5),
-    GrowthFunction("n^2", lambda n: float(n * n)),
-)
+_GROWTHS = {
+    "n": GrowthFunction("n", lambda n: float(n)),
+    "n^1.5": GrowthFunction("n^1.5", lambda n: n**1.5),
+    "n^2": GrowthFunction("n^2", lambda n: float(n * n)),
+}
 
 
-def run(profile: bool | RunProfile = False) -> ExperimentResult:
-    """Execute E10; see module docstring."""
-    rng = default_rng()
+def _measure_hierarchy(params: dict, rng: random.Random) -> dict:
+    """One (known-n law, size): comparison pass only, no counting floor."""
+    growth = _GROWTHS[params["growth"]]
+    n = params["n"]
+    language = PeriodicLanguage(growth)
+    algorithm = KnownNHierarchyRecognizer(language)
+    member = language.sample_member(n, rng)
+    if member is None:
+        return {"skipped": True}
+    trace = run_unidirectional(algorithm, member, trace="metrics")
+    ok = trace.decision is True
+    non_member = language.sample_non_member(n, rng)
+    if non_member is not None:
+        ok = ok and (
+            run_unidirectional(algorithm, non_member, trace="metrics").decision
+            is False
+        )
+    return {
+        "skipped": False,
+        "n": n,
+        "bits": trace.total_bits,
+        "ratio": trace.total_bits / max(growth(n), 1),
+        "ok": ok,
+    }
+
+
+def _measure_prime(params: dict, rng: random.Random) -> dict:
+    """One prime-length size: known-n vs counting recognizer, same word."""
+    n = params["n"]
+    word = "a" * n
+    known = KnownNLengthRecognizer(is_prime, name="prime (n known)")
+    unknown = LengthPredicateRecognizer(is_prime, name="prime (count)")
+    known_trace = run_unidirectional(known, word, trace="metrics")
+    unknown_trace = run_unidirectional(unknown, word, trace="metrics")
+    return {
+        "n": n,
+        "known_bits": known_trace.total_bits,
+        "unknown_bits": unknown_trace.total_bits,
+        "ok": (
+            known_trace.decision == unknown_trace.decision == is_prime(n)
+            and known_trace.total_bits == n
+        ),
+    }
+
+
+def plan(profile: RunProfile) -> list[Cell]:
+    """Per-(law, size) hierarchy cells plus per-size prime cells."""
+    cells = [
+        Cell(
+            exp_id="E10",
+            key=f"g={name}/n={n}",
+            fn=_measure_hierarchy,
+            params={"growth": name, "n": n},
+            seed=cell_seed("E10", f"g={name}/n={n}"),
+            weight=_GROWTHS[name](n),
+        )
+        for name in _GROWTHS
+        for n in SWEEP.sizes(profile)
+    ]
+    cells.extend(
+        Cell(
+            exp_id="E10",
+            key=f"prime/n={n}",
+            fn=_measure_prime,
+            params={"n": n},
+            seed=cell_seed("E10", f"prime/n={n}"),
+            weight=n,
+        )
+        for n in SWEEP.sizes(profile)
+    )
+    return cells
+
+
+def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
+    """Hierarchy rows + envelopes per law, then the prime-length contrast."""
     result = ExperimentResult(
         exp_id="E10",
         title="Known n: the hierarchy reaches Theta(n) (§7(4))",
@@ -58,66 +137,48 @@ def run(profile: bool | RunProfile = False) -> ExperimentResult:
         columns=["case", "n", "bits", "unknown-n bits", "ratio", "ok"],
     )
     all_ok = True
-    for growth in _GROWTHS:
-        language = PeriodicLanguage(growth)
-        algorithm = KnownNHierarchyRecognizer(language)
-        ns, bits = [], []
-        for n in SWEEP.sizes(profile):
-            member = language.sample_member(n, rng)
-            if member is None:
-                continue
-            trace = run_unidirectional(algorithm, member, trace="metrics")
-            ok = trace.decision is True
-            non_member = language.sample_non_member(n, rng)
-            if non_member is not None:
-                ok = ok and (
-                    run_unidirectional(
-                        algorithm, non_member, trace="metrics"
-                    ).decision
-                    is False
-                )
-            all_ok = all_ok and ok
-            ns.append(n)
-            bits.append(trace.total_bits)
+    for name, growth in _GROWTHS.items():
+        measured = [
+            record
+            for record in (
+                records[f"g={name}/n={n}"] for n in SWEEP.sizes(profile)
+            )
+            if not record["skipped"]
+        ]
+        ns, bits = curve_from_records(measured)
+        for record in measured:
+            all_ok = all_ok and record["ok"]
             result.rows.append(
                 {
-                    "case": f"L_g[{growth.name}] (n known)",
-                    "n": n,
-                    "bits": trace.total_bits,
+                    "case": f"L_g[{name}] (n known)",
+                    "n": record["n"],
+                    "bits": record["bits"],
                     "unknown-n bits": "",
-                    "ratio": round(trace.total_bits / max(growth(n), 1), 3),
-                    "ok": ok,
+                    "ratio": round(record["ratio"], 3),
+                    "ok": record["ok"],
                 }
             )
         fit = classify_growth(ns, bits)
         envelope = theta_check(ns, bits, growth, low=0.4, high=2.6)
         all_ok = all_ok and envelope.ok
         result.conclusions.append(
-            f"known-n L_g[{growth.name}]: bits/g in "
+            f"known-n L_g[{name}]: bits/g in "
             f"[{envelope.min_ratio:.2f}, {envelope.max_ratio:.2f}], tail "
             f"cv={envelope.dispersion:.3f} => Theta(g); best-fit shelf: "
             f"{fit.model.name} ({'ok' if envelope.ok else 'MISMATCH'})"
         )
 
-    known = KnownNLengthRecognizer(is_prime, name="prime (n known)")
-    unknown = LengthPredicateRecognizer(is_prime, name="prime (count)")
     for n in SWEEP.sizes(profile):
-        word = "a" * n
-        known_trace = run_unidirectional(known, word, trace="metrics")
-        unknown_trace = run_unidirectional(unknown, word, trace="metrics")
-        ok = (
-            known_trace.decision == unknown_trace.decision == is_prime(n)
-            and known_trace.total_bits == n
-        )
-        all_ok = all_ok and ok
+        record = records[f"prime/n={n}"]
+        all_ok = all_ok and record["ok"]
         result.rows.append(
             {
                 "case": "prime length",
-                "n": n,
-                "bits": known_trace.total_bits,
-                "unknown-n bits": unknown_trace.total_bits,
-                "ratio": round(unknown_trace.total_bits / known_trace.total_bits, 2),
-                "ok": ok,
+                "n": record["n"],
+                "bits": record["known_bits"],
+                "unknown-n bits": record["unknown_bits"],
+                "ratio": round(record["unknown_bits"] / record["known_bits"], 2),
+                "ok": record["ok"],
             }
         )
     largest = SWEEP.sizes(profile)[-1]
@@ -131,3 +192,11 @@ def run(profile: bool | RunProfile = False) -> ExperimentResult:
     )
     result.passed = all_ok
     return result
+
+
+SPEC = ExperimentSpec(exp_id="E10", plan=plan, finalize=finalize)
+
+
+def run(profile: bool | RunProfile = False) -> ExperimentResult:
+    """Execute E10 serially; see module docstring."""
+    return SPEC.run(profile)

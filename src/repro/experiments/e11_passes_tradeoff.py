@@ -8,9 +8,14 @@ trade-off family on members and non-members.  Checks:
 * the one-pass/two-pass ratio equals ``(k + 2^k - 1) / (2k + 1)``: one
   pass wins at ``k <= 2``, ties nowhere, and loses exponentially from
   ``k = 3`` on — the paper's "2^c n vs c n" separation in numbers.
+
+Cell plan: one cell per (k, ring size) — both recognizers, both words;
+the formula columns are recomputed at finalize (they are closed forms).
 """
 
 from __future__ import annotations
+
+import random
 
 from repro.core.passes_tradeoff import (
     OnePassTradeoffRecognizer,
@@ -19,10 +24,12 @@ from repro.core.passes_tradeoff import (
     two_pass_bits,
 )
 from repro.experiments.base import (
+    Cell,
     ExperimentResult,
+    ExperimentSpec,
     RunProfile,
     Sweep,
-    default_rng,
+    cell_seed,
 )
 from repro.languages.regular import tradeoff_language
 from repro.ring.unidirectional import run_unidirectional
@@ -34,9 +41,55 @@ SWEEP = Sweep(
 )
 
 
-def run(profile: bool | RunProfile = False) -> ExperimentResult:
-    """Execute E11; see module docstring."""
-    rng = default_rng()
+def _ks(profile: RunProfile) -> tuple[int, ...]:
+    return (1, 2, 3) if profile else (1, 2, 3, 4, 5)
+
+
+def _measure(params: dict, rng: random.Random) -> dict:
+    """One (k, size): both recognizers on a member and a non-member."""
+    k, n = params["k"], params["n"]
+    language = tradeoff_language(k)
+    one_pass = OnePassTradeoffRecognizer(language)
+    two_pass = TwoPassTradeoffRecognizer(language)
+    member = language.sample_member(n, rng)
+    non_member = language.sample_non_member(n, rng)
+    exact = True
+    for word, expected in ((member, True), (non_member, False)):
+        if word is None:
+            continue
+        one_trace = run_unidirectional(one_pass, word, trace="metrics")
+        two_trace = run_unidirectional(two_pass, word, trace="metrics")
+        if not (one_trace.decision == two_trace.decision == expected):
+            exact = False
+        if one_trace.total_bits != one_pass_bits(k, n):
+            exact = False
+        if two_trace.total_bits != two_pass_bits(k, n):
+            exact = False
+        if two_trace.pass_count() != 2 or one_trace.pass_count() != 1:
+            exact = False
+    return {"k": k, "n": n, "exact": exact}
+
+
+def plan(profile: RunProfile) -> list[Cell]:
+    """Independent per-(k, size) cells."""
+    return [
+        Cell(
+            exp_id="E11",
+            key=f"k={k}/n={n}",
+            fn=_measure,
+            params={"k": k, "n": n},
+            seed=cell_seed("E11", f"k={k}/n={n}"),
+            # One-pass messages carry ~2^k-ish bits, so cost scales with
+            # the formula itself, not just n.
+            weight=float(one_pass_bits(k, n)),
+        )
+        for k in _ks(profile)
+        for n in SWEEP.sizes(profile)
+    ]
+
+
+def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
+    """Rows per (k, size); formula columns from the closed forms."""
     result = ExperimentResult(
         exp_id="E11",
         title="Bits vs passes for regular languages (§7(5))",
@@ -52,30 +105,11 @@ def run(profile: bool | RunProfile = False) -> ExperimentResult:
             "exact",
         ],
     )
-    ks = (1, 2, 3) if profile else (1, 2, 3, 4, 5)
     all_ok = True
-    for k in ks:
-        language = tradeoff_language(k)
-        one_pass = OnePassTradeoffRecognizer(language)
-        two_pass = TwoPassTradeoffRecognizer(language)
+    for k in _ks(profile):
         for n in SWEEP.sizes(profile):
-            member = language.sample_member(n, rng)
-            non_member = language.sample_non_member(n, rng)
-            exact = True
-            for word, expected in ((member, True), (non_member, False)):
-                if word is None:
-                    continue
-                one_trace = run_unidirectional(one_pass, word, trace="metrics")
-                two_trace = run_unidirectional(two_pass, word, trace="metrics")
-                if not (one_trace.decision == two_trace.decision == expected):
-                    exact = False
-                if one_trace.total_bits != one_pass_bits(k, n):
-                    exact = False
-                if two_trace.total_bits != two_pass_bits(k, n):
-                    exact = False
-                if two_trace.pass_count() != 2 or one_trace.pass_count() != 1:
-                    exact = False
-            all_ok = all_ok and exact
+            record = records[f"k={k}/n={n}"]
+            all_ok = all_ok and record["exact"]
             ratio = one_pass_bits(k, n) / two_pass_bits(k, n)
             result.rows.append(
                 {
@@ -87,7 +121,7 @@ def run(profile: bool | RunProfile = False) -> ExperimentResult:
                     "winner": "1-pass"
                     if ratio < 1
                     else ("tie" if ratio == 1 else "2-pass"),
-                    "exact": exact,
+                    "exact": record["exact"],
                 }
             )
     result.conclusions = [
@@ -97,3 +131,11 @@ def run(profile: bool | RunProfile = False) -> ExperimentResult:
     ]
     result.passed = all_ok
     return result
+
+
+SPEC = ExperimentSpec(exp_id="E11", plan=plan, finalize=finalize)
+
+
+def run(profile: bool | RunProfile = False) -> ExperimentResult:
+    """Execute E11 serially; see module docstring."""
+    return SPEC.run(profile)

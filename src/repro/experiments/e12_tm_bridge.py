@@ -21,17 +21,29 @@ machines through the bridge:
 Checks: bridge decision == machine verdict == language membership at every
 point; measured bits within the ``t (log|Q|+1) + O(n)`` bound; the three
 shape relations above.
+
+Cell plan: one cell per (machine, ring size); the per-machine shape
+checks (linear / quadratic envelopes, native-cost gap) fold in at
+finalize over each machine's curve.
 """
 
 from __future__ import annotations
 
 import math
+import random
 
 from repro.analysis.growth import theta_check
 from repro.core.counters import BlockCounterRecognizer
 from repro.core.regular_onepass import DFARecognizer
 from repro.core.tm_bridge import TMRingAlgorithm
-from repro.experiments.base import ExperimentResult, Sweep, default_rng
+from repro.experiments.base import (
+    Cell,
+    ExperimentResult,
+    ExperimentSpec,
+    RunProfile,
+    Sweep,
+    cell_seed,
+)
 from repro.languages import AnBn, CopyLanguage
 from repro.languages.base import Language
 from repro.languages.regular import parity_language
@@ -39,6 +51,18 @@ from repro.ring import run_bidirectional, run_unidirectional
 from repro.tm import anbn_machine, copy_machine, parity_machine
 
 SWEEP = Sweep(full=(8, 16, 32, 64, 128), quick=(8, 16, 32))
+
+_MACHINES = ("tm-parity", "tm-copy", "tm-anbn")
+
+
+def _subject(case: str):
+    """Machine, language, and (optional) native ring recognizer."""
+    if case == "tm-parity":
+        parity = parity_language()
+        return parity_machine(), parity, DFARecognizer(parity.dfa)
+    if case == "tm-copy":
+        return copy_machine(), CopyLanguage(), None
+    return anbn_machine(), AnBn(), BlockCounterRecognizer("ab")
 
 
 def _member(language: Language, n: int, rng) -> str | None:
@@ -48,9 +72,61 @@ def _member(language: Language, n: int, rng) -> str | None:
     return word
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Execute E12; see module docstring."""
-    rng = default_rng()
+def _measure(params: dict, rng: random.Random) -> dict:
+    """One (machine, size): bridge run, bound check, native comparison."""
+    machine, language, native = _subject(params["machine"])
+    n = params["n"]
+    word = _member(language, n, rng)
+    if word is None:
+        return {"skipped": True}
+    algorithm = TMRingAlgorithm(machine)
+    width = math.ceil(math.log2(len(machine.work_states)))
+    tm_result = machine.run(word)
+    trace = run_bidirectional(algorithm, word, trace="metrics")
+    bound = tm_result.steps * (width + 1) + 2 * len(word) + 2
+    decisions_ok = (
+        trace.decision == tm_result.accepted == language.contains(word)
+    )
+    non_member = language.sample_non_member(len(word), rng)
+    if non_member is not None:
+        bad = run_bidirectional(algorithm, non_member, trace="metrics")
+        decisions_ok = decisions_ok and bad.decision is False
+    native_bits = None
+    if native is not None:
+        native_bits = run_unidirectional(native, word, trace="metrics").total_bits
+    return {
+        "skipped": False,
+        "machine": machine.name,
+        "word_len": len(word),
+        "steps": tm_result.steps,
+        "bridge_bits": trace.total_bits,
+        "native_bits": native_bits,
+        "bound_ok": trace.total_bits <= bound and decisions_ok,
+    }
+
+
+def plan(profile: RunProfile) -> list[Cell]:
+    """Independent per-(machine, size) cells.
+
+    The zigzag machines cost Theta(n^2) head moves, so weight is
+    quadratic for them.
+    """
+    return [
+        Cell(
+            exp_id="E12",
+            key=f"m={case}/n={n}",
+            fn=_measure,
+            params={"machine": case, "n": n},
+            seed=cell_seed("E12", f"m={case}/n={n}"),
+            weight=float(n) if case == "tm-parity" else float(n) * n,
+        )
+        for case in _MACHINES
+        for n in SWEEP.sizes(profile)
+    ]
+
+
+def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
+    """Rows per (machine, size); per-machine shape conclusions."""
     result = ExperimentResult(
         exp_id="E12",
         title="TM time -> ring bits (Summary section)",
@@ -59,52 +135,36 @@ def run(quick: bool = False) -> ExperimentResult:
         "not the language's",
         columns=["machine", "n", "t(n)", "bridge bits", "native bits", "bound ok"],
     )
-    parity = parity_language()
-    cases = [
-        (parity_machine(), parity, DFARecognizer(parity.dfa), False),
-        (copy_machine(), CopyLanguage(), None, False),
-        (anbn_machine(), AnBn(), BlockCounterRecognizer("ab"), True),
-    ]
     all_ok = True
     conclusions = []
-    for machine, language, native, native_wins in cases:
-        algorithm = TMRingAlgorithm(machine)
-        width = math.ceil(math.log2(len(machine.work_states)))
-        ns, bridge_bits, native_bits = [], [], []
-        for n in SWEEP.sizes(quick):
-            word = _member(language, n, rng)
-            if word is None:
-                continue
-            tm_result = machine.run(word)
-            trace = run_bidirectional(algorithm, word, trace="metrics")
-            bound = tm_result.steps * (width + 1) + 2 * len(word) + 2
-            decisions_ok = (
-                trace.decision == tm_result.accepted == language.contains(word)
+    for case in _MACHINES:
+        measured = [
+            record
+            for record in (
+                records[f"m={case}/n={n}"] for n in SWEEP.sizes(profile)
             )
-            non_member = language.sample_non_member(len(word), rng)
-            if non_member is not None:
-                bad = run_bidirectional(algorithm, non_member, trace="metrics")
-                decisions_ok = decisions_ok and bad.decision is False
-            bound_ok = trace.total_bits <= bound and decisions_ok
-            all_ok = all_ok and bound_ok
-            ns.append(len(word))
-            bridge_bits.append(trace.total_bits)
-            native_cost = ""
-            if native is not None:
-                native_trace = run_unidirectional(native, word, trace="metrics")
-                native_cost = native_trace.total_bits
-                native_bits.append(native_trace.total_bits)
+            if not record["skipped"]
+        ]
+        ns, bridge_bits, native_bits = [], [], []
+        for record in measured:
+            all_ok = all_ok and record["bound_ok"]
+            ns.append(record["word_len"])
+            bridge_bits.append(record["bridge_bits"])
+            if record["native_bits"] is not None:
+                native_bits.append(record["native_bits"])
             result.rows.append(
                 {
-                    "machine": machine.name,
-                    "n": len(word),
-                    "t(n)": tm_result.steps,
-                    "bridge bits": trace.total_bits,
-                    "native bits": native_cost,
-                    "bound ok": bound_ok,
+                    "machine": record["machine"],
+                    "n": record["word_len"],
+                    "t(n)": record["steps"],
+                    "bridge bits": record["bridge_bits"],
+                    "native bits": record["native_bits"]
+                    if record["native_bits"] is not None
+                    else "",
+                    "bound ok": record["bound_ok"],
                 }
             )
-        if machine.name == "tm-parity":
+        if case == "tm-parity":
             check = theta_check(ns, bridge_bits, lambda n: float(n), 1.0, 4.0)
             all_ok = all_ok and check.ok
             conclusions.append(
@@ -112,7 +172,7 @@ def run(quick: bool = False) -> ExperimentResult:
                 f"[{check.min_ratio:.2f}, {check.max_ratio:.2f}]) - a regular "
                 "language stays O(n) through the bridge"
             )
-        if machine.name == "tm-copy":
+        if case == "tm-copy":
             check = theta_check(
                 ns, bridge_bits, lambda n: float(n * n), 0.2, 4.0,
                 max_dispersion=0.35,
@@ -123,7 +183,7 @@ def run(quick: bool = False) -> ExperimentResult:
                 f"[{check.min_ratio:.2f}, {check.max_ratio:.2f}]) - matches "
                 "the §7(1) Theta(n^2) optimum"
             )
-        if native_wins and native_bits:
+        if case == "tm-anbn" and native_bits:
             gap = bridge_bits[-1] / native_bits[-1]
             all_ok = all_ok and gap > 3.0
             conclusions.append(
@@ -137,3 +197,11 @@ def run(quick: bool = False) -> ExperimentResult:
     ]
     result.passed = all_ok
     return result
+
+
+SPEC = ExperimentSpec(exp_id="E12", plan=plan, finalize=finalize)
+
+
+def run(profile: bool | RunProfile = False) -> ExperimentResult:
+    """Execute E12 serially; see module docstring."""
+    return SPEC.run(profile)

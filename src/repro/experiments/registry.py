@@ -1,4 +1,4 @@
-"""Experiment registry: id -> runner.
+"""Experiment registry: id -> runner and id -> cell-plan spec.
 
 The CLI, the benchmarks, and the integration tests all resolve experiments
 through this table, so there is exactly one definition of each sweep.
@@ -9,6 +9,12 @@ Runners take one *profile* argument — a legacy bool (True = quick) or a
 :data:`LONG_PRESET_EXPERIMENTS` names the counter-only experiments whose
 sweeps define a dedicated ``long`` variant (n >= 10^4, metrics mode); for
 the others the long preset falls back to their full sweep.
+
+:data:`ALL_SPECS` exposes the same experiments in declarative cell form
+(:class:`~repro.experiments.base.ExperimentSpec`): ``run(profile)`` is
+always ``SPEC.run(profile)``, so the registry's two views cannot drift.
+The cell form is what the parallel executor and the run store consume
+(``repro.runner``).
 """
 
 from __future__ import annotations
@@ -16,7 +22,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.errors import ReproError
-from repro.experiments.base import ExperimentResult, RunProfile
+from repro.experiments.base import ExperimentResult, ExperimentSpec, RunProfile
 from repro.experiments import (
     e01_regular_linear,
     e02_message_graph,
@@ -49,6 +55,21 @@ ALL_EXPERIMENTS: dict[str, Runner] = {
     "E12": e12_tm_bridge.run,
 }
 
+ALL_SPECS: dict[str, ExperimentSpec] = {
+    "E1": e01_regular_linear.SPEC,
+    "E2": e02_message_graph.SPEC,
+    "E3": e03_multipass_compile.SPEC,
+    "E4": e04_info_states.SPEC,
+    "E5": e05_token_line.SPEC,
+    "E6": e06_bidi_to_unidi.SPEC,
+    "E7": e07_wcw_quadratic.SPEC,
+    "E8": e08_counters_nlogn.SPEC,
+    "E9": e09_hierarchy.SPEC,
+    "E10": e10_known_n.SPEC,
+    "E11": e11_passes_tradeoff.SPEC,
+    "E12": e12_tm_bridge.SPEC,
+}
+
 
 # Counter-only experiments: their sweeps run trace="metrics" end to end,
 # so a dedicated `long` sweep (n >= 10^4) stays O(n)-memory and CI-cheap.
@@ -69,6 +90,17 @@ def get_experiment(exp_id: str) -> Runner:
             f"{', '.join(ALL_EXPERIMENTS)}"
         )
     return ALL_EXPERIMENTS[key]
+
+
+def get_spec(exp_id: str) -> ExperimentSpec:
+    """Resolve an experiment id to its cell-plan spec (case-insensitive)."""
+    key = exp_id.upper()
+    if key not in ALL_SPECS:
+        raise ReproError(
+            f"unknown experiment {exp_id!r}; choose from "
+            f"{', '.join(ALL_SPECS)}"
+        )
+    return ALL_SPECS[key]
 
 
 def run_all(profile: bool | RunProfile = False) -> list[ExperimentResult]:

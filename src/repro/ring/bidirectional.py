@@ -9,13 +9,15 @@ have decided.
 
 Scheduling model and complexity
 -------------------------------
-One FIFO queue per ``(sender, direction)`` link port; before every
-delivery the *active* (non-empty) queues are sorted by the age of their
-head message and the scheduler picks among them.  Per delivery that is
-O(q log q) for q concurrently active queues — q is bounded by the
-algorithm's concurrency (1 for the sequential recognizers, so O(1)
-there), **not** by the ring size: emptied queues leave the active set
-immediately.
+One FIFO queue per ``(sender, direction)`` link port, managed by
+:class:`~repro.ring.delivery.LinkQueues`.  Under a ``head_only``
+scheduler (the default FIFO) the active queues sit in an age-ordered
+heap and each delivery costs O(log q) for q concurrently active queues;
+schedulers that inspect the whole candidate list (random, LIFO,
+adversarial) get it sorted by head-message age, O(q log q) per delivery
+as before.  Either way q is bounded by the algorithm's concurrency (1
+for the sequential recognizers, so O(1) there), **not** by the ring
+size: emptied queues leave the active set immediately.
 
 Trace modes: ``run(trace="full")`` (default) materializes an
 :class:`~repro.ring.trace.ExecutionTrace`; ``run(trace="metrics")``
@@ -25,10 +27,9 @@ execution — into an O(n)-memory :class:`~repro.ring.trace.TraceStats`.
 
 from __future__ import annotations
 
-from collections import deque
-
 from repro.bits import Bits
 from repro.errors import ProtocolError, RingError
+from repro.ring.delivery import LinkQueues
 from repro.ring.messages import Direction, Send
 from repro.ring.processor import Processor, RingAlgorithm
 from repro.ring.schedulers import FifoScheduler, Scheduler
@@ -94,56 +95,40 @@ class BidirectionalRing:
             )
         else:
             record = TraceStats(self.word, leader=0)
-        # One FIFO queue per (sender, direction); values carry the global
-        # enqueue stamp so schedulers can see age order.  `active` tracks
-        # the keys with pending messages so candidate collection costs
-        # O(active), not O(every key ever used) — with a ring-size sweep
-        # the latter is O(n) per delivery and dominates the whole run.
-        queues: dict[tuple[int, Direction], deque[tuple[int, Bits]]] = {}
-        active: set[tuple[int, Direction]] = set()
-        stamp = 0
-        in_flight = 0
+        # Pending deliveries, age-ordered: a heap of active queues under
+        # the head-only (FIFO) scheduler, the sorted candidate list for
+        # schedulers that inspect everything.  See repro.ring.delivery.
+        pending = LinkQueues(use_heap=self.scheduler.head_only)
         delivered = 0
 
         def enqueue(sender: int, sends) -> None:
-            nonlocal stamp, in_flight
             for send in sends:
                 if not isinstance(send, Send):
                     raise ProtocolError(f"handlers must yield Send, got {send!r}")
                 bits = send.bits if type(send.bits) is Bits else Bits(send.bits)
                 if full:
                     record.local_logs[sender].append(("sent", send.direction, bits))
-                key = (sender, send.direction)
-                queues.setdefault(key, deque()).append((stamp, bits))
-                active.add(key)
-                stamp += 1
-                in_flight += 1
-                if in_flight > record.max_in_flight:
-                    record.max_in_flight = in_flight
+                pending.push((sender, send.direction), bits)
 
         enqueue(0, self.processors[0].on_start())
 
         while True:
-            candidates = sorted((queues[key][0][0], key) for key in active)
-            if not candidates:
+            candidates = pending.next_candidates()
+            if candidates is None:
                 break
             if delivered >= max_messages:
                 raise RingError(
                     f"exceeded {max_messages} messages on n={n}; "
                     "algorithm appears to diverge"
                 )
-            chosen = self.scheduler.choose([key for _, key in candidates])
+            chosen = self.scheduler.choose(candidates)
             if not 0 <= chosen < len(candidates):
                 raise RingError(
                     f"scheduler chose index {chosen} out of "
                     f"{len(candidates)} candidates"
                 )
-            _, (sender, direction) = candidates[chosen]
-            queue = queues[(sender, direction)]
-            _, bits = queue.popleft()
-            if not queue:
-                active.discard((sender, direction))
-            in_flight -= 1
+            sender, direction = candidates[chosen]
+            bits = pending.pop((sender, direction))
             receiver = direction.step(sender, n)
             if full:
                 record.events.append(
@@ -164,6 +149,7 @@ class BidirectionalRing:
             responses = self.processors[receiver].on_receive(bits, arrived_from)
             enqueue(receiver, responses)
 
+        record.max_in_flight = pending.peak_in_flight
         record.decision = self.processors[0].decision
         if record.decision is None:
             raise ProtocolError(

@@ -1,0 +1,120 @@
+"""Age-ordered pending-delivery queues for the asynchronous simulators.
+
+The bidirectional ring and the line network both keep one FIFO queue per
+``(sender, direction)`` link port and, before every delivery, present the
+*active* (non-empty) queues to a scheduler in age order of their head
+messages.  :class:`LinkQueues` owns that machinery:
+
+* **Heap path** — when the scheduler only ever consumes the oldest head
+  (``Scheduler.head_only``, true of the default FIFO scheduler), the
+  active queues live in a min-heap keyed by head enqueue stamp: each
+  delivery peeks/pops the top and pushes the queue's next head —
+  O(log q) for q concurrently active queues, instead of rebuilding and
+  sorting the whole candidate list (O(q log q)) per delivery.  On flood
+  workloads where q grows with the ring (every processor mid-relay) that
+  is the difference between an O(m log q) and an O(m q log q) run; see
+  ``benchmarks/bench_bidi_delivery.py`` and PERFORMANCE.md.
+* **Sorted path** — schedulers that inspect the full candidate list
+  (random, LIFO, adversarial) still get exactly the sorted-by-age list
+  the previous implementation built; the heap is not maintained at all
+  in that mode, so there is no stale-entry bookkeeping to pay for.
+
+Delivery order is identical on both paths: enqueue stamps are unique, so
+"heap minimum" and "first element of the sorted candidate list" name the
+same message.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Hashable
+
+from repro.bits import Bits
+
+__all__ = ["LinkQueues"]
+
+
+class LinkQueues:
+    """Per-link FIFO queues with an age-ordered view of the active set.
+
+    Keys are opaque hashable link identifiers (the simulators use
+    ``(sender, direction)``).  ``peak_in_flight`` tracks the maximum
+    number of undelivered messages, which the simulators record on their
+    traces at quiescence.
+    """
+
+    __slots__ = (
+        "queues",
+        "active",
+        "heap",
+        "use_heap",
+        "stamp",
+        "in_flight",
+        "peak_in_flight",
+    )
+
+    def __init__(self, use_heap: bool) -> None:
+        self.queues: dict[Hashable, deque[tuple[int, Bits]]] = {}
+        self.active: set[Hashable] = set()
+        self.heap: list[tuple[int, Hashable]] = []
+        self.use_heap = use_heap
+        self.stamp = 0
+        self.in_flight = 0
+        self.peak_in_flight = 0
+
+    def push(self, key: Hashable, bits: Bits) -> None:
+        """Enqueue one message on ``key``'s link (stamped for age order)."""
+        queue = self.queues.get(key)
+        if queue is None:
+            queue = self.queues[key] = deque()
+        if not queue:
+            self.active.add(key)
+            if self.use_heap:
+                heapq.heappush(self.heap, (self.stamp, key))
+        queue.append((self.stamp, bits))
+        self.stamp += 1
+        self.in_flight += 1
+        if self.in_flight > self.peak_in_flight:
+            self.peak_in_flight = self.in_flight
+
+    def oldest_key(self) -> Hashable | None:
+        """Heap path: the key holding the globally oldest head, or None.
+
+        Leaves that key's entry at the heap top for :meth:`pop` to
+        retire; the heap never holds stale entries (only :meth:`pop`
+        removes heads, and it re-pushes the successor immediately), so
+        the top is valid by construction.
+        """
+        return self.heap[0][1] if self.heap else None
+
+    def sorted_candidates(self) -> list[tuple[int, Hashable]]:
+        """Sorted path: every active queue as ``(head_stamp, key)``, by age."""
+        return sorted((self.queues[key][0][0], key) for key in self.active)
+
+    def next_candidates(self) -> "tuple | list | None":
+        """Candidate keys for the next delivery, or None at quiescence.
+
+        The single entry point both simulators present to their
+        scheduler: the lone heap head under ``use_heap`` (the chosen
+        index can only be 0), the full age-sorted key list otherwise.
+        """
+        if self.use_heap:
+            head = self.oldest_key()
+            return None if head is None else (head,)
+        by_age = self.sorted_candidates()
+        return [key for _, key in by_age] if by_age else None
+
+    def pop(self, key: Hashable) -> Bits:
+        """Dequeue ``key``'s head message, maintaining the age order."""
+        queue = self.queues[key]
+        _, bits = queue.popleft()
+        if self.use_heap:
+            # oldest_key() left this key's entry at the top.
+            heapq.heappop(self.heap)
+            if queue:
+                heapq.heappush(self.heap, (queue[0][0], key))
+        if not queue:
+            self.active.discard(key)
+        self.in_flight -= 1
+        return bits

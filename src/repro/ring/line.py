@@ -21,10 +21,12 @@ as the ring simulators; sends off either end are protocol errors.
 Scheduling model and complexity
 -------------------------------
 :class:`LineNetwork` delivers from per-``(sender, direction)`` FIFO
-queues; a :class:`~repro.ring.schedulers.Scheduler` picks among the
-non-empty queues, which are re-sorted by enqueue stamp before every
-delivery — O(q log q) per delivery for q active queues (q <= 2n, and
-O(1) for the sequential algorithms the compiler produces).
+queues (:class:`~repro.ring.delivery.LinkQueues`): under a ``head_only``
+scheduler (the default FIFO) the active queues form an age-ordered heap,
+O(log q) per delivery for q active queues; other schedulers see the full
+candidate list re-sorted by enqueue stamp, O(q log q) per delivery as
+before (q <= 2n, and O(1) for the sequential algorithms the compiler
+produces).
 
 Trace modes: ``LineNetwork.run(trace="full" | "metrics")`` mirrors the
 ring simulators (full :class:`~repro.ring.trace.ExecutionTrace` vs
@@ -40,11 +42,11 @@ individual messages).
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 
 from repro.bits import Bits
 from repro.errors import ProtocolError, RingError
+from repro.ring.delivery import LinkQueues
 from repro.ring.messages import Direction, Send
 from repro.ring.processor import Processor, RingAlgorithm
 from repro.ring.schedulers import FifoScheduler, Scheduler
@@ -355,12 +357,9 @@ class LineNetwork:
             )
         else:
             record = TraceStats(self.word, leader=self.leader)
-        # Per-(sender, direction) FIFO queues; `active` tracks the
-        # non-empty ones so candidate collection is O(active) per delivery.
-        queues: dict[tuple[int, Direction], deque[tuple[int, Bits]]] = {}
-        active: set[tuple[int, Direction]] = set()
-        stamp = 0
-        in_flight = 0
+        # Pending deliveries, age-ordered (heap under the head-only FIFO
+        # scheduler, sorted candidates otherwise); see repro.ring.delivery.
+        pending = LinkQueues(use_heap=self.scheduler.head_only)
         delivered = 0
 
         def neighbor(index: int, direction: Direction) -> int:
@@ -372,7 +371,6 @@ class LineNetwork:
             return target
 
         def enqueue(sender: int, sends) -> None:
-            nonlocal stamp, in_flight
             for send in sends:
                 if not isinstance(send, Send):
                     raise ProtocolError(f"handlers must yield Send, got {send!r}")
@@ -380,32 +378,26 @@ class LineNetwork:
                 bits = send.bits if type(send.bits) is Bits else Bits(send.bits)
                 if full:
                     record.local_logs[sender].append(("sent", send.direction, bits))
-                queues.setdefault((sender, send.direction), deque()).append(
-                    (stamp, bits)
-                )
-                active.add((sender, send.direction))
-                stamp += 1
-                in_flight += 1
-                if in_flight > record.max_in_flight:
-                    record.max_in_flight = in_flight
+                pending.push((sender, send.direction), bits)
 
         enqueue(self.leader, self.processors[self.leader].on_start())
 
         while True:
-            candidates = sorted((queues[key][0][0], key) for key in active)
-            if not candidates:
+            candidates = pending.next_candidates()
+            if candidates is None:
                 break
             if delivered >= max_messages:
                 raise RingError(
                     f"exceeded {max_messages} messages on a line of {n}"
                 )
-            chosen = self.scheduler.choose([key for _, key in candidates])
-            _, (sender, direction) = candidates[chosen]
-            queue = queues[(sender, direction)]
-            _, bits = queue.popleft()
-            if not queue:
-                active.discard((sender, direction))
-            in_flight -= 1
+            chosen = self.scheduler.choose(candidates)
+            if not 0 <= chosen < len(candidates):
+                raise RingError(
+                    f"scheduler chose index {chosen} out of "
+                    f"{len(candidates)} candidates"
+                )
+            sender, direction = candidates[chosen]
+            bits = pending.pop((sender, direction))
             receiver = neighbor(sender, direction)
             if full:
                 record.events.append(
@@ -425,6 +417,7 @@ class LineNetwork:
                 record.local_logs[receiver].append(("received", arrived_from, bits))
             enqueue(receiver, self.processors[receiver].on_receive(bits, arrived_from))
 
+        record.max_in_flight = pending.peak_in_flight
         record.decision = self.processors[self.leader].decision
         if record.decision is None:
             raise ProtocolError(

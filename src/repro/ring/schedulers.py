@@ -32,7 +32,17 @@ class Scheduler(ABC):
     ``candidates`` is a non-empty sequence of opaque keys, one per
     link-direction with pending traffic, ordered by the enqueue time of the
     head message (oldest first).  Return the index of the chosen candidate.
+
+    ``head_only`` declares that the scheduler always returns 0 (it only
+    ever consumes the oldest head).  The simulators then keep the active
+    queues in an age-ordered heap and call ``choose`` with just the head
+    candidate — O(log q) per delivery instead of sorting all q active
+    queues (see :mod:`repro.ring.delivery`).  Delivery order is
+    unaffected; a subclass that overrides ``choose`` to pick other
+    indices must leave ``head_only`` False.
     """
+
+    head_only = False
 
     @abstractmethod
     def choose(self, candidates: Sequence[object]) -> int:
@@ -41,6 +51,8 @@ class Scheduler(ABC):
 
 class FifoScheduler(Scheduler):
     """Deliver the globally oldest message first (synchronous-like order)."""
+
+    head_only = True
 
     def choose(self, candidates: Sequence[object]) -> int:
         return 0

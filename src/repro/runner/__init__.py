@@ -1,0 +1,26 @@
+"""Execution layer for experiment cell plans.
+
+``repro.experiments`` declares *what* to measure (cell plans);
+this package decides *how*: :mod:`repro.runner.executor` runs a plan's
+cells serially or across worker processes, and :mod:`repro.runner.store`
+persists every cell record as a JSON file under ``runs/`` so interrupted
+sweeps resume from what they already measured and ``ring-repro report``
+re-renders tables without re-simulating.
+"""
+
+from repro.runner.executor import (
+    CellOutcome,
+    PlanExecution,
+    execute_plan,
+    report_from_store,
+)
+from repro.runner.store import RunStore, StoredCell
+
+__all__ = [
+    "CellOutcome",
+    "PlanExecution",
+    "RunStore",
+    "StoredCell",
+    "execute_plan",
+    "report_from_store",
+]

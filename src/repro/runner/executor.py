@@ -1,0 +1,186 @@
+"""Serial and process executors for experiment cell plans.
+
+``execute_plan`` drives one experiment: plan the cells, satisfy what it
+can from the run store (``resume=True``), measure the rest — in-process
+or on a ``concurrent.futures.ProcessPoolExecutor`` (CLI ``--jobs N``) —
+persist every fresh record, and finalize.  Determinism does not depend
+on the backend: each cell's RNG seed is derived from its identity
+(:func:`repro.experiments.base.cell_seed`), records are keyed by cell
+key, and ``finalize`` folds them in plan order, so serial, parallel, and
+resumed runs render byte-identical tables.
+
+Scheduling: cells are submitted heaviest-first (``Cell.weight``, usually
+the ring size), the longest-processing-time heuristic — on a sweep whose
+largest size dominates, starting it first is the difference between a
+near-ideal and a serialized tail.
+
+Timing: each cell's wall clock is measured around its own execution (in
+the worker, for process backends), so per-experiment cost is the *sum of
+cell seconds* — meaningful under any ``--jobs`` — while ``wall_seconds``
+reports the elapsed dispatch time; the CLI's ``--profile`` prints both.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.experiments.base import (
+    Cell,
+    ExperimentResult,
+    ExperimentSpec,
+    RunProfile,
+    run_cell,
+)
+from repro.runner.store import RunStore
+
+__all__ = [
+    "CellOutcome",
+    "PlanExecution",
+    "execute_plan",
+    "report_from_store",
+]
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """One cell's measured (or store-loaded) record plus its wall clock."""
+
+    cell: Cell
+    record: dict
+    seconds: float
+    cached: bool = False
+
+
+@dataclass
+class PlanExecution:
+    """Everything one ``execute_plan`` call produced."""
+
+    result: ExperimentResult
+    outcomes: list[CellOutcome] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    jobs: int = 1
+
+    @property
+    def cell_seconds(self) -> float:
+        """Sum of per-cell wall clocks — the experiment's measured cost,
+        independent of how many workers the dispatch loop used."""
+        return sum(outcome.seconds for outcome in self.outcomes)
+
+    @property
+    def cached_count(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.cached)
+
+
+def _timed_run_cell(cell: Cell) -> tuple[dict, float]:
+    """Measure one cell, timing it where it actually runs (the worker)."""
+    started = time.perf_counter()
+    record = run_cell(cell)
+    return record, time.perf_counter() - started
+
+
+def execute_plan(
+    spec: ExperimentSpec,
+    profile: "bool | RunProfile" = False,
+    jobs: int = 1,
+    store: RunStore | None = None,
+    resume: bool = False,
+) -> PlanExecution:
+    """Run one experiment's plan and finalize its result.
+
+    ``store`` persists every freshly measured cell; with ``resume`` the
+    store is also consulted first and matching records skip measurement.
+    ``jobs > 1`` fans the remaining cells out to worker processes.
+    """
+    if jobs < 1:
+        raise ReproError(f"--jobs needs a positive worker count, got {jobs}")
+    profile = RunProfile.coerce(profile)
+    started = time.perf_counter()
+    cells = spec.cells(profile)
+
+    outcomes: dict[str, CellOutcome] = {}
+    pending: list[Cell] = []
+    for cell in cells:
+        hit = store.load(cell, profile) if (resume and store) else None
+        if hit is not None:
+            outcomes[cell.key] = CellOutcome(
+                cell, hit.record, hit.seconds, cached=True
+            )
+        else:
+            pending.append(cell)
+
+    def finish(cell: Cell, record: dict, seconds: float) -> None:
+        outcomes[cell.key] = CellOutcome(cell, record, seconds)
+        if store is not None:
+            store.save(cell, profile, record, seconds)
+
+    # Heaviest cells first (LPT): ties keep plan order (stable sort).
+    pending.sort(key=lambda cell: -cell.weight)
+    if jobs > 1 and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(_timed_run_cell, cell): cell for cell in pending
+            }
+            remaining = set(futures)
+            failure: BaseException | None = None
+            while remaining:
+                # Persist as results land, not at pool teardown: a killed
+                # run keeps every finished cell for --resume.  A failing
+                # cell does not abort the drain either — its siblings
+                # still finish and persist; the first failure re-raises
+                # once the pool is empty.
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    error = future.exception()
+                    if error is not None:
+                        if failure is None:
+                            failure = error
+                        continue
+                    record, seconds = future.result()
+                    finish(futures[future], record, seconds)
+            if failure is not None:
+                raise failure
+    else:
+        for cell in pending:
+            record, seconds = _timed_run_cell(cell)
+            finish(cell, record, seconds)
+
+    records = {cell.key: outcomes[cell.key].record for cell in cells}
+    result = spec.finalize(profile, records)
+    return PlanExecution(
+        result=result,
+        outcomes=[outcomes[cell.key] for cell in cells],
+        wall_seconds=time.perf_counter() - started,
+        jobs=jobs,
+    )
+
+
+def report_from_store(
+    spec: ExperimentSpec,
+    profile: "bool | RunProfile",
+    store: RunStore,
+) -> PlanExecution:
+    """Re-render an experiment purely from stored cell records.
+
+    No simulation happens: every cell of the plan must already be in the
+    store (:meth:`RunStore.require_all` raises otherwise).
+    """
+    profile = RunProfile.coerce(profile)
+    started = time.perf_counter()
+    cells = spec.cells(profile)
+    loaded = store.require_all(cells, profile)
+    records = {cell.key: loaded[cell.key].record for cell in cells}
+    result = spec.finalize(profile, records)
+    return PlanExecution(
+        result=result,
+        outcomes=[
+            CellOutcome(
+                cell, loaded[cell.key].record, loaded[cell.key].seconds, True
+            )
+            for cell in cells
+        ],
+        wall_seconds=time.perf_counter() - started,
+        jobs=1,
+    )

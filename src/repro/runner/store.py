@@ -1,0 +1,147 @@
+"""Persistent run store: one JSON file per measured cell.
+
+Layout::
+
+    <root>/<exp_id>/<preset>/<safe_key>__<config_hash>.json
+
+``config_hash`` (see :meth:`repro.experiments.base.Cell.config_hash`)
+covers the cell's params and derived seed, so a stored record is loaded
+only when re-running the cell would recompute it identically — change a
+sweep, a knob, or the seed derivation and the old records simply stop
+matching instead of silently corrupting tables.  ``--sizes`` overrides
+need no special casing: the sizes live in the cell keys and params.
+
+Writes go through a temp file + ``os.replace`` so a killed run never
+leaves a half-written record for ``--resume`` to trip over.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.experiments.base import Cell, RunProfile
+
+__all__ = ["RunStore", "StoredCell", "DEFAULT_STORE_ROOT"]
+
+DEFAULT_STORE_ROOT = "runs"
+
+_UNSAFE = re.compile(r"[^A-Za-z0-9._=+-]")
+
+
+def _safe_key(key: str) -> str:
+    """A filesystem-safe rendering of a cell key (uniqueness comes from
+    the config hash appended next to it, not from this mapping)."""
+    return _UNSAFE.sub("-", key) or "cell"
+
+
+def _profile_tag(profile: RunProfile) -> str:
+    return profile.preset
+
+
+@dataclass(frozen=True)
+class StoredCell:
+    """One cell record loaded back from disk."""
+
+    record: dict
+    seconds: float
+
+
+class RunStore:
+    """Filesystem-backed store of cell records under one root directory."""
+
+    def __init__(self, root: str | os.PathLike = DEFAULT_STORE_ROOT) -> None:
+        self.root = Path(root)
+
+    def path_for(self, cell: Cell, profile: RunProfile) -> Path:
+        """Where this cell's record lives (for this profile's preset)."""
+        return (
+            self.root
+            / cell.exp_id
+            / _profile_tag(profile)
+            / f"{_safe_key(cell.key)}__{cell.config_hash()}.json"
+        )
+
+    def load(self, cell: Cell, profile: RunProfile) -> StoredCell | None:
+        """The stored record for this exact measurement, or None.
+
+        A file whose embedded identity does not match the cell (stale
+        schema, tampered params, hash collision across key sanitizing) is
+        treated as a miss, never trusted.
+        """
+        path = self.path_for(cell, profile)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if (
+            payload.get("exp_id") != cell.exp_id
+            or payload.get("key") != cell.key
+            or payload.get("config_hash") != cell.config_hash()
+            or "record" not in payload
+        ):
+            return None
+        try:
+            seconds = float(payload.get("seconds", 0.0))
+        except (TypeError, ValueError):
+            return None
+        return StoredCell(record=payload["record"], seconds=seconds)
+
+    def save(
+        self, cell: Cell, profile: RunProfile, record: dict, seconds: float
+    ) -> Path:
+        """Persist one cell record (atomic rename; safe to kill mid-run)."""
+        path = self.path_for(cell, profile)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "exp_id": cell.exp_id,
+            "key": cell.key,
+            "preset": profile.preset,
+            "params": dict(cell.params),
+            "seed": cell.seed,
+            "config_hash": cell.config_hash(),
+            "seconds": round(seconds, 6),
+            "record": record,
+        }
+        # PID-unique temp name: two runs sharing a store may race on the
+        # same cell; each must rename its *own* complete file.
+        tmp = path.with_suffix(f".json.{os.getpid()}.tmp")
+        tmp.write_text(
+            json.dumps(payload, sort_keys=True, indent=1), encoding="utf-8"
+        )
+        os.replace(tmp, path)
+        return path
+
+    def require_all(
+        self, cells: "list[Cell]", profile: RunProfile
+    ) -> dict[str, StoredCell]:
+        """Load every cell of a plan or fail, naming what is missing.
+
+        This is the ``ring-repro report`` contract: rendering from the
+        store must never silently fall back to simulation.
+        """
+        loaded: dict[str, StoredCell] = {}
+        missing: list[str] = []
+        for cell in cells:
+            hit = self.load(cell, profile)
+            if hit is None:
+                missing.append(cell.key)
+            else:
+                loaded[cell.key] = hit
+        if missing:
+            exp_id = cells[0].exp_id if cells else "?"
+            raise ReproError(
+                f"run store {self.root} is missing {len(missing)} of "
+                f"{len(cells)} {exp_id} cells (preset "
+                f"{profile.preset}): {', '.join(missing[:8])}"
+                + ("..." if len(missing) > 8 else "")
+                + " — run the experiment (without --resume it re-measures "
+                "everything) before asking for a report"
+            )
+        return loaded

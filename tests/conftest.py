@@ -15,6 +15,20 @@ def rng() -> random.Random:
     return random.Random(0xBEEF)
 
 
+@pytest.fixture(autouse=True)
+def _isolated_run_store(tmp_path, monkeypatch):
+    """Point the CLI's default cell store at a per-test temp directory.
+
+    Persisting cell records is on by default, so any test driving
+    ``repro.cli.main`` without an explicit ``--store``/``--no-store``
+    would otherwise grow a ``runs/`` tree in whatever directory pytest
+    was launched from.
+    """
+    monkeypatch.setattr(
+        "repro.cli.DEFAULT_STORE_ROOT", str(tmp_path / "runs")
+    )
+
+
 def random_dfa(rng: random.Random, size: int, alphabet: str = "ab") -> DFA:
     """A random total DFA (used by hypothesis-style sweeps in tests)."""
     states = list(range(size))
