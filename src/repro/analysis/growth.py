@@ -31,9 +31,57 @@ __all__ = [
     "curve_from_records",
     "log_log_slope",
     "measure_curve",
+    "refit_from_store",
     "ThetaCheck",
     "theta_check",
 ]
+
+
+def refit_from_store(runs_dir, exp: str, preset="full") -> dict:
+    """Regenerate an experiment's growth fits from persisted cell records.
+
+    ``runs_dir`` is a run-store root (the CLI's ``--store``, default
+    ``runs/``), ``exp`` an experiment id, and ``preset`` a preset name or
+    a full :class:`~repro.experiments.base.RunProfile` (so ``--sizes``
+    overrides refit too).  Returns ``{curve_name: FitResult}`` — exactly
+    the fits the experiment's finalize computes — derived from the store
+    alone: nothing is simulated, and a store missing any cell of the
+    plan fails loudly (:meth:`~repro.runner.store.RunStore.require_all`)
+    instead of fitting a partial curve.  Experiments that declare no
+    growth curves (word catalogs, closed-form trade-offs) raise.
+
+    Because every experiment's ``finalize`` fits the series its
+    ``curves`` hook extracts, a refit across presets is a pure re-read:
+    run ``ring-repro all --preset long`` once, then refit any experiment
+    under any stored preset without paying simulation time again.
+    """
+    # Imported lazily: the experiment modules import this module for
+    # classify_growth, so the analysis layer cannot depend on them at
+    # import time.
+    from repro.experiments.base import RunProfile
+    from repro.experiments.registry import get_spec
+    from repro.runner.store import RunStore
+
+    spec = get_spec(exp)
+    if spec.curves is None:
+        # Checked before the store: a curveless experiment cannot be
+        # refitted no matter what records exist.
+        raise ReproError(
+            f"{spec.exp_id} fits no growth curves (no ring-size sweep "
+            "to refit)"
+        )
+    profile = (
+        preset
+        if isinstance(preset, RunProfile)
+        else RunProfile(preset=preset)
+    )
+    cells = spec.cells(profile)
+    loaded = RunStore(runs_dir).require_all(cells, profile)
+    records = {key: stored.record for key, stored in loaded.items()}
+    return {
+        name: classify_growth(ns, bits)
+        for name, (ns, bits) in spec.growth_curves(profile, records).items()
+    }
 
 
 def curve_from_records(

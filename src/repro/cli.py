@@ -7,11 +7,13 @@ Usage::
     ring-repro all --quick          # reduced sweeps (what the tests run)
     ring-repro all --preset quick   # same, spelled as a preset
     ring-repro E8 --preset long     # n >= 10^4 metrics-mode sweeps
-    ring-repro E8 --preset long --jobs 4   # cells across 4 processes
+    ring-repro all --preset long --jobs 4  # one shared 4-worker cell pool
     ring-repro E8 --preset long --resume   # skip cells already in runs/
     ring-repro report E8 --preset long     # re-render from runs/, no sims
+    ring-repro report --all --refit        # campaign report + growth refits
+    ring-repro report --all --prune-stale  # delete unloadable stored files
     ring-repro E1 --sizes 64,256,1024   # explicit ring sizes
-    ring-repro all --profile        # also print per-experiment cell time
+    ring-repro all --profile        # per-experiment cost + pool utilization
     python -m repro.cli E9          # equivalent module form
 
 Presets select a sweep variant per experiment: ``quick`` (unit-test
@@ -22,18 +24,31 @@ PERFORMANCE.md); experiments without a dedicated long sweep fall back to
 their full one.  ``--sizes N,N,...`` overrides the ring sizes outright,
 for ad-hoc scaling runs.
 
-Execution is cell-based: each experiment plans independent
-``(experiment, size)`` cells, ``--jobs N`` measures them on N worker
-processes (tables are byte-identical to serial runs: every cell's RNG
-seed derives from its identity, and records fold in plan order), and
-every measured cell persists as a JSON record under ``runs/``
-(``--store DIR`` to relocate, ``--no-store`` to disable).  ``--resume``
-reuses stored records whose config hash still matches, so an interrupted
-sweep continues from what it already measured; ``report`` renders
-entirely from the store and runs no simulations.  ``--profile`` prints
-per-experiment cost as the *sum of per-cell wall clocks* (meaningful
-under any ``--jobs``) alongside the dispatch wall time.  Exit status is
-non-zero when any executed experiment's claim check fails.
+Execution is a *campaign*: every requested experiment's plan of
+independent ``(experiment, size)`` cells is flattened into one global
+list and scheduled heaviest-first on a single shared pool — ``--jobs N``
+means N workers for the whole campaign, not per experiment, so heavy
+Θ(n²) cells of one experiment interleave with everyone else's instead
+of serializing behind a per-experiment barrier.  Each experiment's
+table prints the moment its own last cell lands (output order is still
+request order, and tables are byte-identical to serial runs: every
+cell's RNG seed derives from its identity, and records fold in plan
+order).  Every measured cell persists as a JSON record under ``runs/``
+as it lands (``--store DIR`` to relocate, ``--no-store`` to disable).
+``--resume`` reuses stored records whose config hash still matches, so
+an interrupted campaign continues from what it already measured.
+
+``report`` renders entirely from the store and runs no simulations:
+``--all`` appends an aggregated campaign summary over every experiment,
+``--refit`` regenerates each experiment's growth-law fits from the
+stored records (:func:`repro.analysis.growth.refit_from_store`), and
+stale store files — ones no current cell can load (edited sweeps,
+changed measurement code) — are warned about and deleted by
+``--prune-stale`` after listing.  ``--profile`` prints per-experiment
+cost as the *sum of per-cell wall clocks* (meaningful under any
+``--jobs``), sorted heaviest first, plus a campaign utilization line
+(busy worker-seconds / wall * jobs).  Exit status is non-zero when any
+executed experiment's claim check fails.
 """
 
 from __future__ import annotations
@@ -42,6 +57,8 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.analysis.growth import classify_growth
+from repro.analysis.tables import format_table
 from repro.errors import ReproError
 from repro.experiments import (
     ALL_EXPERIMENTS,
@@ -49,7 +66,13 @@ from repro.experiments import (
     RunProfile,
     get_spec,
 )
-from repro.runner import RunStore, execute_plan, report_from_store
+from repro.runner import (
+    CampaignExecution,
+    PlanExecution,
+    RunStore,
+    execute_campaign,
+    report_from_store,
+)
 from repro.runner.store import DEFAULT_STORE_ROOT
 
 __all__ = ["main", "parse_sizes", "build_profile"]
@@ -94,10 +117,8 @@ def build_profile(
     )
 
 
-def _profile_line(exp_id: str, execution, profiled: bool) -> str | None:
-    """The ``--profile`` report: per-cell cost, not dispatch-loop time."""
-    if not profiled:
-        return None
+def _profile_line(exp_id: str, execution: PlanExecution) -> str:
+    """One experiment's ``--profile`` report: per-cell cost, not wall."""
     cached = (
         f", {execution.cached_count} from store"
         if execution.cached_count
@@ -108,6 +129,128 @@ def _profile_line(exp_id: str, execution, profiled: bool) -> str | None:
         f"{len(execution.outcomes)} cells (wall {execution.wall_seconds:.2f}s, "
         f"jobs={execution.jobs}{cached})]"
     )
+
+
+def _campaign_line(campaign: CampaignExecution) -> str:
+    """The campaign-level ``--profile`` line: shared-pool utilization."""
+    return (
+        f"[campaign: {len(campaign.executions)} experiment(s), "
+        f"{campaign.cell_count} cells ({campaign.cached_count} from store), "
+        f"busy {campaign.busy_seconds:.2f} worker-seconds over "
+        f"{campaign.wall_seconds:.2f}s wall x {campaign.jobs} jobs => "
+        f"utilization {campaign.utilization:.0%}]"
+    )
+
+
+def _print_profile(campaign: CampaignExecution) -> None:
+    """Per-experiment cell time, heaviest first, then pool utilization."""
+    ordered = sorted(
+        campaign.executions.items(), key=lambda item: -item[1].cell_seconds
+    )
+    for exp_id, execution in ordered:
+        print(_profile_line(exp_id, execution))
+    print(_campaign_line(campaign))
+
+
+def _warn_stale(
+    store: RunStore, spec, profile: RunProfile, prune: bool
+) -> None:
+    """Report-mode hygiene: list (and optionally delete) stale files."""
+    cells = spec.cells(profile)
+    stale = store.stale_paths(cells, profile)
+    if not stale:
+        return
+    print(
+        f"[{spec.exp_id} has {len(stale)} stale store file(s) under "
+        f"{store.root} (preset {profile.preset}) superseded by the "
+        "current measurement code — nothing can load them again:",
+        file=sys.stderr,
+    )
+    for path in stale:
+        print(f"  {path}", file=sys.stderr)
+    if prune:
+        pruned = store.prune_stale(cells, profile)
+        print(f"  pruned {len(pruned)} file(s)]", file=sys.stderr)
+    else:
+        print("  rerun with --prune-stale to delete them]", file=sys.stderr)
+
+
+def _campaign_summary(
+    rendered: "list[tuple[str, PlanExecution]]", profile: RunProfile
+) -> str:
+    """The ``report --all`` aggregate: one row per stored experiment."""
+    rows = [
+        {
+            "experiment": exp_id,
+            "cells": len(execution.outcomes),
+            "cell seconds": round(execution.cell_seconds, 2),
+            "passed": execution.result.passed,
+        }
+        for exp_id, execution in rendered
+    ]
+    passed = sum(1 for _, execution in rendered if execution.result.passed)
+    total_cells = sum(len(execution.outcomes) for _, execution in rendered)
+    total_seconds = sum(execution.cell_seconds for _, execution in rendered)
+    parts = [
+        f"== campaign report: preset {profile.preset}, from the run store ==",
+        "",
+        format_table(rows, ["experiment", "cells", "cell seconds", "passed"]),
+        "",
+        f"{passed}/{len(rendered)} experiment(s) passed; {total_cells} "
+        f"stored cells, {total_seconds:.2f}s of stored cell time",
+    ]
+    return "\n".join(parts)
+
+
+def _run_report(args, profile: RunProfile, store: RunStore, exp_ids) -> int:
+    """The ``report`` subcommand: render everything from the store."""
+    failures = 0
+    rendered: list[tuple[str, PlanExecution]] = []
+    for exp_id in exp_ids:
+        spec = get_spec(exp_id)
+        _warn_stale(store, spec, profile, args.prune_stale)
+        try:
+            execution = report_from_store(spec, profile, store)
+        except ReproError as error:
+            print(str(error), file=sys.stderr)
+            failures += 1
+            continue
+        print(execution.result.render())
+        if args.refit:
+            if spec.curves is None:
+                print(
+                    f"[{exp_id} fits no growth curves; --refit skipped]",
+                    file=sys.stderr,
+                )
+            else:
+                # The refit_from_store body over records report already
+                # loaded — same store-only fits, no second disk pass.
+                records = {
+                    outcome.cell.key: outcome.record
+                    for outcome in execution.outcomes
+                }
+                curve_map = spec.growth_curves(profile, records)
+                for name, (ns, bits) in curve_map.items():
+                    print(
+                        f"[refit {exp_id}/{name}: {classify_growth(ns, bits)}]"
+                    )
+        print()
+        rendered.append((exp_id, execution))
+        if not execution.result.passed:
+            failures += 1
+    if args.all:
+        print(_campaign_summary(rendered, profile))
+        print()
+    if args.profile:
+        for exp_id, execution in sorted(
+            rendered, key=lambda item: -item[1].cell_seconds
+        ):
+            print(_profile_line(exp_id, execution))
+    if failures:
+        print(f"{failures} experiment(s) FAILED", file=sys.stderr)
+        return 1
+    print(f"all {len(rendered)} experiment(s) passed")
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -148,8 +291,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         type=int,
         default=1,
         metavar="N",
-        help="measure cells on N worker processes (default 1: in-process); "
-        "tables are byte-identical to --jobs 1",
+        help="measure cells on N worker processes shared by the whole "
+        "campaign (default 1: in-process); tables are byte-identical "
+        "to --jobs 1",
     )
     parser.add_argument(
         "--resume",
@@ -171,8 +315,26 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--profile",
         action="store_true",
-        help="print per-experiment cell time, aggregated from per-cell "
-        "wall-clock records (perf regression check, valid under --jobs N)",
+        help="print per-experiment cell time (heaviest first) plus the "
+        "campaign's shared-pool utilization line",
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="with report: render every experiment and append an "
+        "aggregated campaign summary table",
+    )
+    parser.add_argument(
+        "--refit",
+        action="store_true",
+        help="with report: regenerate growth-law fits from the stored "
+        "records (no simulation) and print them per curve",
+    )
+    parser.add_argument(
+        "--prune-stale",
+        action="store_true",
+        help="with report: delete stale store files (ones no current "
+        "cell loads) after listing them",
     )
     args = parser.parse_args(argv)
     try:
@@ -188,52 +350,77 @@ def main(argv: Sequence[str] | None = None) -> int:
     report_mode = bool(requested) and requested[0].lower() == "report"
     if report_mode:
         requested = requested[1:]
-        if not requested:
-            parser.error("report needs experiment ids (E1..E12) or 'all'")
+        if not requested and not args.all:
+            parser.error(
+                "report needs experiment ids (E1..E12), 'all', or --all"
+            )
         if args.no_store:
             parser.error("report renders from the store; drop --no-store")
+    else:
+        for flag, name in (
+            (args.all, "--all"),
+            (args.refit, "--refit"),
+            (args.prune_stale, "--prune-stale"),
+        ):
+            if flag:
+                parser.error(f"{name} only applies to report mode")
     if any(item.lower() == "report" for item in requested):
         parser.error("'report' goes first: ring-repro report E8 [...]")
     if args.resume and args.no_store:
         parser.error("--resume reads and refills the store; drop --no-store")
 
     store = None if args.no_store else RunStore(args.store)
-    if any(item.lower() == "all" for item in requested):
+    if args.all or any(item.lower() == "all" for item in requested):
         exp_ids = list(ALL_EXPERIMENTS)
     else:
-        exp_ids = [item.upper() for item in requested]
+        # A campaign plans each experiment exactly once; repeating an id
+        # on the command line would only repeat the identical table.
+        exp_ids = list(dict.fromkeys(item.upper() for item in requested))
 
-    failures = 0
-    for exp_id in exp_ids:
-        if profile.sizes is not None and exp_id in FIXED_SWEEP_EXPERIMENTS:
-            print(
-                f"[{exp_id} has no ring-size sweep; --sizes does not apply, "
-                "running its standard workload]",
-                file=sys.stderr,
-            )
-        spec = get_spec(exp_id)
-        if report_mode:
-            try:
-                execution = report_from_store(spec, profile, store)
-            except ReproError as error:
-                print(str(error), file=sys.stderr)
-                failures += 1
-                continue
-        else:
-            execution = execute_plan(
-                spec,
-                profile,
-                jobs=args.jobs,
-                store=store,
-                resume=args.resume,
-            )
-        print(execution.result.render())
-        line = _profile_line(exp_id, execution, args.profile)
-        if line:
-            print(line)
-        print()
-        if not execution.result.passed:
-            failures += 1
+    if report_mode:
+        return _run_report(args, profile, store, exp_ids)
+
+    if profile.sizes is not None:
+        for exp_id in exp_ids:
+            if exp_id in FIXED_SWEEP_EXPERIMENTS:
+                print(
+                    f"[{exp_id} has no ring-size sweep; --sizes does not "
+                    "apply, running its standard workload]",
+                    file=sys.stderr,
+                )
+
+    # One campaign for the whole request: a single shared cell pool, each
+    # experiment rendered the moment its last cell lands — in request
+    # order, so the output is byte-identical to the sequential path.
+    specs = [get_spec(exp_id) for exp_id in exp_ids]
+    order = [spec.exp_id for spec in specs]
+    ready: dict[str, PlanExecution] = {}
+    next_to_print = 0
+
+    def on_result(exp_id: str, execution: PlanExecution) -> None:
+        nonlocal next_to_print
+        ready[exp_id] = execution
+        while next_to_print < len(order) and order[next_to_print] in ready:
+            print(ready[order[next_to_print]].result.render())
+            print()
+            next_to_print += 1
+
+    campaign = execute_campaign(
+        specs,
+        profile,
+        jobs=args.jobs,
+        store=store,
+        resume=args.resume,
+        on_result=on_result,
+    )
+    assert next_to_print == len(order), "campaign finalized every experiment"
+    if args.profile:
+        _print_profile(campaign)
+    failures = sum(
+        1
+        for execution in campaign.executions.values()
+        if not execution.result.passed
+    )
     if failures:
         print(f"{failures} experiment(s) FAILED", file=sys.stderr)
         return 1

@@ -260,11 +260,36 @@ class ExperimentSpec:
     order); ``finalize(profile, records)`` folds ``{key: record}`` into
     the :class:`ExperimentResult`, iterating in plan order so the table
     is independent of measurement order.
+
+    ``curves`` (optional) names the experiment's growth-law curves:
+    ``curves(profile, records) -> {name: (ns, bits)}`` extracts exactly
+    the ``(n, bits)`` series the finalize fits, from the same records —
+    which is what lets :func:`repro.analysis.growth.refit_from_store`
+    regenerate every fit from persisted cell records without
+    re-simulating.  Experiments without a ring-size growth fit (word
+    catalogs, closed-form trade-offs) leave it ``None``.
     """
 
     exp_id: str
     plan: Callable[[RunProfile], "list[Cell]"]
     finalize: Callable[[RunProfile, dict], ExperimentResult]
+    curves: "Callable[[RunProfile, dict], dict] | None" = None
+
+    def growth_curves(
+        self, profile: "bool | RunProfile", records: dict
+    ) -> "dict[str, tuple[list[int], list[int]]]":
+        """The named ``(ns, bits)`` series this experiment fits.
+
+        Raises for experiments that declare no curves — callers decide
+        whether that is an error (``refit_from_store``) or a skip (the
+        CLI's ``--refit`` loop checks ``spec.curves`` first).
+        """
+        if self.curves is None:
+            raise ReproError(
+                f"{self.exp_id} fits no growth curves (no ring-size sweep "
+                "to refit)"
+            )
+        return self.curves(RunProfile.coerce(profile), records)
 
     def cells(self, profile: "bool | RunProfile" = False) -> "list[Cell]":
         """The plan under a coerced profile, validated for key uniqueness."""

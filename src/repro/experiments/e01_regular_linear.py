@@ -120,6 +120,20 @@ def plan(profile: RunProfile) -> list[Cell]:
     ]
 
 
+def curves(profile: RunProfile, records: dict) -> dict:
+    """One exact-bit curve per language — what finalize fits."""
+    sizes = SWEEP.sizes(profile)
+    ordered = [records[f"n={n}"] for n in sizes]
+    ns = [record["n"] for record in ordered]
+    return {
+        summary["language"]: (
+            ns,
+            [record["languages"][index]["predicted"] for record in ordered],
+        )
+        for index, summary in enumerate(ordered[-1]["languages"])
+    }
+
+
 def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     """Fold per-size records into one row per language plus its fit."""
     result = ExperimentResult(
@@ -141,10 +155,11 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     sizes = SWEEP.sizes(profile)
     ordered = [records[f"n={n}"] for n in sizes]
     all_ok = True
+    curve_map = curves(profile, records)
     for index, summary in enumerate(ordered[-1]["languages"]):
         per_size = [record["languages"][index] for record in ordered]
-        ns = [record["n"] for record in ordered]
-        bits = [entry["predicted"] for entry in per_size]
+        # Same extraction refit_from_store replays against stored records.
+        ns, bits = curve_map[summary["language"]]
         exact = all(entry["exact"] for entry in per_size)
         decisions_ok = all(entry["decisions_ok"] for entry in per_size)
         fit = classify_growth(ns, bits)
@@ -172,7 +187,7 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     return result
 
 
-SPEC = ExperimentSpec(exp_id="E1", plan=plan, finalize=finalize)
+SPEC = ExperimentSpec(exp_id="E1", plan=plan, finalize=finalize, curves=curves)
 
 
 def run(profile: bool | RunProfile = False) -> ExperimentResult:

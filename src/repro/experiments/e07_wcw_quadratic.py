@@ -98,6 +98,16 @@ def plan(profile: RunProfile) -> list[Cell]:
     ]
 
 
+def curves(profile: RunProfile, records: dict) -> dict:
+    """One measured-bit curve per recognizer — what finalize fits."""
+    return {
+        case: curve_from_records(
+            [records[f"case={case}/n={n}"] for n in SWEEP.sizes(profile)]
+        )
+        for case in _CASES
+    }
+
+
 def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     """Rows per (recognizer, size); fits and slopes per recognizer."""
     result = ExperimentResult(
@@ -108,6 +118,7 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
         columns=["algorithm", "n", "bits", "bits/n^2", "decision_ok"],
     )
     all_ok = True
+    curve_map = curves(profile, records)
     for case in _CASES:
         ordered = [
             records[f"case={case}/n={n}"] for n in SWEEP.sizes(profile)
@@ -123,7 +134,8 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
                     "decision_ok": record["decision_ok"],
                 }
             )
-        ns, bits = curve_from_records(ordered)
+        # Same extraction refit_from_store replays against stored records.
+        ns, bits = curve_map[case]
         fit = classify_growth(ns, bits)
         slope = log_log_slope(ns, bits)
         if fit.model.name != "n^2":
@@ -140,7 +152,7 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     return result
 
 
-SPEC = ExperimentSpec(exp_id="E7", plan=plan, finalize=finalize)
+SPEC = ExperimentSpec(exp_id="E7", plan=plan, finalize=finalize, curves=curves)
 
 
 def run(profile: bool | RunProfile = False) -> ExperimentResult:

@@ -82,6 +82,15 @@ def plan(profile: RunProfile) -> list[Cell]:
     ]
 
 
+def curves(profile: RunProfile, records: dict) -> dict:
+    """The single measured-bit curve — what finalize fits."""
+    return {
+        "0^k1^k2^k": curve_from_records(
+            [records[f"n={n}"] for n in SWEEP.sizes(profile)]
+        )
+    }
+
+
 def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     """Fold per-size records into the table, the fit, and the verdict."""
     result = ExperimentResult(
@@ -106,7 +115,8 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
                 "decision_ok": record["decision_ok"],
             }
         )
-    ns, bits = curve_from_records(ordered)
+    # Same extraction refit_from_store replays against stored records.
+    ns, bits = curves(profile, records)["0^k1^k2^k"]
     fit = classify_growth(ns, bits)
     slope = log_log_slope(ns, bits)
     if fit.model.name != "n*log(n)":
@@ -123,7 +133,7 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     return result
 
 
-SPEC = ExperimentSpec(exp_id="E8", plan=plan, finalize=finalize)
+SPEC = ExperimentSpec(exp_id="E8", plan=plan, finalize=finalize, curves=curves)
 
 
 def run(profile: bool | RunProfile = False) -> ExperimentResult:

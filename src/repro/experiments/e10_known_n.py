@@ -40,10 +40,13 @@ from repro.languages.hierarchy import GrowthFunction, PeriodicLanguage
 from repro.languages.nonregular import is_prime
 from repro.ring.unidirectional import run_unidirectional
 
+# Long ceiling raised from 10240 once the campaign scheduler let these
+# Θ(n²)-law cells interleave with the rest of the fleet (see E9): two
+# new sizes double the sweep out to 16384.
 SWEEP = Sweep(
     full=(8, 16, 32, 64, 128, 256, 512),
     quick=(8, 16, 32),
-    long=(1024, 2048, 4096, 10240),
+    long=(1024, 2048, 4096, 10240, 12288, 16384),
 )
 
 _GROWTHS = {
@@ -126,6 +129,27 @@ def plan(profile: RunProfile) -> list[Cell]:
     return cells
 
 
+def _measured(profile: RunProfile, records: dict, name: str) -> list:
+    """One law's records in sweep order, skipped sizes dropped — the
+    single filter both curves() and finalize() consume, so the table
+    rows and the fitted series cannot drift apart."""
+    return [
+        record
+        for record in (
+            records[f"g={name}/n={n}"] for n in SWEEP.sizes(profile)
+        )
+        if not record["skipped"]
+    ]
+
+
+def curves(profile: RunProfile, records: dict) -> dict:
+    """One known-n bit curve per growth law — what finalize fits."""
+    return {
+        name: curve_from_records(_measured(profile, records, name))
+        for name in _GROWTHS
+    }
+
+
 def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     """Hierarchy rows + envelopes per law, then the prime-length contrast."""
     result = ExperimentResult(
@@ -137,15 +161,11 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
         columns=["case", "n", "bits", "unknown-n bits", "ratio", "ok"],
     )
     all_ok = True
+    curve_map = curves(profile, records)
     for name, growth in _GROWTHS.items():
-        measured = [
-            record
-            for record in (
-                records[f"g={name}/n={n}"] for n in SWEEP.sizes(profile)
-            )
-            if not record["skipped"]
-        ]
-        ns, bits = curve_from_records(measured)
+        measured = _measured(profile, records, name)
+        # Same extraction refit_from_store replays against stored records.
+        ns, bits = curve_map[name]
         for record in measured:
             all_ok = all_ok and record["ok"]
             result.rows.append(
@@ -194,7 +214,9 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     return result
 
 
-SPEC = ExperimentSpec(exp_id="E10", plan=plan, finalize=finalize)
+SPEC = ExperimentSpec(
+    exp_id="E10", plan=plan, finalize=finalize, curves=curves
+)
 
 
 def run(profile: bool | RunProfile = False) -> ExperimentResult:

@@ -1,13 +1,18 @@
 """Execution layer for experiment cell plans.
 
 ``repro.experiments`` declares *what* to measure (cell plans);
-this package decides *how*: :mod:`repro.runner.executor` runs a plan's
-cells serially or across worker processes, and :mod:`repro.runner.store`
-persists every cell record as a JSON file under ``runs/`` so interrupted
-sweeps resume from what they already measured and ``ring-repro report``
-re-renders tables without re-simulating.
+this package decides *how*: :mod:`repro.runner.campaign` flattens any
+set of experiments into one shared heaviest-first cell pool (the CLI
+runs every request — one experiment or all twelve — as a campaign),
+:mod:`repro.runner.executor` keeps the single-experiment API on top of
+it, and :mod:`repro.runner.store` persists every cell record as a JSON
+file under ``runs/`` so interrupted campaigns resume from what they
+already measured and ``ring-repro report`` re-renders tables — and
+refits growth laws (:func:`repro.analysis.growth.refit_from_store`) —
+without re-simulating.
 """
 
+from repro.runner.campaign import CampaignExecution, execute_campaign
 from repro.runner.executor import (
     CellOutcome,
     PlanExecution,
@@ -17,10 +22,12 @@ from repro.runner.executor import (
 from repro.runner.store import RunStore, StoredCell
 
 __all__ = [
+    "CampaignExecution",
     "CellOutcome",
     "PlanExecution",
     "RunStore",
     "StoredCell",
+    "execute_campaign",
     "execute_plan",
     "report_from_store",
 ]

@@ -1,0 +1,221 @@
+"""Campaign execution: one shared cell pool across many experiments.
+
+``execute_plan`` drains one experiment at a time, so running a fleet of
+experiments serializes twelve makespans — each experiment's tail leaves
+workers idle until the next pool spins up.  A *campaign* flattens every
+requested experiment's plan into a single global cell list, schedules it
+heaviest-first (LPT across the whole fleet, not per experiment) on one
+shared executor, streams finished cells into the run store as they land,
+and finalizes each experiment the moment its own last cell completes —
+there is no global barrier, so an experiment whose cells happen to
+finish early renders early even while Θ(n²) cells of another experiment
+are still running.
+
+Determinism is inherited wholesale from the cell model: every cell's RNG
+seed derives from its ``(exp_id, key)`` identity and finalize folds
+records in plan order, so a campaign renders tables byte-identical to
+the per-experiment path at every worker count (the CLI's CI jobs diff
+them).
+
+``CampaignExecution`` additionally accounts the campaign as a whole:
+``busy_seconds`` (worker-seconds spent measuring, excluding store hits)
+against ``wall_seconds * jobs`` gives the pool utilization that
+``--profile`` reports.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import ReproError
+from repro.experiments.base import Cell, ExperimentSpec, RunProfile
+from repro.runner.executor import CellOutcome, PlanExecution, _timed_run_cell
+from repro.runner.store import RunStore
+
+__all__ = ["CampaignExecution", "execute_campaign"]
+
+ResultCallback = Callable[[str, PlanExecution], None]
+
+
+@dataclass
+class CampaignExecution:
+    """Everything one campaign produced, per experiment and in aggregate.
+
+    ``executions`` is keyed by experiment id in *requested* order (which
+    is also render order); per-experiment ``wall_seconds`` is the time
+    from campaign start to that experiment's finalize — under a shared
+    pool an experiment has no exclusive wall clock of its own, so its
+    measured cost is ``cell_seconds`` as before.
+    """
+
+    executions: dict[str, PlanExecution] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    jobs: int = 1
+
+    @property
+    def cell_count(self) -> int:
+        return sum(len(ex.outcomes) for ex in self.executions.values())
+
+    @property
+    def cached_count(self) -> int:
+        return sum(ex.cached_count for ex in self.executions.values())
+
+    @property
+    def busy_seconds(self) -> float:
+        """Worker-seconds spent actually measuring (store hits excluded)."""
+        return sum(
+            outcome.seconds
+            for ex in self.executions.values()
+            for outcome in ex.outcomes
+            if not outcome.cached
+        )
+
+    @property
+    def utilization(self) -> float:
+        """Busy worker-seconds over elapsed capacity (``wall * jobs``).
+
+        1.0 means every worker measured cells the whole campaign; low
+        values expose scheduling tails or store-dominated runs.
+        """
+        capacity = self.wall_seconds * self.jobs
+        return self.busy_seconds / capacity if capacity > 0 else 0.0
+
+
+@dataclass
+class _ExperimentState:
+    """Mutable per-experiment bookkeeping while its cells are in flight."""
+
+    spec: ExperimentSpec
+    cells: list[Cell]
+    outcomes: dict[str, CellOutcome] = field(default_factory=dict)
+
+    @property
+    def done(self) -> bool:
+        return len(self.outcomes) == len(self.cells)
+
+
+def execute_campaign(
+    specs: Sequence[ExperimentSpec],
+    profile: "bool | RunProfile" = False,
+    jobs: int = 1,
+    store: RunStore | None = None,
+    resume: bool = False,
+    on_result: ResultCallback | None = None,
+) -> CampaignExecution:
+    """Run many experiments as one shared-pool campaign.
+
+    Cells from all ``specs`` are scheduled together (heaviest first);
+    ``jobs`` is the worker count for the *whole* campaign.  ``store``
+    persists every freshly measured cell as it lands (a killed campaign
+    keeps everything finished so far for ``--resume``); with ``resume``
+    matching stored records skip measurement.  ``on_result`` fires with
+    ``(exp_id, PlanExecution)`` the moment an experiment finalizes —
+    completion order, not requested order — so callers can stream
+    results; ``executions`` in the returned value is requested order.
+
+    Failure semantics match :func:`~repro.runner.executor.execute_plan`:
+    serial runs raise at the failing cell, pooled runs drain every
+    sibling (persisting them) before re-raising the first failure.
+    """
+    if jobs < 1:
+        raise ReproError(f"--jobs needs a positive worker count, got {jobs}")
+    profile = RunProfile.coerce(profile)
+    started = time.perf_counter()
+
+    states: dict[str, _ExperimentState] = {}
+    for spec in specs:
+        if spec.exp_id in states:
+            raise ReproError(
+                f"campaign requested {spec.exp_id} twice; each experiment "
+                "plans one set of cell keys"
+            )
+        states[spec.exp_id] = _ExperimentState(spec, spec.cells(profile))
+
+    campaign = CampaignExecution(jobs=jobs)
+
+    def finalize_if_done(state: _ExperimentState) -> None:
+        if not state.done:
+            return
+        records = {
+            cell.key: state.outcomes[cell.key].record for cell in state.cells
+        }
+        execution = PlanExecution(
+            result=state.spec.finalize(profile, records),
+            outcomes=[state.outcomes[cell.key] for cell in state.cells],
+            wall_seconds=time.perf_counter() - started,
+            jobs=jobs,
+        )
+        campaign.executions[state.spec.exp_id] = execution
+        if on_result is not None:
+            on_result(state.spec.exp_id, execution)
+
+    # Satisfy what the store already holds, then flatten the rest into
+    # one global pending list.  Cell keys are only unique *within* an
+    # experiment (E9 and E10 both plan "g=.../n=..." cells), so global
+    # bookkeeping is (exp_id, cell) pairs.
+    pending: list[tuple[_ExperimentState, Cell]] = []
+    for state in states.values():
+        for cell in state.cells:
+            hit = store.load(cell, profile) if (resume and store) else None
+            if hit is not None:
+                state.outcomes[cell.key] = CellOutcome(
+                    cell, hit.record, hit.seconds, cached=True
+                )
+            else:
+                pending.append((state, cell))
+
+    def finish(state: _ExperimentState, cell: Cell, record, seconds) -> None:
+        state.outcomes[cell.key] = CellOutcome(cell, record, seconds)
+        if store is not None:
+            store.save(cell, profile, record, seconds)
+        finalize_if_done(state)
+
+    # Experiments fully satisfied from the store finalize before any
+    # measurement starts (completion order: requested order).
+    for state in states.values():
+        finalize_if_done(state)
+
+    # One shared LPT schedule for the whole campaign: heaviest cells
+    # first regardless of owning experiment; ties keep flatten order
+    # (requested experiment order, then plan order — stable sort).
+    pending.sort(key=lambda item: -item[1].weight)
+    if jobs > 1 and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(_timed_run_cell, cell): (state, cell)
+                for state, cell in pending
+            }
+            remaining = set(futures)
+            failure: BaseException | None = None
+            while remaining:
+                # Stream results as they land — store writes and
+                # finalizes happen mid-campaign, not at pool teardown,
+                # so a killed run keeps every finished cell and a
+                # finished experiment renders while others still run.
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    error = future.exception()
+                    if error is not None:
+                        if failure is None:
+                            failure = error
+                        continue
+                    record, seconds = future.result()
+                    state, cell = futures[future]
+                    finish(state, cell, record, seconds)
+            if failure is not None:
+                raise failure
+    else:
+        for state, cell in pending:
+            record, seconds = _timed_run_cell(cell)
+            finish(state, cell, record, seconds)
+
+    # Completion order fed on_result; the returned mapping is requested
+    # order, which is what render loops and tests index by.
+    campaign.executions = {
+        spec.exp_id: campaign.executions[spec.exp_id] for spec in specs
+    }
+    campaign.wall_seconds = time.perf_counter() - started
+    return campaign

@@ -1,18 +1,16 @@
-"""Serial and process executors for experiment cell plans.
+"""Single-experiment execution API over the campaign engine.
 
 ``execute_plan`` drives one experiment: plan the cells, satisfy what it
 can from the run store (``resume=True``), measure the rest — in-process
-or on a ``concurrent.futures.ProcessPoolExecutor`` (CLI ``--jobs N``) —
-persist every fresh record, and finalize.  Determinism does not depend
-on the backend: each cell's RNG seed is derived from its identity
-(:func:`repro.experiments.base.cell_seed`), records are keyed by cell
-key, and ``finalize`` folds them in plan order, so serial, parallel, and
-resumed runs render byte-identical tables.
-
-Scheduling: cells are submitted heaviest-first (``Cell.weight``, usually
-the ring size), the longest-processing-time heuristic — on a sweep whose
-largest size dominates, starting it first is the difference between a
-near-ideal and a serialized tail.
+or on worker processes (CLI ``--jobs N``) — persist every fresh record,
+and finalize.  Since the campaign refactor it is a thin wrapper around
+:func:`repro.runner.campaign.execute_campaign` with a one-spec fleet;
+the scheduling (heaviest-first LPT), streaming store writes, and
+drain-then-reraise failure semantics are documented there.  Determinism
+does not depend on the backend: each cell's RNG seed is derived from its
+identity (:func:`repro.experiments.base.cell_seed`), records are keyed
+by cell key, and ``finalize`` folds them in plan order, so serial,
+parallel, and resumed runs render byte-identical tables.
 
 Timing: each cell's wall clock is measured around its own execution (in
 the worker, for process backends), so per-experiment cost is the *sum of
@@ -23,10 +21,8 @@ reports the elapsed dispatch time; the CLI's ``--profile`` prints both.
 from __future__ import annotations
 
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 
-from repro.errors import ReproError
 from repro.experiments.base import (
     Cell,
     ExperimentResult,
@@ -93,68 +89,20 @@ def execute_plan(
     ``store`` persists every freshly measured cell; with ``resume`` the
     store is also consulted first and matching records skip measurement.
     ``jobs > 1`` fans the remaining cells out to worker processes.
+
+    A plan run is a one-experiment campaign: the scheduling, streaming
+    store writes, and failure semantics all live in
+    :func:`repro.runner.campaign.execute_campaign`; this wrapper keeps
+    the historical single-experiment API.
     """
-    if jobs < 1:
-        raise ReproError(f"--jobs needs a positive worker count, got {jobs}")
-    profile = RunProfile.coerce(profile)
-    started = time.perf_counter()
-    cells = spec.cells(profile)
+    # Imported here, not at module top: campaign builds on this module's
+    # CellOutcome/PlanExecution, so the dependency runs campaign -> executor.
+    from repro.runner.campaign import execute_campaign
 
-    outcomes: dict[str, CellOutcome] = {}
-    pending: list[Cell] = []
-    for cell in cells:
-        hit = store.load(cell, profile) if (resume and store) else None
-        if hit is not None:
-            outcomes[cell.key] = CellOutcome(
-                cell, hit.record, hit.seconds, cached=True
-            )
-        else:
-            pending.append(cell)
-
-    def finish(cell: Cell, record: dict, seconds: float) -> None:
-        outcomes[cell.key] = CellOutcome(cell, record, seconds)
-        if store is not None:
-            store.save(cell, profile, record, seconds)
-
-    # Heaviest cells first (LPT): ties keep plan order (stable sort).
-    pending.sort(key=lambda cell: -cell.weight)
-    if jobs > 1 and len(pending) > 1:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = {
-                pool.submit(_timed_run_cell, cell): cell for cell in pending
-            }
-            remaining = set(futures)
-            failure: BaseException | None = None
-            while remaining:
-                # Persist as results land, not at pool teardown: a killed
-                # run keeps every finished cell for --resume.  A failing
-                # cell does not abort the drain either — its siblings
-                # still finish and persist; the first failure re-raises
-                # once the pool is empty.
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    error = future.exception()
-                    if error is not None:
-                        if failure is None:
-                            failure = error
-                        continue
-                    record, seconds = future.result()
-                    finish(futures[future], record, seconds)
-            if failure is not None:
-                raise failure
-    else:
-        for cell in pending:
-            record, seconds = _timed_run_cell(cell)
-            finish(cell, record, seconds)
-
-    records = {cell.key: outcomes[cell.key].record for cell in cells}
-    result = spec.finalize(profile, records)
-    return PlanExecution(
-        result=result,
-        outcomes=[outcomes[cell.key] for cell in cells],
-        wall_seconds=time.perf_counter() - started,
-        jobs=jobs,
+    campaign = execute_campaign(
+        [spec], profile, jobs=jobs, store=store, resume=resume
     )
+    return campaign.executions[spec.exp_id]
 
 
 def report_from_store(

@@ -118,6 +118,56 @@ class RunStore:
         os.replace(tmp, path)
         return path
 
+    def stale_paths(
+        self, cells: "list[Cell]", profile: RunProfile
+    ) -> "list[Path]":
+        """Superseded files for this plan's cells, sorted by name.
+
+        A file is *stale* when it carries the same (sanitized) cell key
+        as a cell of the current plan but a different config hash: the
+        measurement code, seed derivation, or schema changed, so no
+        invocation of the current code can ever load it again.  Files
+        whose keys match no current cell are left alone — they may
+        belong to a different ``--sizes`` override of the same preset
+        and are still perfectly loadable by it.  Stale files are
+        harmless to correctness — loads are hash-validated — but they
+        accumulate, and ``ring-repro report`` surfaces them
+        (``--prune-stale`` deletes them after listing).
+        """
+        if not cells:
+            return []
+        # Guard against distinct keys sanitizing to the same filename:
+        # every path the plan can load is excluded, not just the
+        # matching cell's own.
+        expected = {self.path_for(cell, profile) for cell in cells}
+        directory = self.root / cells[0].exp_id / _profile_tag(profile)
+        if not directory.is_dir():
+            return []
+        stale = {
+            path
+            for cell in cells
+            for path in directory.glob(f"{_safe_key(cell.key)}__*.json")
+            if path not in expected
+        }
+        return sorted(stale)
+
+    def prune_stale(
+        self, cells: "list[Cell]", profile: RunProfile
+    ) -> "list[Path]":
+        """Delete this plan's stale files; returns what was removed.
+
+        Files that vanish mid-prune (a concurrent prune) are skipped,
+        not errors.
+        """
+        pruned = []
+        for path in self.stale_paths(cells, profile):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                continue
+            pruned.append(path)
+        return pruned
+
     def require_all(
         self, cells: "list[Cell]", profile: RunProfile
     ) -> dict[str, StoredCell]:
