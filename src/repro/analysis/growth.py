@@ -144,6 +144,21 @@ class FitResult:
             f"cv={self.dispersion:.4f} R2={self.r_squared:.5f}"
         )
 
+    def as_dict(self) -> dict:
+        """JSON-ready form (the dashboard's ``campaign.json`` export).
+
+        ``model`` round-trips through
+        :func:`repro.analysis.models.model_named`, so a consumer can
+        re-evaluate ``constant * f(n)`` from the export alone.
+        """
+        return {
+            "model": self.model.name,
+            "constant": self.constant,
+            "dispersion": self.dispersion,
+            "r_squared": self.r_squared,
+            "rendered": str(self),
+        }
+
 
 def _validate(ns: Sequence[int], bits: Sequence[int]) -> None:
     if len(ns) != len(bits):

@@ -1,15 +1,22 @@
-"""Plain-text table rendering for experiment output.
+"""Table rendering for experiment output: structured first, text on top.
 
-Every experiment emits rows (lists of dicts); :func:`format_table` renders
-them with aligned columns, exactly as pasted into EXPERIMENTS.md, so the
-recorded results are regenerable byte-for-byte by the CLI and benches.
+Every experiment emits rows (lists of dicts).  :func:`render_rows` is
+the structured core — it resolves column order and renders every cell to
+its canonical string, and is what non-text presentation layers (the
+dashboard's HTML tables and CSV exports) consume, so a number formats
+identically in the terminal, a web page, and a spreadsheet.
+:func:`format_table` lays those strings out as the aligned ASCII table
+pasted into EXPERIMENTS.md, and :func:`rows_to_csv` writes them as
+RFC-4180 CSV; both are thin views over the same structured pass.
 """
 
 from __future__ import annotations
 
+import csv
+import io
 from typing import Mapping, Sequence
 
-__all__ = ["format_table"]
+__all__ = ["format_table", "render_rows", "rows_to_csv"]
 
 
 def _render(value: object) -> str:
@@ -18,6 +25,35 @@ def _render(value: object) -> str:
     if isinstance(value, bool):
         return "yes" if value else "no"
     return str(value)
+
+
+def render_rows(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+) -> tuple[list[str], list[list[str]]]:
+    """Resolve ``(header, cell_strings)`` for a row set.
+
+    ``columns`` fixes the order (default: keys of the first row); missing
+    cells render empty.  Every consumer of experiment rows — ASCII, CSV,
+    HTML — goes through this one rendering pass.
+    """
+    if not rows:
+        return list(columns) if columns is not None else [], []
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    return cols, [[_render(row.get(col, "")) for col in cols] for row in rows]
+
+
+def rows_to_csv(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render rows as CSV text (header line first, ``\\n`` line ends)."""
+    cols, rendered = render_rows(rows, columns)
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(cols)
+    writer.writerows(rendered)
+    return out.getvalue()
 
 
 def format_table(
@@ -32,8 +68,7 @@ def format_table(
     """
     if not rows:
         return (title + "\n" if title else "") + "(no rows)"
-    cols = list(columns) if columns is not None else list(rows[0].keys())
-    rendered = [[_render(row.get(col, "")) for col in cols] for row in rows]
+    cols, rendered = render_rows(rows, columns)
     widths = [
         max(len(col), *(len(line[i]) for line in rendered))
         for i, col in enumerate(cols)

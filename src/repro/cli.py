@@ -12,6 +12,9 @@ Usage::
     ring-repro report E8 --preset long     # re-render from runs/, no sims
     ring-repro report --all --refit        # campaign report + growth refits
     ring-repro report --all --prune-stale  # delete unloadable stored files
+    ring-repro report --all --prune-stale --dry-run  # list only, keep files
+    ring-repro dashboard                   # static HTML+JSON/CSV from runs/
+    ring-repro dashboard --preset long --out site --open
     ring-repro E1 --sizes 64,256,1024   # explicit ring sizes
     ring-repro all --profile        # per-experiment cost + pool utilization
     python -m repro.cli E9          # equivalent module form
@@ -44,7 +47,21 @@ an interrupted campaign continues from what it already measured.
 stored records (:func:`repro.analysis.growth.refit_from_store`), and
 stale store files — ones no current cell can load (edited sweeps,
 changed measurement code) — are warned about and deleted by
-``--prune-stale`` after listing.  ``--profile`` prints per-experiment
+``--prune-stale`` after listing (``--dry-run`` lists and sizes them but
+deletes nothing; records belonging to other ``--sizes`` overrides are
+never stale and never touched).
+
+``dashboard`` renders the store as a static site (``repro.dashboard``):
+``index.html`` plus one page per experiment with SVG growth curves,
+fitted Θ-envelopes, per-cell wall-clock bars, an LPT campaign timeline,
+config-hash provenance and stale warnings, and machine exports
+(``campaign.json``, per-experiment ``cells.csv``,
+``bench-trajectory.json``).  Like ``report`` it never simulates; unlike
+``report`` an incomplete or empty store is not an error — pages say
+what is missing and the build exits 0.  ``--out DIR`` picks the output
+directory (default ``dashboard/``), ``--open`` opens the index in a
+browser, ``--jobs N`` sets the timeline's replayed worker count.
+Output is byte-deterministic for a fixed store (CI diffs two renders).  ``--profile`` prints per-experiment
 cost as the *sum of per-cell wall clocks* (meaningful under any
 ``--jobs``), sorted heaviest first, plus a campaign utilization line
 (busy worker-seconds / wall * jobs).  Exit status is non-zero when any
@@ -152,10 +169,26 @@ def _print_profile(campaign: CampaignExecution) -> None:
     print(_campaign_line(campaign))
 
 
+def _stale_bytes(paths) -> int:
+    """Total on-disk size of the listed files (vanished ones count 0)."""
+    total = 0
+    for path in paths:
+        try:
+            total += path.stat().st_size
+        except OSError:
+            continue
+    return total
+
+
 def _warn_stale(
-    store: RunStore, spec, profile: RunProfile, prune: bool
+    store: RunStore, spec, profile: RunProfile, prune: bool, dry_run: bool
 ) -> None:
-    """Report-mode hygiene: list (and optionally delete) stale files."""
+    """Report-mode hygiene: list (and optionally delete) stale files.
+
+    Only files the current plan's cells supersede are ever considered —
+    records belonging to a different ``--sizes`` override share the
+    preset directory but are not stale and are never touched.
+    """
     cells = spec.cells(profile)
     stale = store.stale_paths(cells, profile)
     if not stale:
@@ -168,9 +201,19 @@ def _warn_stale(
     )
     for path in stale:
         print(f"  {path}", file=sys.stderr)
-    if prune:
+    if prune and dry_run:
+        print(
+            f"  dry run: would reclaim {_stale_bytes(stale)} bytes; "
+            "nothing deleted]",
+            file=sys.stderr,
+        )
+    elif prune:
+        reclaimed = _stale_bytes(stale)
         pruned = store.prune_stale(cells, profile)
-        print(f"  pruned {len(pruned)} file(s)]", file=sys.stderr)
+        print(
+            f"  pruned {len(pruned)} file(s), reclaimed {reclaimed} bytes]",
+            file=sys.stderr,
+        )
     else:
         print("  rerun with --prune-stale to delete them]", file=sys.stderr)
 
@@ -208,7 +251,7 @@ def _run_report(args, profile: RunProfile, store: RunStore, exp_ids) -> int:
     rendered: list[tuple[str, PlanExecution]] = []
     for exp_id in exp_ids:
         spec = get_spec(exp_id)
-        _warn_stale(store, spec, profile, args.prune_stale)
+        _warn_stale(store, spec, profile, args.prune_stale, args.dry_run)
         try:
             execution = report_from_store(spec, profile, store)
         except ReproError as error:
@@ -253,6 +296,39 @@ def _run_report(args, profile: RunProfile, store: RunStore, exp_ids) -> int:
     return 0
 
 
+def _run_dashboard(args, profile: RunProfile, store: RunStore) -> int:
+    """The ``dashboard`` subcommand: render the static site + exports.
+
+    Always exits 0 on a successful build — an empty or partial store
+    renders honest "no data" pages rather than failing, because the
+    dashboard's job is to show what the store holds, not to gate on it.
+    """
+    # Imported here so plain experiment runs never pay the import.
+    from repro.dashboard import build_dashboard
+
+    out_dir = args.out if args.out is not None else "dashboard"
+    written = build_dashboard(
+        store,
+        profile,
+        out_dir=out_dir,
+        timeline_jobs=args.jobs,
+        bench_dir=(
+            args.bench_dir if args.bench_dir is not None else "benchmarks"
+        ),
+    )
+    index = next(path for path in written if path.name == "index.html")
+    print(
+        f"dashboard: wrote {len(written)} file(s) to {out_dir} "
+        f"(preset {profile.preset}, store {store.root}, no simulation)"
+    )
+    print(f"open {index}")
+    if args.open:
+        import webbrowser
+
+        webbrowser.open(index.resolve().as_uri())
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Run the requested experiments; return a process exit code."""
     parser = argparse.ArgumentParser(
@@ -266,7 +342,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiments",
         nargs="+",
         help="experiment ids (E1..E12) or 'all'; prefix with 'report' to "
-        "re-render tables from stored cell records without simulating",
+        "re-render tables from stored cell records without simulating, or "
+        "use 'dashboard' to render the static HTML+JSON/CSV site from "
+        "the store",
     )
     parser.add_argument(
         "--quick",
@@ -334,7 +412,32 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--prune-stale",
         action="store_true",
         help="with report: delete stale store files (ones no current "
-        "cell loads) after listing them",
+        "cell loads) after listing them and print the bytes reclaimed",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="with report --prune-stale: list stale files and the bytes "
+        "they hold, delete nothing",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="with dashboard: output directory for the rendered site "
+        "(default: dashboard/)",
+    )
+    parser.add_argument(
+        "--open",
+        action="store_true",
+        help="with dashboard: open the rendered index.html in a browser",
+    )
+    parser.add_argument(
+        "--bench-dir",
+        metavar="DIR",
+        default=None,
+        help="with dashboard: directory scanned for BENCH_*.json records "
+        "folded into bench-trajectory.json (default: benchmarks/)",
     )
     args = parser.parse_args(argv)
     try:
@@ -348,6 +451,17 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     requested = list(args.experiments)
     report_mode = bool(requested) and requested[0].lower() == "report"
+    dashboard_mode = bool(requested) and requested[0].lower() == "dashboard"
+    if args.dry_run and not args.prune_stale:
+        parser.error("--dry-run only applies to report --prune-stale")
+    if not dashboard_mode:
+        for flag, name in (
+            (args.open, "--open"),
+            (args.out is not None, "--out"),
+            (args.bench_dir is not None, "--bench-dir"),
+        ):
+            if flag:
+                parser.error(f"{name} only applies to dashboard mode")
     if report_mode:
         requested = requested[1:]
         if not requested and not args.all:
@@ -356,6 +470,24 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
         if args.no_store:
             parser.error("report renders from the store; drop --no-store")
+    elif dashboard_mode:
+        requested = requested[1:]
+        if requested:
+            parser.error(
+                "dashboard renders every experiment; drop the ids "
+                "(usage: ring-repro dashboard [--out DIR] [--open])"
+            )
+        if args.no_store:
+            parser.error("dashboard renders from the store; drop --no-store")
+        for flag, name in (
+            (args.all, "--all"),
+            (args.refit, "--refit"),
+            (args.prune_stale, "--prune-stale"),
+            (args.resume, "--resume"),
+            (args.profile, "--profile"),
+        ):
+            if flag:
+                parser.error(f"{name} does not apply to dashboard mode")
     else:
         for flag, name in (
             (args.all, "--all"),
@@ -364,12 +496,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         ):
             if flag:
                 parser.error(f"{name} only applies to report mode")
-    if any(item.lower() == "report" for item in requested):
-        parser.error("'report' goes first: ring-repro report E8 [...]")
+    if any(item.lower() in ("report", "dashboard") for item in requested):
+        parser.error(
+            "'report'/'dashboard' go first: ring-repro report E8 [...]"
+        )
     if args.resume and args.no_store:
         parser.error("--resume reads and refills the store; drop --no-store")
 
     store = None if args.no_store else RunStore(args.store)
+    if dashboard_mode:
+        return _run_dashboard(args, profile, store)
     if args.all or any(item.lower() == "all" for item in requested):
         exp_ids = list(ALL_EXPERIMENTS)
     else:

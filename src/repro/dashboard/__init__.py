@@ -1,0 +1,20 @@
+"""Dashboard & export subsystem: the run store's presentation layer.
+
+Everything here renders from ``runs/`` records alone — static HTML
+pages with SVG growth curves, fitted Θ-envelopes, per-cell wall-clock
+bars and an LPT campaign timeline, plus machine exports
+(``campaign.json``, per-experiment ``cells.csv``,
+``bench-trajectory.json``) — with zero simulation, zero third-party
+dependencies, and byte-deterministic output for a fixed store.
+
+Layering: :mod:`~repro.dashboard.assemble` turns the store into plain
+view objects, :mod:`~repro.dashboard.svg` and
+:mod:`~repro.dashboard.html` are pure renderers over them,
+:mod:`~repro.dashboard.export` produces the data artifacts, and
+:mod:`~repro.dashboard.build` (via :func:`build_dashboard`, the CLI's
+``ring-repro dashboard``) writes the output directory.
+"""
+
+from repro.dashboard.build import build_dashboard
+
+__all__ = ["build_dashboard"]

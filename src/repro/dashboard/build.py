@@ -1,0 +1,363 @@
+"""Render the dashboard directory from an assembled campaign view.
+
+:func:`build_dashboard` is the subsystem's one entry point (the CLI's
+``ring-repro dashboard``): read the store, render ``index.html`` plus
+one page per experiment, and write the machine exports next to them.
+
+Output layout::
+
+    <out>/index.html            campaign summary, LPT timeline, exports
+    <out>/E1.html .. E12.html   per-experiment pages
+    <out>/style.css             shared stylesheet (palette, marks, text)
+    <out>/campaign.json         the whole campaign as data
+    <out>/<exp>.cells.csv       per-cell provenance (experiments w/ data)
+    <out>/bench-trajectory.json benchmarks/BENCH_*.json folded into one
+
+Nothing simulates and nothing reads a clock: every byte derives from
+the store (plus the static bench JSONs), so building twice from the
+same store produces identical files — the CI ``dashboard-smoke`` job
+diffs two renders to enforce exactly that.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from html import escape
+from pathlib import Path
+
+from repro.analysis.tables import render_rows
+from repro.dashboard.assemble import (
+    CampaignView,
+    ExperimentView,
+    assemble,
+    lpt_schedule,
+)
+from repro.dashboard.export import (
+    bench_trajectory_payload,
+    campaign_payload,
+    cells_csv,
+    dump_json,
+)
+from repro.dashboard.html import (
+    STYLE_CSS,
+    badge,
+    legend,
+    page,
+    table_html,
+    warn_box,
+)
+from repro.dashboard.svg import Segment, Series, bar_chart, log_log_plot, timeline
+from repro.experiments import RunProfile
+from repro.runner.store import RunStore
+
+__all__ = ["build_dashboard"]
+
+DEFAULT_OUT = "dashboard"
+
+
+def _slot_map(campaign: CampaignView) -> "dict[str, int]":
+    """Experiment -> categorical slot; ninth and later fold to 'other'.
+
+    The eight distinct slots go to the experiments that dominate the
+    timeline — descending stored cell time, ties by registry order — so
+    the chart's largest areas are always attributable; only the
+    lightest experiments fold to the neutral gray.  Both keys are pure
+    functions of the store, so colors are stable across renders.
+    """
+    with_cells = [
+        (index, view)
+        for index, view in enumerate(campaign.experiments)
+        if view.cells
+    ]
+    by_weight = sorted(
+        with_cells, key=lambda item: (-item[1].cell_seconds, item[0])
+    )
+    slots: dict[str, int] = {}
+    for rank, (_index, view) in enumerate(by_weight, start=1):
+        slots[view.exp_id] = rank if rank <= 8 else 0
+    return slots
+
+
+def _fits_table(view: ExperimentView) -> str:
+    columns = ["curve", "fitted model", "c", "cv", "R^2", "n range"]
+    rows = [
+        [
+            curve.name,
+            curve.fit.model.name,
+            f"{curve.fit.constant:.3f}",
+            f"{curve.fit.dispersion:.4f}",
+            f"{curve.fit.r_squared:.5f}",
+            f"{min(curve.ns)} .. {max(curve.ns)}" if curve.ns else "-",
+        ]
+        for curve in view.curves
+    ]
+    return table_html(columns, rows)
+
+
+def _provenance_table(view: ExperimentView) -> str:
+    columns = ["cell", "config hash", "seconds", "store file"]
+    rows = [
+        [cell.key, cell.config_hash, f"{cell.seconds:.6f}", cell.path]
+        for cell in view.cells
+    ]
+    return table_html(columns, rows, empty="(no stored cells)")
+
+
+def _experiment_page(view: ExperimentView, campaign: CampaignView) -> str:
+    body: list[str] = [
+        f"<h1>{escape(view.exp_id)} &middot; {escape(view.title)} "
+        f"{badge(view.status)}</h1>",
+        f'<p class="sub">preset {escape(campaign.preset)} &middot; rendered '
+        f"from <code>{escape(campaign.store_root)}</code> without "
+        "simulating</p>",
+    ]
+    if view.error is not None:
+        body.append(warn_box(f"<strong>error:</strong> {escape(view.error)}"))
+    if view.missing:
+        listed = ", ".join(escape(key) for key in view.missing[:12])
+        more = "&hellip;" if len(view.missing) > 12 else ""
+        body.append(
+            warn_box(
+                f"<strong>{len(view.missing)} of {view.planned} cells have "
+                f"no stored record:</strong> {listed}{more}<br>run "
+                f"<code>ring-repro {escape(view.exp_id)} --preset "
+                f"{escape(campaign.preset)}</code> to measure them."
+            )
+        )
+    if view.stale:
+        listed = "<br>".join(f"<code>{escape(p)}</code>" for p in view.stale)
+        body.append(
+            warn_box(
+                f"<strong>{len(view.stale)} stale store file(s)</strong> "
+                "superseded by the current measurement code (see "
+                "<code>report --prune-stale</code>):<br>" + listed
+            )
+        )
+    if view.result is not None:
+        body.append(f'<p class="muted">claim: {escape(view.result.claim)}</p>')
+    if view.curves:
+        body.append("<h2>Growth curves</h2>")
+        series = [
+            Series(
+                label=curve.name,
+                slot=(index % 8) + 1,
+                points=list(zip(curve.ns, curve.bits)),
+                envelope=curve.envelope(),
+            )
+            for index, curve in enumerate(view.curves)
+        ]
+        body.append(
+            legend(
+                [(f"{s.label} (measured)", s.slot) for s in series]
+            )
+        )
+        body.append(
+            log_log_plot(
+                series,
+                title=f"{view.exp_id} growth curves with fitted envelopes",
+            )
+        )
+        body.append(
+            '<p class="muted">dashed: fitted &Theta;-envelope '
+            "c&nbsp;&middot;&nbsp;f(n) per curve</p>"
+        )
+        body.append(_fits_table(view))
+    if view.result is not None:
+        body.append("<h2>Result table</h2>")
+        columns, rendered = render_rows(
+            view.result.rows, view.result.columns
+        )
+        body.append(table_html(columns, rendered))
+        if view.result.conclusions:
+            body.append("<h2>Conclusions</h2>")
+            body.append(
+                "<ul>"
+                + "".join(
+                    f"<li>{escape(line)}</li>"
+                    for line in view.result.conclusions
+                )
+                + "</ul>"
+            )
+    if view.cells:
+        body.append("<h2>Per-cell wall clock</h2>")
+        body.append(
+            bar_chart(
+                [(cell.key, cell.seconds) for cell in view.cells],
+                title=f"{view.exp_id} per-cell wall clock",
+            )
+        )
+        body.append("<h2>Cell provenance</h2>")
+        body.append(_provenance_table(view))
+        body.append(
+            f'<p class="muted">exports: <a href="{escape(view.exp_id)}'
+            f'.cells.csv">{escape(view.exp_id)}.cells.csv</a></p>'
+        )
+    return page(f"{view.exp_id} · {view.title}", "\n".join(body))
+
+
+def _index_page(
+    campaign: CampaignView, timeline_jobs: int
+) -> str:
+    slots = _slot_map(campaign)
+    body: list[str] = [
+        "<h1>Ring campaign dashboard</h1>",
+        f'<p class="sub">preset {escape(campaign.preset)} &middot; '
+        f"{campaign.stored_cells} stored cell(s), "
+        f"{campaign.cell_seconds:.2f}s of stored cell time &middot; "
+        f"rendered from <code>{escape(campaign.store_root)}</code> "
+        "without simulating</p>",
+        "<h2>Experiments</h2>",
+    ]
+    rows = []
+    for view in campaign.experiments:
+        rows.append(
+            "<tr>"
+            f'<td><a href="{escape(view.exp_id)}.html">'
+            f"{escape(view.exp_id)}</a></td>"
+            f"<td>{escape(view.title)}</td>"
+            f"<td>{len(view.cells)}/{view.planned}</td>"
+            f"<td>{view.cell_seconds:.2f}</td>"
+            f"<td>{badge(view.status)}</td>"
+            "</tr>"
+        )
+    body.append(
+        "<table>\n<thead><tr><th>experiment</th><th>title</th>"
+        "<th>cells stored</th><th>cell seconds</th><th>status</th>"
+        "</tr></thead>\n<tbody>\n" + "\n".join(rows) + "\n</tbody>\n</table>"
+    )
+    stale_total = sum(len(view.stale) for view in campaign.experiments)
+    if stale_total:
+        body.append(
+            warn_box(
+                f"<strong>{stale_total} stale store file(s)</strong> across "
+                "the campaign — see the per-experiment pages, or run "
+                "<code>ring-repro report --all --prune-stale</code>."
+            )
+        )
+    if campaign.stored_cells:
+        lanes, makespan = lpt_schedule(campaign, timeline_jobs)
+        segments = [
+            [
+                Segment(
+                    exp_id=campaign.experiments[exp_index].exp_id,
+                    key=cell.key,
+                    start=start,
+                    seconds=cell.seconds,
+                    slot=slots.get(
+                        campaign.experiments[exp_index].exp_id, 0
+                    ),
+                )
+                for exp_index, cell, start in lane
+            ]
+            for lane in lanes
+        ]
+        busy = campaign.cell_seconds
+        capacity = makespan * max(1, timeline_jobs)
+        utilization = busy / capacity if capacity > 0 else 0.0
+        body.append(
+            f"<h2>Campaign timeline (LPT, {timeline_jobs} worker(s))</h2>"
+        )
+        # Registry order (E1..E12), matching the table above and the
+        # slot assignment — not lexicographic (which puts E10 before E2).
+        body.append(
+            legend(
+                [
+                    (view.exp_id, slots[view.exp_id])
+                    for view in campaign.experiments
+                    if view.exp_id in slots
+                ]
+            )
+        )
+        body.append(
+            timeline(
+                segments,
+                makespan,
+                title=f"LPT schedule on {timeline_jobs} worker(s)",
+            )
+        )
+        body.append(
+            f'<p class="muted">makespan {makespan:.2f}s &middot; busy '
+            f"{busy:.2f} worker-seconds &middot; utilization "
+            f"{utilization:.0%} (stored cell seconds replayed through the "
+            "executor&rsquo;s heaviest-first schedule)</p>"
+        )
+    else:
+        body.append(
+            warn_box(
+                "<strong>The run store holds no records for this "
+                "preset.</strong> Run <code>ring-repro all --preset "
+                f"{escape(campaign.preset)}</code> first; the dashboard "
+                "renders purely from stored cells."
+            )
+        )
+    body.append("<h2>Exports</h2>")
+    csv_links = " &middot; ".join(
+        f'<a href="{escape(view.exp_id)}.cells.csv">'
+        f"{escape(view.exp_id)}.cells.csv</a>"
+        for view in campaign.experiments
+        if view.cells
+    )
+    body.append(
+        "<ul>"
+        '<li><a href="campaign.json">campaign.json</a> — results, fits, '
+        "and provenance as data</li>"
+        '<li><a href="bench-trajectory.json">bench-trajectory.json</a> — '
+        "benchmark records across PRs</li>"
+        + (f"<li>per-experiment cells: {csv_links}</li>" if csv_links else "")
+        + "</ul>"
+    )
+    return page("Ring campaign dashboard", "\n".join(body), home_link=False)
+
+
+def build_dashboard(
+    store: "RunStore | str | os.PathLike",
+    profile: "bool | RunProfile" = False,
+    out_dir: "str | os.PathLike" = DEFAULT_OUT,
+    timeline_jobs: int = 4,
+    bench_dir: "str | os.PathLike" = "benchmarks",
+) -> "list[Path]":
+    """Render the full dashboard; returns the written paths (sorted).
+
+    Reads the run store (and ``bench_dir``'s ``BENCH_*.json``) only —
+    zero simulation — and always succeeds on an empty store, rendering
+    honest "no data" pages, so it is safe to point at anything.
+    """
+    if not isinstance(store, RunStore):
+        store = RunStore(store)
+    profile = RunProfile.coerce(profile)
+    campaign = assemble(store, profile)
+
+    files: dict[str, str] = {
+        "style.css": STYLE_CSS,
+        "index.html": _index_page(campaign, timeline_jobs),
+        "campaign.json": dump_json(campaign_payload(campaign)),
+        "bench-trajectory.json": dump_json(bench_trajectory_payload(bench_dir)),
+    }
+    for view in campaign.experiments:
+        files[f"{view.exp_id}.html"] = _experiment_page(view, campaign)
+        if view.cells:
+            files[f"{view.exp_id}.cells.csv"] = cells_csv(
+                view, campaign.preset
+            )
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    # Drop leftovers from previous renders (a page or csv whose
+    # experiment lost its records would otherwise survive and ship
+    # stale data) — but only files shaped like our own artifacts
+    # (experiment pages/csvs and the fixed names); an --out pointed at
+    # a directory with unrelated content must not eat it.
+    ours = re.compile(
+        r"^(E\d+\.html|E\d+\.cells\.csv|index\.html|style\.css|"
+        r"campaign\.json|bench-trajectory\.json)$"
+    )
+    for path in out.iterdir():
+        if path.is_file() and ours.match(path.name) and path.name not in files:
+            path.unlink()
+    written = []
+    for name in sorted(files):
+        path = out / name
+        path.write_text(files[name], encoding="utf-8")
+        written.append(path)
+    return written

@@ -1,0 +1,198 @@
+"""Static-HTML building blocks for the dashboard.
+
+Pages are plain strings — no template engine, no third-party deps — and
+every builder iterates its inputs in caller-fixed order, so page bytes
+are a pure function of the assembled views.
+
+The stylesheet carries the whole visual system: a colorblind-validated
+categorical palette (eight slots plus a neutral "other" fold for ninth-
+and-later series), light and dark surfaces selected via
+``prefers-color-scheme`` (the dark column is the same hues re-stepped
+for the dark surface, not an automatic flip), text tokens for all
+labels (marks never carry text color), recessive grid/axis strokes, and
+a 2px surface gap between adjacent fills.  SVG marks reference these
+classes (``s1``..``s8``, ``sx``, ``env``) so the palette lives in
+exactly one place.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from typing import Sequence
+
+__all__ = ["STYLE_CSS", "badge", "legend", "page", "table_html", "warn_box"]
+
+STYLE_CSS = """\
+:root {
+  color-scheme: light dark;
+  --surface-1: #fcfcfb;
+  --surface-2: #f0efec;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --grid: #e3e2de;
+  --frame: #c9c8c2;
+  --series-1: #2a78d6;
+  --series-2: #eb6834;
+  --series-3: #1baf7a;
+  --series-4: #eda100;
+  --series-5: #e87ba4;
+  --series-6: #008300;
+  --series-7: #4a3aa7;
+  --series-8: #e34948;
+  --series-x: #8a8984;
+  --good: #008300;
+  --serious: #e34948;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface-1: #1a1a19;
+    --surface-2: #383835;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --grid: #31312e;
+    --frame: #4a4a46;
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --series-3: #199e70;
+    --series-4: #c98500;
+    --series-5: #d55181;
+    --series-6: #008300;
+    --series-7: #9085e9;
+    --series-8: #e66767;
+    --series-x: #8a8984;
+    --good: #199e70;
+    --serious: #e66767;
+  }
+}
+body {
+  margin: 0 auto;
+  padding: 24px 32px 64px;
+  max-width: 960px;
+  background: var(--surface-1);
+  color: var(--text-primary);
+  font: 15px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 24px; margin: 8px 0 2px; }
+h2 { font-size: 18px; margin: 28px 0 8px; }
+p.sub, .muted { color: var(--text-secondary); }
+a { color: var(--series-1); text-decoration: none; }
+a:hover { text-decoration: underline; }
+nav { margin-bottom: 8px; font-size: 14px; }
+table { border-collapse: collapse; margin: 10px 0 16px; font-size: 14px; }
+th, td {
+  padding: 4px 12px;
+  border-bottom: 1px solid var(--grid);
+  text-align: right;
+}
+th { color: var(--text-secondary); font-weight: 600; }
+th:first-child, td:first-child { text-align: left; }
+.badge {
+  display: inline-block;
+  padding: 1px 10px;
+  border-radius: 10px;
+  font-size: 13px;
+  font-weight: 600;
+  color: var(--surface-1);
+  background: var(--series-x);
+}
+.badge.pass { background: var(--good); }
+.badge.fail { background: var(--serious); }
+.warn {
+  border-left: 3px solid var(--series-4);
+  background: var(--surface-2);
+  padding: 8px 14px;
+  margin: 10px 0;
+  font-size: 14px;
+}
+.legend { display: flex; flex-wrap: wrap; gap: 4px 18px; font-size: 14px; }
+.legend .sw {
+  display: inline-block;
+  width: 12px;
+  height: 12px;
+  border-radius: 3px;
+  margin-right: 6px;
+  vertical-align: -1px;
+}
+svg.chart { max-width: 100%; height: auto; margin: 6px 0 2px; }
+svg .grid { stroke: var(--grid); stroke-width: 1; }
+svg .frame { fill: none; stroke: var(--frame); stroke-width: 1; }
+svg .tick, svg .axis, svg .lbl, svg .val, svg .seglbl {
+  font: 12px system-ui, -apple-system, "Segoe UI", sans-serif;
+  fill: var(--text-secondary);
+}
+svg .lbl { fill: var(--text-primary); }
+svg .seglbl { fill: var(--surface-1); font-weight: 600; }
+svg .line { fill: none; stroke-width: 2; }
+svg .env { fill: none; stroke-width: 1.5; stroke-dasharray: 5 4; opacity: 0.65; }
+svg .dot { stroke: var(--surface-1); stroke-width: 2; }
+svg .bar, svg .seg { stroke: var(--surface-1); stroke-width: 2; }
+svg .s1 { stroke: var(--series-1); } svg .dot.s1, svg .bar.s1, svg .seg.s1 { fill: var(--series-1); stroke: var(--surface-1); }
+svg .s2 { stroke: var(--series-2); } svg .dot.s2, svg .bar.s2, svg .seg.s2 { fill: var(--series-2); stroke: var(--surface-1); }
+svg .s3 { stroke: var(--series-3); } svg .dot.s3, svg .bar.s3, svg .seg.s3 { fill: var(--series-3); stroke: var(--surface-1); }
+svg .s4 { stroke: var(--series-4); } svg .dot.s4, svg .bar.s4, svg .seg.s4 { fill: var(--series-4); stroke: var(--surface-1); }
+svg .s5 { stroke: var(--series-5); } svg .dot.s5, svg .bar.s5, svg .seg.s5 { fill: var(--series-5); stroke: var(--surface-1); }
+svg .s6 { stroke: var(--series-6); } svg .dot.s6, svg .bar.s6, svg .seg.s6 { fill: var(--series-6); stroke: var(--surface-1); }
+svg .s7 { stroke: var(--series-7); } svg .dot.s7, svg .bar.s7, svg .seg.s7 { fill: var(--series-7); stroke: var(--surface-1); }
+svg .s8 { stroke: var(--series-8); } svg .dot.s8, svg .bar.s8, svg .seg.s8 { fill: var(--series-8); stroke: var(--surface-1); }
+svg .sx { stroke: var(--series-x); } svg .dot.sx, svg .bar.sx, svg .seg.sx { fill: var(--series-x); stroke: var(--surface-1); }
+code, .hash { font: 13px ui-monospace, SFMono-Regular, Menlo, monospace; }
+.hash { color: var(--text-secondary); }
+"""
+
+
+def page(title: str, body: str, home_link: bool = True) -> str:
+    """A complete HTML document around pre-rendered body markup."""
+    nav = '<nav><a href="index.html">&larr; campaign index</a></nav>\n' if home_link else ""
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en">\n<head>\n<meta charset="utf-8">\n'
+        '<meta name="viewport" content="width=device-width, initial-scale=1">\n'
+        f"<title>{escape(title)}</title>\n"
+        '<link rel="stylesheet" href="style.css">\n'
+        "</head>\n<body>\n"
+        f"{nav}{body}\n</body>\n</html>\n"
+    )
+
+
+def table_html(
+    columns: Sequence[str],
+    rendered_rows: Sequence[Sequence[str]],
+    empty: str = "(no rows)",
+) -> str:
+    """An HTML table over pre-rendered cell strings (plan order)."""
+    if not rendered_rows:
+        return f'<p class="muted">{escape(empty)}</p>'
+    parts = ["<table>", "<thead><tr>"]
+    parts.extend(f"<th>{escape(str(col))}</th>" for col in columns)
+    parts.append("</tr></thead>")
+    parts.append("<tbody>")
+    for row in rendered_rows:
+        parts.append(
+            "<tr>" + "".join(f"<td>{escape(cell)}</td>" for cell in row) + "</tr>"
+        )
+    parts.append("</tbody>")
+    parts.append("</table>")
+    return "\n".join(parts)
+
+
+def badge(status: str) -> str:
+    """A status pill: PASS/FAIL get semantic colors, the rest neutral."""
+    cls = {"PASS": " pass", "FAIL": " fail"}.get(status, "")
+    return f'<span class="badge{cls}">{escape(status)}</span>'
+
+
+def legend(entries: "Sequence[tuple[str, int]]") -> str:
+    """Color legend: ``(label, slot)`` pairs, slot 0 = the 'other' fold."""
+    items = []
+    for label, slot in entries:
+        var = f"--series-{slot}" if 1 <= slot <= 8 else "--series-x"
+        items.append(
+            f'<span><span class="sw" style="background: var({var})"></span>'
+            f"{escape(label)}</span>"
+        )
+    return '<div class="legend">' + "\n".join(items) + "</div>"
+
+
+def warn_box(html_content: str) -> str:
+    """A highlighted warning block (content is already-escaped HTML)."""
+    return f'<div class="warn">{html_content}</div>'

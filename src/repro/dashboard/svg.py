@@ -1,0 +1,297 @@
+"""Dependency-free SVG chart builders for the dashboard.
+
+Three chart forms, each a pure function from assembled data to an SVG
+string:
+
+* :func:`log_log_plot` — measured growth curves on log2/log2 axes with
+  the fitted Θ-envelope (``c * f(n)``) dashed behind each series;
+* :func:`bar_chart` — per-cell wall-clock horizontal bars;
+* :func:`timeline` — the campaign's LPT schedule as worker lanes.
+
+Every coordinate is formatted through :func:`_fmt` (fixed two decimals)
+and every input is iterated in caller-fixed order, so a chart is a pure
+function of its data: identical stores render byte-identical SVG, which
+is what lets CI diff two dashboard builds.
+
+Colors are *not* emitted here: marks carry CSS classes (``s1``..``s8``
+for categorical series slots, ``sx`` for the ninth-and-later "other"
+fold, ``env`` for fitted envelopes) resolved by the shared stylesheet,
+which defines a colorblind-validated palette for both light and dark
+surfaces.  Identity is never color-alone — every mark ships a native
+``<title>`` tooltip and series get direct labels.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+from xml.sax.saxutils import escape
+
+__all__ = ["Series", "log_log_plot", "bar_chart", "timeline", "Segment"]
+
+
+def _fmt(value: float) -> str:
+    """Deterministic coordinate rendering (two fixed decimals)."""
+    return f"{value:.2f}"
+
+
+def _si(value: float) -> str:
+    """Compact magnitude label for tick text: 1536 -> '1.5k'."""
+    for bound, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if value >= bound:
+            scaled = value / bound
+            text = f"{scaled:.1f}".rstrip("0").rstrip(".")
+            return f"{text}{suffix}"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.1f}"
+
+
+def _slot_class(slot: int) -> str:
+    """CSS class for a categorical slot; 0 is the 'other' fold."""
+    return f"s{slot}" if 1 <= slot <= 8 else "sx"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted series: measured points plus an optional envelope.
+
+    ``points`` are ``(n, bits)`` pairs in sweep order; ``envelope`` is
+    the fitted ``(n, c * f(n))`` curve sampled by the caller (drawn
+    dashed, same hue).  ``slot`` picks the categorical color (1..8;
+    anything else folds to the neutral 'other' class).
+    """
+
+    label: str
+    slot: int
+    points: Sequence
+    envelope: Sequence = ()
+
+
+def _svg_open(width: int, height: int, title: str) -> list:
+    return [
+        f'<svg class="chart" role="img" viewBox="0 0 {width} {height}" '
+        f'width="{width}" height="{height}" '
+        'xmlns="http://www.w3.org/2000/svg">',
+        f"<title>{escape(title)}</title>",
+    ]
+
+
+def log_log_plot(
+    series: Sequence[Series],
+    width: int = 720,
+    height: int = 420,
+    title: str = "growth curves",
+) -> str:
+    """Measured curves and fitted envelopes on log2/log2 axes."""
+    drawable = [s for s in series if s.points]
+    if not drawable:
+        return ""
+    left, right, top, bottom = 64, 150, 18, 46
+    plot_w, plot_h = width - left - right, height - top - bottom
+
+    def tx(n: float) -> float:
+        return math.log2(max(float(n), 1.0))
+
+    def ty(bits: float) -> float:
+        return math.log2(max(float(bits), 1.0))
+
+    xs = [tx(n) for s in drawable for n, _ in list(s.points) + list(s.envelope)]
+    ys = [ty(b) for s in drawable for _, b in list(s.points) + list(s.envelope)]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_pad = max((x_hi - x_lo) * 0.04, 0.25)
+    y_pad = max((y_hi - y_lo) * 0.05, 0.5)
+    x_lo, x_hi = x_lo - x_pad, x_hi + x_pad
+    y_lo, y_hi = y_lo - y_pad, y_hi + y_pad
+
+    def px(x: float) -> float:
+        return left + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def py(y: float) -> float:
+        return top + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+    out = _svg_open(width, height, title)
+
+    # Recessive grid + ticks: x at the measured ring sizes (thinned to
+    # <= 7 labels), y at whole powers of two.
+    measured_ns = sorted({n for s in drawable for n, _ in s.points})
+    step = max(1, (len(measured_ns) + 6) // 7)
+    x_ticks = measured_ns[::step]
+    if measured_ns and measured_ns[-1] not in x_ticks:
+        x_ticks.append(measured_ns[-1])
+    for n in x_ticks:
+        x = px(tx(n))
+        out.append(
+            f'<line class="grid" x1="{_fmt(x)}" y1="{top}" '
+            f'x2="{_fmt(x)}" y2="{top + plot_h}"/>'
+        )
+        out.append(
+            f'<text class="tick" x="{_fmt(x)}" y="{top + plot_h + 16}" '
+            f'text-anchor="middle">{_si(n)}</text>'
+        )
+    k_lo, k_hi = math.ceil(y_lo), math.floor(y_hi)
+    k_step = max(1, (k_hi - k_lo) // 5 + 1)
+    for k in range(k_lo, k_hi + 1, k_step):
+        y = py(float(k))
+        out.append(
+            f'<line class="grid" x1="{left}" y1="{_fmt(y)}" '
+            f'x2="{left + plot_w}" y2="{_fmt(y)}"/>'
+        )
+        out.append(
+            f'<text class="tick" x="{left - 6}" y="{_fmt(y + 4)}" '
+            f'text-anchor="end">{_si(2.0 ** k)}</text>'
+        )
+    out.append(
+        f'<rect class="frame" x="{left}" y="{top}" width="{plot_w}" '
+        f'height="{plot_h}"/>'
+    )
+    out.append(
+        f'<text class="axis" x="{left + plot_w / 2:.2f}" '
+        f'y="{height - 8}" text-anchor="middle">ring size n (log scale)</text>'
+    )
+    out.append(
+        f'<text class="axis" transform="rotate(-90 14 {top + plot_h / 2:.2f})" '
+        f'x="14" y="{top + plot_h / 2:.2f}" text-anchor="middle">'
+        "bits (log scale)</text>"
+    )
+
+    # Envelopes first (behind the data), then measured lines and marks.
+    for s in drawable:
+        if not s.envelope:
+            continue
+        pts = " ".join(
+            f"{_fmt(px(tx(n)))},{_fmt(py(ty(b)))}" for n, b in s.envelope
+        )
+        out.append(
+            f'<polyline class="env {_slot_class(s.slot)}" points="{pts}"/>'
+        )
+    for s in drawable:
+        pts = " ".join(
+            f"{_fmt(px(tx(n)))},{_fmt(py(ty(b)))}" for n, b in s.points
+        )
+        out.append(
+            f'<polyline class="line {_slot_class(s.slot)}" points="{pts}"/>'
+        )
+        for n, b in s.points:
+            out.append(
+                f'<circle class="dot {_slot_class(s.slot)}" '
+                f'cx="{_fmt(px(tx(n)))}" cy="{_fmt(py(ty(b)))}" r="4">'
+                f"<title>{escape(s.label)}: n={n}, bits={b}</title></circle>"
+            )
+        last_n, last_b = list(s.points)[-1]
+        out.append(
+            f'<text class="lbl" x="{_fmt(px(tx(last_n)) + 8)}" '
+            f'y="{_fmt(py(ty(last_b)) + 4)}">{escape(s.label)}</text>'
+        )
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def bar_chart(
+    items: Sequence,
+    width: int = 720,
+    unit: str = "s",
+    title: str = "per-cell wall clock",
+) -> str:
+    """Horizontal single-hue bars: ``items`` is ``(label, value)`` pairs."""
+    items = list(items)
+    if not items:
+        return ""
+    bar_h, gap, top = 16, 8, 10
+    gutter = min(260, 16 + max(len(str(label)) for label, _ in items) * 8)
+    value_space = 78
+    plot_w = width - gutter - value_space
+    height = top * 2 + len(items) * (bar_h + gap)
+    peak = max(value for _, value in items) or 1.0
+    out = _svg_open(width, height, title)
+    out.append(
+        f'<line class="grid" x1="{gutter}" y1="{top}" x2="{gutter}" '
+        f'y2="{height - top}"/>'
+    )
+    for row, (label, value) in enumerate(items):
+        y = top + row * (bar_h + gap)
+        w = max(plot_w * value / peak, 1.0)
+        out.append(
+            f'<text class="tick" x="{gutter - 6}" y="{_fmt(y + bar_h - 4)}" '
+            f'text-anchor="end">{escape(str(label))}</text>'
+        )
+        out.append(
+            f'<rect class="bar s1" x="{gutter}" y="{y}" '
+            f'width="{_fmt(w)}" height="{bar_h}" rx="4">'
+            f"<title>{escape(str(label))}: {value:.6f}{unit}</title></rect>"
+        )
+        out.append(
+            f'<text class="val" x="{_fmt(gutter + w + 6)}" '
+            f'y="{_fmt(y + bar_h - 4)}">{value:.3f}{unit}</text>'
+        )
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One scheduled cell in a timeline lane."""
+
+    exp_id: str
+    key: str
+    start: float
+    seconds: float
+    slot: int
+
+
+def timeline(
+    lanes: Sequence[Sequence[Segment]],
+    makespan: float,
+    width: int = 860,
+    title: str = "campaign timeline",
+) -> str:
+    """LPT worker lanes: each rect is one cell, colored by experiment."""
+    if not lanes or makespan <= 0:
+        return ""
+    lane_h, gap, top, bottom, gutter = 24, 6, 10, 30, 46
+    plot_w = width - gutter - 12
+    height = top + bottom + len(lanes) * (lane_h + gap)
+
+    def px(t: float) -> float:
+        return gutter + t / makespan * plot_w
+
+    out = _svg_open(width, height, title)
+    ticks = 5
+    for i in range(ticks + 1):
+        t = makespan * i / ticks
+        out.append(
+            f'<line class="grid" x1="{_fmt(px(t))}" y1="{top}" '
+            f'x2="{_fmt(px(t))}" y2="{height - bottom}"/>'
+        )
+        out.append(
+            f'<text class="tick" x="{_fmt(px(t))}" '
+            f'y="{height - bottom + 16}" text-anchor="middle">'
+            f"{t:.1f}s</text>"
+        )
+    for lane_idx, lane in enumerate(lanes):
+        y = top + lane_idx * (lane_h + gap)
+        out.append(
+            f'<text class="tick" x="{gutter - 6}" '
+            f'y="{_fmt(y + lane_h - 7)}" text-anchor="end">w{lane_idx}</text>'
+        )
+        for seg in lane:
+            # A 2px surface gap between adjacent fills comes from the
+            # stylesheet's stroke on .seg, not from shrinking rects.
+            w = max(px(seg.start + seg.seconds) - px(seg.start), 1.0)
+            out.append(
+                f'<rect class="seg {_slot_class(seg.slot)}" '
+                f'x="{_fmt(px(seg.start))}" y="{y}" width="{_fmt(w)}" '
+                f'height="{lane_h}" rx="4">'
+                f"<title>{escape(seg.exp_id)} {escape(seg.key)}: "
+                f"{seg.seconds:.3f}s starting at {seg.start:.3f}s"
+                "</title></rect>"
+            )
+            if w >= 44:
+                out.append(
+                    f'<text class="seglbl" x="{_fmt(px(seg.start) + 5)}" '
+                    f'y="{_fmt(y + lane_h - 7)}">{escape(seg.exp_id)}</text>'
+                )
+    out.append("</svg>")
+    return "\n".join(out)

@@ -261,6 +261,12 @@ class ExperimentSpec:
     the :class:`ExperimentResult`, iterating in plan order so the table
     is independent of measurement order.
 
+    ``title`` is the experiment's display heading — the same string its
+    finalize stamps on the :class:`ExperimentResult`, declared on the
+    spec so presentation layers (``ring-repro dashboard``) can head a
+    page for an experiment whose records are not in the store yet,
+    without running anything.
+
     ``curves`` (optional) names the experiment's growth-law curves:
     ``curves(profile, records) -> {name: (ns, bits)}`` extracts exactly
     the ``(n, bits)`` series the finalize fits, from the same records —
@@ -274,6 +280,7 @@ class ExperimentSpec:
     plan: Callable[[RunProfile], "list[Cell]"]
     finalize: Callable[[RunProfile, dict], ExperimentResult]
     curves: "Callable[[RunProfile, dict], dict] | None" = None
+    title: str = ""
 
     def growth_curves(
         self, profile: "bool | RunProfile", records: dict

@@ -105,6 +105,9 @@ def _measure(params: dict, rng: random.Random) -> dict:
     return {"n": n, "languages": out}
 
 
+TITLE = "Regular languages in O(n) bits (Theorems 1 and 6)"
+
+
 def plan(profile: RunProfile) -> list[Cell]:
     """Independent per-size cells over the profile's sweep."""
     return [
@@ -138,7 +141,7 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     """Fold per-size records into one row per language plus its fit."""
     result = ExperimentResult(
         exp_id="E1",
-        title="Regular languages in O(n) bits (Theorems 1 and 6)",
+        title=TITLE,
         claim="BIT(n) = ceil(log2 |Q|) * n for the DFA recognizer, uni & bidi",
         columns=[
             "language",
@@ -187,7 +190,9 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     return result
 
 
-SPEC = ExperimentSpec(exp_id="E1", plan=plan, finalize=finalize, curves=curves)
+SPEC = ExperimentSpec(
+    exp_id="E1", plan=plan, finalize=finalize, curves=curves, title=TITLE
+)
 
 
 def run(profile: bool | RunProfile = False) -> ExperimentResult:

@@ -112,6 +112,9 @@ def _budgets(profile: RunProfile) -> tuple[int, ...]:
     return (32, 128) if profile else (32, 128, 512, 2048)
 
 
+TITLE = "Message graphs: finite <=> regular (Theorem 2)"
+
+
 def plan(profile: RunProfile) -> list[Cell]:
     """Per-language, per-budget, and witness cells (no size sweep)."""
     quick = bool(profile)
@@ -154,7 +157,7 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     """Assemble the dichotomy table from the three cell families."""
     result = ExperimentResult(
         exp_id="E2",
-        title="Message graphs: finite <=> regular (Theorem 2)",
+        title=TITLE,
         claim="O(n) one-pass => finite graph => extracted DFA == language; "
         "infinite graph => Omega(n log n) witness",
         columns=["case", "graph", "messages", "check", "ok"],
@@ -215,7 +218,9 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     return result
 
 
-SPEC = ExperimentSpec(exp_id="E2", plan=plan, finalize=finalize)
+SPEC = ExperimentSpec(
+    exp_id="E2", plan=plan, finalize=finalize, title=TITLE
+)
 
 
 def run(profile: bool | RunProfile = False) -> ExperimentResult:

@@ -87,6 +87,9 @@ def _ks(profile: RunProfile) -> tuple[int, ...]:
     return (1,) if profile else (1, 2)
 
 
+TITLE = "Multi-pass to one-pass compilation (Theorem 3)"
+
+
 def plan(profile: RunProfile) -> list[Cell]:
     """One independent compilation cell per k."""
     quick = bool(profile)
@@ -115,7 +118,7 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     """One table row per compiled k."""
     result = ExperimentResult(
         exp_id="E3",
-        title="Multi-pass to one-pass compilation (Theorem 3)",
+        title=TITLE,
         claim="any O(n) multi-pass algorithm has an equivalent O(n) one-pass "
         "algorithm (constant exponential in |M|, pi)",
         columns=[
@@ -157,7 +160,9 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     return result
 
 
-SPEC = ExperimentSpec(exp_id="E3", plan=plan, finalize=finalize)
+SPEC = ExperimentSpec(
+    exp_id="E3", plan=plan, finalize=finalize, title=TITLE
+)
 
 
 def run(profile: bool | RunProfile = False) -> ExperimentResult:

@@ -109,6 +109,9 @@ def _measure_cuts(params: dict, rng: random.Random) -> dict:
     }
 
 
+TITLE = "Information-state counting (Theorem 4)"
+
+
 def plan(profile: RunProfile) -> list[Cell]:
     """Per-(recognizer, size) cells plus the cut-lemma surgery cell."""
     quick = bool(profile)
@@ -140,7 +143,7 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     """Fold per-size records into rows, fits, and the surgery verdict."""
     result = ExperimentResult(
         exp_id="E4",
-        title="Information-state counting (Theorem 4)",
+        title=TITLE,
         claim="non-regular recognizers realize Omega(n) distinct information "
         "states; bits >= log2(d!) and land at Theta(n log n)",
         columns=[
@@ -195,7 +198,9 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     return result
 
 
-SPEC = ExperimentSpec(exp_id="E4", plan=plan, finalize=finalize)
+SPEC = ExperimentSpec(
+    exp_id="E4", plan=plan, finalize=finalize, title=TITLE
+)
 
 
 def run(profile: bool | RunProfile = False) -> ExperimentResult:

@@ -155,6 +155,9 @@ def _measure(params: dict, rng: random.Random) -> dict:
     }
 
 
+TITLE = "Token serialization and ring->line transformation (Theorem 5)"
+
+
 def plan(profile: RunProfile) -> list[Cell]:
     """Independent per-(algorithm, size) cells."""
     return [
@@ -175,7 +178,7 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     """One row per (algorithm, size), in plan order."""
     result = ExperimentResult(
         exp_id="E5",
-        title="Token serialization and ring->line transformation (Theorem 5)",
+        title=TITLE,
         claim="token overhead <= 3x; line transformation <= 4x and invertible",
         columns=[
             "algorithm",
@@ -217,7 +220,9 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     return result
 
 
-SPEC = ExperimentSpec(exp_id="E5", plan=plan, finalize=finalize)
+SPEC = ExperimentSpec(
+    exp_id="E5", plan=plan, finalize=finalize, title=TITLE
+)
 
 
 def run(profile: bool | RunProfile = False) -> ExperimentResult:

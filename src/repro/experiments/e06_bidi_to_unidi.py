@@ -87,6 +87,9 @@ def _names(profile: RunProfile) -> list[str]:
     return ["parity"] if profile else ["parity", "mod-a-3-0"]
 
 
+TITLE = "Bidirectional -> unidirectional compilation (Theorem 7)"
+
+
 def plan(profile: RunProfile) -> list[Cell]:
     """One independent compilation cell per language."""
     quick = bool(profile)
@@ -111,7 +114,7 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     """One row per language, plus the fit over the beyond-horizon rings."""
     result = ExperimentResult(
         exp_id="E6",
-        title="Bidirectional -> unidirectional compilation (Theorem 7)",
+        title=TITLE,
         claim="a bidirectional O(n) algorithm has an equivalent "
         "unidirectional O(n) algorithm (line embedding + accepting-"
         "information-state passes)",
@@ -154,7 +157,9 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     return result
 
 
-SPEC = ExperimentSpec(exp_id="E6", plan=plan, finalize=finalize)
+SPEC = ExperimentSpec(
+    exp_id="E6", plan=plan, finalize=finalize, title=TITLE
+)
 
 
 def run(profile: bool | RunProfile = False) -> ExperimentResult:

@@ -78,6 +78,9 @@ def _measure(params: dict, rng: random.Random) -> dict:
     }
 
 
+TITLE = "w c w needs Theta(n^2) bits (§7(1))"
+
+
 def plan(profile: RunProfile) -> list[Cell]:
     """Independent per-(recognizer, size) cells.
 
@@ -112,7 +115,7 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     """Rows per (recognizer, size); fits and slopes per recognizer."""
     result = ExperimentResult(
         exp_id="E7",
-        title="w c w needs Theta(n^2) bits (§7(1))",
+        title=TITLE,
         claim="the comparison recognizer and the universal collect-all bound "
         "are both quadratic; decisions correct either way",
         columns=["algorithm", "n", "bits", "bits/n^2", "decision_ok"],
@@ -152,7 +155,9 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     return result
 
 
-SPEC = ExperimentSpec(exp_id="E7", plan=plan, finalize=finalize, curves=curves)
+SPEC = ExperimentSpec(
+    exp_id="E7", plan=plan, finalize=finalize, curves=curves, title=TITLE
+)
 
 
 def run(profile: bool | RunProfile = False) -> ExperimentResult:

@@ -67,6 +67,9 @@ def _measure(params: dict, rng: random.Random) -> dict:
     }
 
 
+TITLE = "0^k 1^k 2^k in Theta(n log n) bits (§7(2))"
+
+
 def plan(profile: RunProfile) -> list[Cell]:
     """Independent per-size cells over the profile's sweep."""
     return [
@@ -95,7 +98,7 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     """Fold per-size records into the table, the fit, and the verdict."""
     result = ExperimentResult(
         exp_id="E8",
-        title="0^k 1^k 2^k in Theta(n log n) bits (§7(2))",
+        title=TITLE,
         claim="three gamma-coded counters recognize the language in "
         "Theta(n log n) bits",
         columns=["n", "bits", "predicted", "bits/(n log n)", "decision_ok"],
@@ -133,7 +136,9 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     return result
 
 
-SPEC = ExperimentSpec(exp_id="E8", plan=plan, finalize=finalize, curves=curves)
+SPEC = ExperimentSpec(
+    exp_id="E8", plan=plan, finalize=finalize, curves=curves, title=TITLE
+)
 
 
 def run(profile: bool | RunProfile = False) -> ExperimentResult:

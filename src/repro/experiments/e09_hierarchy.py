@@ -76,6 +76,9 @@ def _measure(params: dict, rng: random.Random) -> dict:
     }
 
 
+TITLE = "The Theta(g(n)) hierarchy (§7(3))"
+
+
 def plan(profile: RunProfile) -> list[Cell]:
     """Independent per-(growth law, size) cells."""
     return [
@@ -121,7 +124,7 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     """Rows per (law, size); envelope + boundedness verdicts per law."""
     result = ExperimentResult(
         exp_id="E9",
-        title="The Theta(g(n)) hierarchy (§7(3))",
+        title=TITLE,
         claim="for each g between n log n and n^2, L_g costs Theta(g(n))",
         columns=[
             "g",
@@ -178,7 +181,9 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     return result
 
 
-SPEC = ExperimentSpec(exp_id="E9", plan=plan, finalize=finalize, curves=curves)
+SPEC = ExperimentSpec(
+    exp_id="E9", plan=plan, finalize=finalize, curves=curves, title=TITLE
+)
 
 
 def run(profile: bool | RunProfile = False) -> ExperimentResult:

@@ -101,6 +101,9 @@ def _measure_prime(params: dict, rng: random.Random) -> dict:
     }
 
 
+TITLE = "Known n: the hierarchy reaches Theta(n) (§7(4))"
+
+
 def plan(profile: RunProfile) -> list[Cell]:
     """Per-(law, size) hierarchy cells plus per-size prime cells."""
     cells = [
@@ -154,7 +157,7 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     """Hierarchy rows + envelopes per law, then the prime-length contrast."""
     result = ExperimentResult(
         exp_id="E10",
-        title="Known n: the hierarchy reaches Theta(n) (§7(4))",
+        title=TITLE,
         claim="with n known the counting phase disappears: L_g costs "
         "Theta(g(n)) down to g(n)=n, and a non-regular language "
         "(prime length) costs exactly n bits",
@@ -215,7 +218,7 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
 
 
 SPEC = ExperimentSpec(
-    exp_id="E10", plan=plan, finalize=finalize, curves=curves
+    exp_id="E10", plan=plan, finalize=finalize, curves=curves, title=TITLE
 )
 
 

@@ -70,6 +70,9 @@ def _measure(params: dict, rng: random.Random) -> dict:
     return {"k": k, "n": n, "exact": exact}
 
 
+TITLE = "Bits vs passes for regular languages (§7(5))"
+
+
 def plan(profile: RunProfile) -> list[Cell]:
     """Independent per-(k, size) cells."""
     return [
@@ -92,7 +95,7 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     """Rows per (k, size); formula columns from the closed forms."""
     result = ExperimentResult(
         exp_id="E11",
-        title="Bits vs passes for regular languages (§7(5))",
+        title=TITLE,
         claim="two passes cost (2k+1)n bits; one pass costs (k+2^k-1)n; "
         "the ratio grows like 2^k / 2k",
         columns=[
@@ -133,7 +136,9 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     return result
 
 
-SPEC = ExperimentSpec(exp_id="E11", plan=plan, finalize=finalize)
+SPEC = ExperimentSpec(
+    exp_id="E11", plan=plan, finalize=finalize, title=TITLE
+)
 
 
 def run(profile: bool | RunProfile = False) -> ExperimentResult:

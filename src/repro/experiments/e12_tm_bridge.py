@@ -105,6 +105,9 @@ def _measure(params: dict, rng: random.Random) -> dict:
     }
 
 
+TITLE = "TM time -> ring bits (Summary section)"
+
+
 def plan(profile: RunProfile) -> list[Cell]:
     """Independent per-(machine, size) cells.
 
@@ -129,7 +132,7 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     """Rows per (machine, size); per-machine shape conclusions."""
     result = ExperimentResult(
         exp_id="E12",
-        title="TM time -> ring bits (Summary section)",
+        title=TITLE,
         claim="a one-tape TM with time t(n) yields a ring algorithm with "
         "BIT <= t(n)(log|Q|+1) + O(n); optimality is the machine's, "
         "not the language's",
@@ -199,7 +202,9 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
     return result
 
 
-SPEC = ExperimentSpec(exp_id="E12", plan=plan, finalize=finalize)
+SPEC = ExperimentSpec(
+    exp_id="E12", plan=plan, finalize=finalize, title=TITLE
+)
 
 
 def run(profile: bool | RunProfile = False) -> ExperimentResult:

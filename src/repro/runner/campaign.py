@@ -153,13 +153,23 @@ def execute_campaign(
             on_result(state.spec.exp_id, execution)
 
     # Satisfy what the store already holds, then flatten the rest into
-    # one global pending list.  Cell keys are only unique *within* an
-    # experiment (E9 and E10 both plan "g=.../n=..." cells), so global
-    # bookkeeping is (exp_id, cell) pairs.
+    # one global pending list.  The skip-set for the *whole* campaign is
+    # built up front from a single store walk (one directory traversal,
+    # then only the present files are opened and hash-validated) rather
+    # than probing the filesystem once per cell.  Cell keys are only
+    # unique *within* an experiment (E9 and E10 both plan "g=.../n=..."
+    # cells), so global bookkeeping is (exp_id, cell) pairs.
+    skip_set: dict[str, dict] = {}
+    if resume and store is not None:
+        skip_set = store.load_campaign(
+            {exp_id: state.cells for exp_id, state in states.items()},
+            profile,
+        )
     pending: list[tuple[_ExperimentState, Cell]] = []
-    for state in states.values():
+    for exp_id, state in states.items():
+        hits = skip_set.get(exp_id, {})
         for cell in state.cells:
-            hit = store.load(cell, profile) if (resume and store) else None
+            hit = hits.get(cell.key)
             if hit is not None:
                 state.outcomes[cell.key] = CellOutcome(
                     cell, hit.record, hit.seconds, cached=True

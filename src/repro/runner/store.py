@@ -20,8 +20,10 @@ from __future__ import annotations
 import json
 import os
 import re
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Mapping
 
 from repro.errors import ReproError
 from repro.experiments.base import Cell, RunProfile
@@ -71,12 +73,23 @@ class RunStore:
 
         A file whose embedded identity does not match the cell (stale
         schema, tampered params, hash collision across key sanitizing) is
-        treated as a miss, never trusted.
+        treated as a miss, never trusted.  A file that *exists* but does
+        not parse — truncated by a full disk, corrupted in transit — is
+        also a miss (the cell is simply re-measured), but it warns: the
+        operator should know a record they paid for is unreadable.
         """
         path = self.path_for(cell, profile)
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as error:
+            warnings.warn(
+                f"run store record {path} is corrupt ({error}); treating "
+                "the cell as unmeasured",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return None
         if not isinstance(payload, dict):
             return None
@@ -118,6 +131,49 @@ class RunStore:
         os.replace(tmp, path)
         return path
 
+    def existing_files(self) -> "set[Path]":
+        """Every record file currently under the root — one directory walk.
+
+        This is the store's iteration primitive: batch consumers (the
+        campaign's ``--resume`` skip-set, the dashboard) call it once and
+        then open only the files their plans can actually load, instead
+        of probing the filesystem once per cell for records that are
+        mostly absent or mostly present.
+        """
+        found: set[Path] = set()
+        if not self.root.is_dir():
+            return found
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                if name.endswith(".json"):
+                    found.add(Path(dirpath) / name)
+        return found
+
+    def load_campaign(
+        self, plans: "Mapping[str, list[Cell]]", profile: RunProfile
+    ) -> "dict[str, dict[str, StoredCell]]":
+        """The whole campaign's skip-set from one store walk.
+
+        ``plans`` maps experiment id to its planned cells.  One
+        :meth:`existing_files` walk decides which record files are even
+        present; only those are opened and hash-validated, so resuming a
+        mostly-unmeasured campaign costs one directory traversal instead
+        of a filesystem probe per cell.  Returns ``{exp_id: {key:
+        StoredCell}}`` with only the hits present.
+        """
+        present = self.existing_files()
+        skip: dict[str, dict[str, StoredCell]] = {}
+        for exp_id, cells in plans.items():
+            hits: dict[str, StoredCell] = {}
+            for cell in cells:
+                if self.path_for(cell, profile) not in present:
+                    continue
+                stored = self.load(cell, profile)
+                if stored is not None:
+                    hits[cell.key] = stored
+            skip[exp_id] = hits
+        return skip
+
     def stale_paths(
         self, cells: "list[Cell]", profile: RunProfile
     ) -> "list[Path]":
@@ -143,11 +199,16 @@ class RunStore:
         directory = self.root / cells[0].exp_id / _profile_tag(profile)
         if not directory.is_dir():
             return []
+        # One directory scan, matched on the "<safe_key>__<hash>" split:
+        # the hash suffix the store writes is hex, so the *last* "__"
+        # always separates key from hash even for keys containing "__".
+        keys = {_safe_key(cell.key) for cell in cells}
         stale = {
             path
-            for cell in cells
-            for path in directory.glob(f"{_safe_key(cell.key)}__*.json")
+            for path in directory.glob("*.json")
             if path not in expected
+            and "__" in path.name
+            and path.name[: path.name.rfind("__")] in keys
         }
         return sorted(stale)
 
