@@ -1,21 +1,61 @@
-"""The growth-model registry used to classify measured bit curves.
+"""Growth-model registry plus the analytic bit-accounting engine.
 
-Each :class:`GrowthModel` is a named shape ``f(n)``; fitting finds the
-constant ``c`` minimizing the residual of ``bits(n) ~ c * f(n)``.  The
-registry spans the paper's whole range — ``n`` (Theorems 1/3/6/7) up to
-``n^2`` (§7(1) and the trivial upper bound) with the hierarchy points
-between (§7(3)).
+Two layers live here:
+
+* :class:`GrowthModel` / :data:`STANDARD_MODELS` — the named shapes
+  ``f(n)`` the experiments classify measured curves against.  Fitting
+  finds the constant ``c`` minimizing the residual of
+  ``bits(n) ~ c * f(n)``; the registry spans the paper's whole range —
+  ``n`` (Theorems 1/3/6/7) up to ``n^2`` (§7(1) and the trivial upper
+  bound) with the hierarchy points between (§7(3)).
+
+* The **analytic model** of the §7(3)/§7(4) constructions — exact,
+  closed-form per-pass bit accounting for the window-compare recognizers
+  (:class:`~repro.core.hierarchy.HierarchyRecognizer`,
+  :class:`~repro.core.known_n.KnownNHierarchyRecognizer`,
+  :class:`~repro.core.known_n.KnownNLengthRecognizer`) and the
+  Elias-gamma counting floor.  The paper's hierarchy results are per-pass
+  bit *counts*, so every count is derivable without delivering a single
+  message: message ``k`` of a compare pass has a position-determined
+  window length ``min(k+1, p)`` and a position-determined filling header,
+  independent of the word's letters.  Each formula below is a pure
+  function of ``(n, p, letter_width)`` evaluable in ``O(log n)`` integer
+  arithmetic, which is what lets the E9/E10 sweeps extend from the
+  simulator's n≈1.6e4 ceiling to n≈1e6+.
+
+Calibration contract (the Z8-model idiom): the analytic model never
+*replaces* the simulator as ground truth — ``verify``-mode experiment
+cells run both and record a bit-for-bit verdict per cell
+(:func:`calibration_verdict`), and any change to these formulas must bump
+:data:`MODEL_VERSION` and append a :data:`MODEL_CHANGELOG` entry so
+stored model-mode records stop matching instead of silently drifting.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Mapping, Sequence
 
 from repro.errors import ReproError
 
-__all__ = ["GrowthModel", "STANDARD_MODELS", "model_named"]
+__all__ = [
+    "GrowthModel",
+    "STANDARD_MODELS",
+    "model_named",
+    "MODEL_VERSION",
+    "MODEL_CHANGELOG",
+    "floor_log2_sum",
+    "elias_gamma_sum",
+    "counting_pass_bits",
+    "window_letter_sum",
+    "hierarchy_count_bits",
+    "hierarchy_compare_bits",
+    "hierarchy_total_bits",
+    "known_n_hierarchy_bits",
+    "known_n_length_bits",
+    "calibration_verdict",
+]
 
 
 @dataclass(frozen=True)
@@ -51,3 +91,180 @@ def model_named(name: str) -> GrowthModel:
         if model.name == name:
             return model
     raise ReproError(f"unknown growth model {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Analytic bit accounting for the window-compare constructions
+# ---------------------------------------------------------------------------
+
+MODEL_VERSION = 1
+"""Version of the analytic formulas below.
+
+Folded into the params (hence the config hash) of every ``model``/
+``verify`` cell, so editing a formula invalidates stored model-backed
+records the same way editing a ``_measure`` body invalidates simulated
+ones.  Bump it together with a :data:`MODEL_CHANGELOG` entry.
+"""
+
+MODEL_CHANGELOG: tuple[tuple[int, str, str], ...] = (
+    (
+        1,
+        "2026-08-08",
+        "initial per-pass accounting: Elias-gamma counting floor "
+        "(closed-form gamma-length sum), §7(3) two-phase hierarchy "
+        "recognizer (phase-tagged count pass + filling/full compare "
+        "pass), §7(4) known-n one-pass recognizer and the n-bit "
+        "length-predicate pass; calibrated bit-for-bit against the "
+        "unidirectional simulator at every simulable size",
+    ),
+)
+"""Append-only calibration history, newest last (the Z8-model idiom)."""
+
+
+def _require_positive(value: int, what: str) -> None:
+    if value < 1:
+        raise ReproError(f"{what} must be >= 1, got {value}")
+
+
+def floor_log2_sum(m: int) -> int:
+    """``sum_{i=1..m} floor(log2 i)`` in O(log m) arithmetic.
+
+    Split the range by bit length: the ``2^j`` integers with
+    ``floor(log2 i) = j`` contribute ``j * 2^j`` for every complete
+    octave ``j < k = floor(log2 m)``, and the final partial octave
+    contributes ``k * (m - 2^k + 1)``.  With
+    ``sum_{j=1..K} j 2^j = (K-1) 2^{K+1} + 2`` the complete octaves
+    collapse to ``(k-2) 2^k + 2``.
+    """
+    if m < 1:
+        return 0
+    k = m.bit_length() - 1
+    if k == 0:
+        return 0
+    return (k - 2) * (1 << k) + 2 + k * (m - (1 << k) + 1)
+
+
+def elias_gamma_sum(m: int) -> int:
+    """``sum_{i=1..m} |gamma(i)|``: total Elias-gamma bits for ``1..m``.
+
+    ``|gamma(i)| = 2 floor(log2 i) + 1``, so the sum is
+    ``2 * floor_log2_sum(m) + m`` — the exact cost of a counting pass on
+    a ring of ``m`` processors (cf.
+    :func:`repro.core.counting.predicted_counting_bits`, which computes
+    the same value by brute force) in O(log m).
+    """
+    if m < 0:
+        raise ReproError(f"gamma sums are defined for m >= 0, got {m}")
+    return 2 * floor_log2_sum(m) + m
+
+
+def counting_pass_bits(n: int) -> int:
+    """Exact bits of the bare Elias-gamma counting pass (``Theta(n log n)``).
+
+    The leader sends ``gamma(1)``; follower ``i`` forwards ``gamma(i+1)``;
+    the value returning to the leader is ``n`` — one message per link,
+    ``n`` messages of ``|gamma(1)| .. |gamma(n)|`` bits.  Equals
+    :func:`repro.core.counting.predicted_counting_bits` (the
+    :class:`~repro.core.counting.LengthPredicateRecognizer`'s whole
+    execution) but closed-form.
+    """
+    _require_positive(n, "ring size")
+    return elias_gamma_sum(n)
+
+
+def hierarchy_count_bits(n: int) -> int:
+    """Exact bits of the §7(3) recognizer's *count* pass (pass 0).
+
+    Identical to the bare counting pass plus the 1-bit phase tag every
+    message carries: ``n + sum |gamma(i)|``.
+    """
+    _require_positive(n, "ring size")
+    return n + elias_gamma_sum(n)
+
+
+def window_letter_sum(n: int, p: int) -> int:
+    """``sum_{k=0..n-1} min(k+1, p)``: total window letters of one pass.
+
+    Message ``k`` of a window-compare pass (0 = the leader's) carries the
+    last ``min(k+1, p)`` letters: the window grows while filling, then
+    slides at length ``p``.  Closed form
+    ``p(p-1)/2 + (n-p+1) p`` for ``1 <= p <= n``.
+    """
+    _require_positive(n, "ring size")
+    if not 1 <= p <= n:
+        raise ReproError(f"block length must satisfy 1 <= p <= n, got p={p}")
+    return p * (p - 1) // 2 + (n - p + 1) * p
+
+
+def hierarchy_compare_bits(n: int, p: int, letter_width: int = 1) -> int:
+    """Exact bits of the §7(3) recognizer's *compare* pass (pass 1).
+
+    Message ``k`` (``k = 0`` the leader's, then one per follower) is::
+
+        phase flag (1) + fail flag (1) + mode flag (1)
+        + gamma(p-1-k)            while filling (k < p-1)
+        + min(k+1, p) letters at letter_width bits each
+
+    The filling headers pay ``gamma(p-1), gamma(p-2), .., gamma(1)``
+    exactly once each, so the pass totals
+    ``3n + letter_width * window_letter_sum(n, p) + elias_gamma_sum(p-1)``
+    — ``Theta(n p) = Theta(g(n))``, the component §7(3) is about.
+    """
+    _require_positive(letter_width, "letter width")
+    return (
+        3 * n
+        + letter_width * window_letter_sum(n, p)
+        + elias_gamma_sum(p - 1)
+    )
+
+
+def hierarchy_total_bits(n: int, p: int, letter_width: int = 1) -> int:
+    """Exact total of the §7(3) recognizer: count pass + compare pass."""
+    return hierarchy_count_bits(n) + hierarchy_compare_bits(n, p, letter_width)
+
+
+def known_n_hierarchy_bits(n: int, p: int, letter_width: int = 1) -> int:
+    """Exact bits of the §7(4) known-``n`` recognizer (one pass).
+
+    No counting phase and no filling header — with positions known the
+    window length is implied: message ``k`` is a fail bit plus
+    ``min(k+1, p)`` letters, totalling
+    ``n + letter_width * window_letter_sum(n, p)``.  At ``p = 1`` this is
+    ``2n``: the hierarchy reaches ``Theta(n)``.
+    """
+    _require_positive(letter_width, "letter width")
+    return n + letter_width * window_letter_sum(n, p)
+
+
+def known_n_length_bits(n: int) -> int:
+    """Exact bits of the §7(4) length-predicate pass: one bit per link."""
+    _require_positive(n, "ring size")
+    return n
+
+
+def calibration_verdict(
+    sim_record: Mapping,
+    model_record: Mapping,
+    fields: Sequence[str],
+) -> dict:
+    """Bit-for-bit comparison of a simulated and a modelled cell record.
+
+    Compares the named integer fields (absent on both sides counts as
+    agreement — a skipped size is skipped in both worlds).  Returns
+    ``{"verdict": "PASS" | "FAIL", "mismatches": {field: {"sim": ...,
+    "model": ...}}}`` — the per-cell verdict ``verify``-mode cells
+    persist in the run store, and what the ``model-parity`` CI job and
+    the dashboard's calibration column surface.
+    """
+    mismatches = {
+        field: {
+            "sim": sim_record.get(field),
+            "model": model_record.get(field),
+        }
+        for field in fields
+        if sim_record.get(field) != model_record.get(field)
+    }
+    return {
+        "verdict": "PASS" if not mismatches else "FAIL",
+        "mismatches": mismatches,
+    }

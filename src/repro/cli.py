@@ -16,6 +16,8 @@ Usage::
     ring-repro dashboard                   # static HTML+JSON/CSV from runs/
     ring-repro dashboard --preset long --out site --open
     ring-repro E1 --sizes 64,256,1024   # explicit ring sizes
+    ring-repro E9 E10 --preset long --mode model   # analytic path to n=2^20
+    ring-repro E9 E10 --preset long --mode verify  # calibrate vs simulator
     ring-repro all --profile        # per-experiment cost + pool utilization
     python -m repro.cli E9          # equivalent module form
 
@@ -26,6 +28,17 @@ which stay cheap because those sweeps stream ``trace="metrics"`` (see
 PERFORMANCE.md); experiments without a dedicated long sweep fall back to
 their full one.  ``--sizes N,N,...`` overrides the ring sizes outright,
 for ad-hoc scaling runs.
+
+``--mode`` adds the analytic-model axis (PERFORMANCE.md layer 7) for
+experiments whose bit counts are position-determined (E9/E10): ``model``
+evaluates the closed-form accounting of :mod:`repro.analysis.models`
+instead of simulating — O(log n) per cell, and the long sweeps extend
+past the simulable ceiling to n = 2^20 — while ``verify`` runs *both* at
+simulable sizes and persists a bit-for-bit calibration verdict per cell
+(the simulator stays the oracle; ``--profile`` and the report/dashboard
+surface the PASS/FAIL tally).  Mode is part of each cell's identity:
+model-backed and simulated records of the same (experiment, size) are
+distinct store entries, so neither ever invalidates the other.
 
 Execution is a *campaign*: every requested experiment's plan of
 independent ``(experiment, size)`` cells is flattened into one global
@@ -117,12 +130,14 @@ def parse_sizes(spec: str) -> tuple[int, ...]:
 
 
 def build_profile(
-    preset: str | None, sizes: str | None, quick: bool
+    preset: str | None, sizes: str | None, quick: bool, mode: str = "sim"
 ) -> RunProfile:
     """Combine the sweep flags into one :class:`RunProfile`.
 
     ``--quick`` is the historical alias for ``--preset quick``; combining
     it with a *different* preset is a contradiction and an error.
+    ``mode`` is the ``--mode`` axis (sim | model | verify) — validated by
+    :class:`RunProfile` itself.
     """
     if quick and preset not in (None, "quick"):
         raise ReproError(
@@ -130,7 +145,9 @@ def build_profile(
         )
     resolved = "quick" if quick else (preset or "full")
     return RunProfile(
-        preset=resolved, sizes=parse_sizes(sizes) if sizes else None
+        preset=resolved,
+        sizes=parse_sizes(sizes) if sizes else None,
+        mode=mode,
     )
 
 
@@ -159,6 +176,18 @@ def _campaign_line(campaign: CampaignExecution) -> str:
     )
 
 
+def _calibration_line(campaign: CampaignExecution) -> "str | None":
+    """The ``--profile`` calibration line for mode-routed campaigns."""
+    counts = campaign.calibration
+    model_cells = campaign.model_cell_count
+    if not model_cells and not (counts["PASS"] or counts["FAIL"]):
+        return None
+    return (
+        f"[calibration: {model_cells} model-backed cell(s); "
+        f"{counts['PASS']} verify PASS, {counts['FAIL']} verify FAIL]"
+    )
+
+
 def _print_profile(campaign: CampaignExecution) -> None:
     """Per-experiment cell time, heaviest first, then pool utilization."""
     ordered = sorted(
@@ -167,6 +196,9 @@ def _print_profile(campaign: CampaignExecution) -> None:
     for exp_id, execution in ordered:
         print(_profile_line(exp_id, execution))
     print(_campaign_line(campaign))
+    calibration = _calibration_line(campaign)
+    if calibration is not None:
+        print(calibration)
 
 
 def _stale_bytes(paths) -> int:
@@ -358,6 +390,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         "long (n >= 10^4 metrics-mode sweeps for E1, E7-E11)",
     )
     parser.add_argument(
+        "--mode",
+        choices=["sim", "model", "verify"],
+        default="sim",
+        help="how cells with an analytic model obtain records: sim "
+        "(simulate everything; default), model (closed-form bit "
+        "accounting only — long sweeps extend past the simulable "
+        "ceiling), verify (run both at simulable sizes and record a "
+        "bit-for-bit calibration verdict); experiments without a model "
+        "simulate regardless",
+    )
+    parser.add_argument(
         "--sizes",
         metavar="N,N,...",
         help="override every size sweep's ring sizes (comma-separated; "
@@ -441,7 +484,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     try:
-        profile = build_profile(args.preset, args.sizes, args.quick)
+        profile = build_profile(
+            args.preset, args.sizes, args.quick, args.mode
+        )
         if args.jobs < 1:
             raise ReproError(
                 f"--jobs needs a positive worker count, got {args.jobs}"

@@ -49,6 +49,8 @@ class CellView:
     seconds: float
     weight: float
     path: str  # store-root-relative, POSIX separators
+    mode: str = "sim"
+    verify: str = ""  # calibration verdict ("PASS"/"FAIL"); "" otherwise
 
 
 @dataclass(frozen=True)
@@ -103,6 +105,20 @@ class ExperimentView:
     @property
     def cell_seconds(self) -> float:
         return sum(cell.seconds for cell in self.cells)
+
+    @property
+    def model_cell_count(self) -> int:
+        """How many stored cells took the analytic fast path."""
+        return sum(1 for cell in self.cells if cell.mode == "model")
+
+    @property
+    def calibration(self) -> "dict[str, int]":
+        """Verify-cell verdict tally: ``{"PASS": ..., "FAIL": ...}``."""
+        counts = {"PASS": 0, "FAIL": 0}
+        for cell in self.cells:
+            if cell.verify:
+                counts["PASS" if cell.verify == "PASS" else "FAIL"] += 1
+        return counts
 
     @property
     def status(self) -> str:
@@ -170,6 +186,7 @@ def _assemble_experiment(
             view.missing.append(cell.key)
             continue
         records[cell.key] = stored.record
+        record = stored.record if isinstance(stored.record, dict) else {}
         view.cells.append(
             CellView(
                 key=cell.key,
@@ -178,6 +195,8 @@ def _assemble_experiment(
                 seconds=stored.seconds,
                 weight=float(cell.weight),
                 path=_relative(store.path_for(cell, profile), store.root),
+                mode=cell.mode,
+                verify=str(record.get("verdict", "")),
             )
         )
     view.stale = [

@@ -96,12 +96,38 @@ def _fits_table(view: ExperimentView) -> str:
 
 
 def _provenance_table(view: ExperimentView) -> str:
-    columns = ["cell", "config hash", "seconds", "store file"]
+    columns = ["cell", "mode", "config hash", "seconds", "verify", "store file"]
     rows = [
-        [cell.key, cell.config_hash, f"{cell.seconds:.6f}", cell.path]
+        [
+            cell.key,
+            cell.mode,
+            cell.config_hash,
+            f"{cell.seconds:.6f}",
+            cell.verify,
+            cell.path,
+        ]
         for cell in view.cells
     ]
     return table_html(columns, rows, empty="(no stored cells)")
+
+
+def _calibration_note(view: ExperimentView) -> "str | None":
+    """One muted line summarizing the experiment's mode routing."""
+    counts = view.calibration
+    model_cells = view.model_cell_count
+    if not model_cells and not (counts["PASS"] or counts["FAIL"]):
+        return None
+    fail = (
+        f', <span class="badge fail">{counts["FAIL"]} FAIL</span>'
+        if counts["FAIL"]
+        else ""
+    )
+    return (
+        f'<p class="muted">analytic fast path: {model_cells} model-backed '
+        f"cell(s) (closed-form bit accounting, no simulation); calibration "
+        f'{counts["PASS"]} verify PASS{fail} against the simulator '
+        "oracle</p>"
+    )
 
 
 def _experiment_page(view: ExperimentView, campaign: CampaignView) -> str:
@@ -179,6 +205,9 @@ def _experiment_page(view: ExperimentView, campaign: CampaignView) -> str:
                 )
                 + "</ul>"
             )
+    calibration = _calibration_note(view)
+    if calibration is not None:
+        body.append(calibration)
     if view.cells:
         body.append("<h2>Per-cell wall clock</h2>")
         body.append(
@@ -226,6 +255,27 @@ def _index_page(
         "<th>cells stored</th><th>cell seconds</th><th>status</th>"
         "</tr></thead>\n<tbody>\n" + "\n".join(rows) + "\n</tbody>\n</table>"
     )
+    model_total = sum(
+        view.model_cell_count for view in campaign.experiments
+    )
+    verify_pass = sum(
+        view.calibration["PASS"] for view in campaign.experiments
+    )
+    verify_fail = sum(
+        view.calibration["FAIL"] for view in campaign.experiments
+    )
+    if model_total or verify_pass or verify_fail:
+        fail = (
+            f' &middot; <span class="badge fail">{verify_fail} verify '
+            "FAIL</span>"
+            if verify_fail
+            else ""
+        )
+        body.append(
+            f'<p class="muted">analytic fast path: {model_total} '
+            f"model-backed cell(s) &middot; calibration {verify_pass} "
+            f"verify PASS{fail}</p>"
+        )
     stale_total = sum(len(view.stale) for view in campaign.experiments)
     if stale_total:
         body.append(

@@ -41,9 +41,11 @@ CELL_CSV_COLUMNS = (
     "exp_id",
     "preset",
     "key",
+    "mode",
     "config_hash",
     "seconds",
     "weight",
+    "verify",
     "params",
     "path",
 )
@@ -63,16 +65,20 @@ def _experiment_payload(view: ExperimentView) -> dict:
         "cells": [
             {
                 "key": cell.key,
+                "mode": cell.mode,
                 "config_hash": cell.config_hash,
                 "params": cell.params,
                 "seconds": cell.seconds,
                 "weight": cell.weight,
+                "verify": cell.verify,
                 "path": cell.path,
             }
             for cell in view.cells
         ],
         "missing": list(view.missing),
         "stale": list(view.stale),
+        "model_cells": view.model_cell_count,
+        "calibration": view.calibration,
         "error": view.error,
     }
     if view.result is not None:
@@ -107,6 +113,16 @@ def campaign_payload(campaign: CampaignView) -> dict:
             "passed": campaign.passed_count,
             "stored_cells": campaign.stored_cells,
             "cell_seconds": round(campaign.cell_seconds, 6),
+            "model_cells": sum(
+                view.model_cell_count for view in campaign.experiments
+            ),
+            "calibration": {
+                verdict: sum(
+                    view.calibration[verdict]
+                    for view in campaign.experiments
+                )
+                for verdict in ("PASS", "FAIL")
+            },
         },
     }
 
@@ -118,9 +134,11 @@ def cells_csv(view: ExperimentView, preset: str) -> str:
             "exp_id": view.exp_id,
             "preset": preset,
             "key": cell.key,
+            "mode": cell.mode,
             "config_hash": cell.config_hash,
             "seconds": cell.seconds,
             "weight": cell.weight,
+            "verify": cell.verify,
             "params": json.dumps(
                 cell.params, sort_keys=True, separators=(",", ":")
             ),
@@ -132,19 +150,36 @@ def cells_csv(view: ExperimentView, preset: str) -> str:
 
 
 def bench_trajectory_payload(bench_dir) -> dict:
-    """Fold every ``BENCH_*.json`` under ``bench_dir`` into one view."""
+    """Fold every ``BENCH_*.json`` under ``bench_dir`` into one view.
+
+    A missing directory or an empty glob is not an error: the payload
+    still carries ``count`` and an explanatory ``note`` so the rendered
+    page (and CI consumers) see an honest "no benchmarks yet" instead of
+    a bare degenerate ``[]``.
+    """
     bench_dir = Path(bench_dir)
     entries = []
-    for path in sorted(bench_dir.glob("BENCH_*.json")):
-        entry: dict = {"file": path.name}
-        try:
-            data = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError) as error:
-            entry["error"] = str(error)
-        else:
-            entry["date"] = (
-                data.get("date") if isinstance(data, dict) else None
-            )
-            entry["data"] = data
-        entries.append(entry)
-    return {"schema": CAMPAIGN_SCHEMA, "benchmarks": entries}
+    if bench_dir.is_dir():
+        for path in sorted(bench_dir.glob("BENCH_*.json")):
+            entry: dict = {"file": path.name}
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError) as error:
+                entry["error"] = str(error)
+            else:
+                entry["date"] = (
+                    data.get("date") if isinstance(data, dict) else None
+                )
+                entry["data"] = data
+            entries.append(entry)
+    payload: dict = {
+        "schema": CAMPAIGN_SCHEMA,
+        "benchmarks": entries,
+        "count": len(entries),
+    }
+    if not entries:
+        payload["note"] = (
+            f"no BENCH_*.json records under {bench_dir.as_posix()}; "
+            "run the benchmarks/ scripts to seed the perf trajectory"
+        )
+    return payload

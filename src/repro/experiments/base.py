@@ -35,7 +35,7 @@ import inspect
 import json
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.analysis.tables import format_table
 from repro.errors import ReproError
@@ -47,14 +47,34 @@ __all__ = [
     "ExperimentSpec",
     "RunProfile",
     "Sweep",
+    "calibration_line",
     "cell_seed",
     "default_rng",
+    "route_mode",
     "run_cell",
     "PRESETS",
+    "MODES",
+    "SIM_CEILING",
     "DEFAULT_SEED",
 ]
 
 PRESETS = ("quick", "full", "long")
+
+MODES = ("sim", "model", "verify")
+"""How a cell obtains its record.
+
+``sim`` — run the simulator (the oracle; the historical behavior).
+``model`` — evaluate the analytic bit-accounting model only
+(:mod:`repro.analysis.models`); O(log n), never simulates, unlocks
+ring sizes far past the simulable ceiling.
+``verify`` — run *both* and persist a bit-for-bit calibration verdict
+alongside the simulated record.
+"""
+
+SIM_CEILING = 16384
+"""Largest ring size worth simulating (the ~154 s Θ(n²) compare-pass
+cells of BENCH_2026-07-30_campaign.json).  ``verify``-profile cells above
+it fall back to model-only: there is no oracle run to compare against."""
 
 DEFAULT_SEED = 20250612
 
@@ -63,7 +83,10 @@ DEFAULT_SEED = 20250612
 # calls.  Bump this when substrate changes alter measured results, so
 # every stored record in runs/ stops matching and --resume/report fail
 # closed instead of serving pre-change numbers.
-CELL_SCHEMA_VERSION = 1
+# v2: cells carry a mode axis (sim | model | verify); the mode is part
+# of the hash (and of non-sim cell keys), so model-backed and simulated
+# records of the same (exp, size) are distinct store entries.
+CELL_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -72,19 +95,27 @@ class RunProfile:
 
     ``preset`` selects the named sweep variant; ``sizes`` (the CLI's
     ``--sizes N,N,...``) overrides every :class:`Sweep`'s ring sizes
-    outright.  Truthiness preserves the legacy bool protocol:
-    ``bool(profile)`` is ``True`` exactly for the quick preset, so
-    experiment code written as ``ks = (1, 2) if profile else (1, .., 5)``
-    keeps meaning "shrink auxiliary knobs in quick mode".
+    outright.  ``mode`` (the CLI's ``--mode``) picks how cells with an
+    analytic model obtain their records — see :data:`MODES`; experiments
+    without a model ignore it and simulate as always.  Truthiness
+    preserves the legacy bool protocol: ``bool(profile)`` is ``True``
+    exactly for the quick preset, so experiment code written as
+    ``ks = (1, 2) if profile else (1, .., 5)`` keeps meaning "shrink
+    auxiliary knobs in quick mode".
     """
 
     preset: str = "full"
     sizes: tuple[int, ...] | None = None
+    mode: str = "sim"
 
     def __post_init__(self) -> None:
         if self.preset not in PRESETS:
             raise ReproError(
                 f"unknown preset {self.preset!r}; choose from {', '.join(PRESETS)}"
+            )
+        if self.mode not in MODES:
+            raise ReproError(
+                f"unknown mode {self.mode!r}; choose from {', '.join(MODES)}"
             )
         if self.sizes is not None:
             if not self.sizes or any(
@@ -143,12 +174,17 @@ class Sweep:
 
     ``long`` is the n >= 10^4 metrics-mode preset; experiments whose cost
     makes that infeasible leave it ``None`` and the long preset falls
-    back to their full sweep.
+    back to their full sweep.  ``model_long`` names the sizes *past the
+    simulable ceiling* an experiment with an analytic model can reach:
+    they extend the long sweep whenever the profile's mode takes the
+    model path (``model``/``verify``) and are invisible to ``sim``
+    profiles, whose sweeps stay exactly the historical ones.
     """
 
     full: tuple[int, ...]
     quick: tuple[int, ...]
     long: tuple[int, ...] | None = None
+    model_long: tuple[int, ...] | None = None
 
     def sizes(self, profile: "bool | RunProfile" = False) -> tuple[int, ...]:
         """The sizes to use for this run (bool or :class:`RunProfile`)."""
@@ -158,6 +194,8 @@ class Sweep:
         if profile.preset == "quick":
             return self.quick
         if profile.preset == "long" and self.long is not None:
+            if profile.mode != "sim" and self.model_long:
+                return self.long + self.model_long
             return self.long
         return self.full
 
@@ -178,6 +216,54 @@ def cell_seed(exp_id: str, key: str, base: int = DEFAULT_SEED) -> int:
     """
     digest = hashlib.sha256(f"{base}:{exp_id}:{key}".encode()).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+def route_mode(
+    profile: "bool | RunProfile", n: int, ceiling: int = SIM_CEILING
+) -> str:
+    """Route one ring-size cell under the profile's mode axis.
+
+    ``sim`` profiles simulate everything (byte-identical to the
+    pre-model behavior).  ``model`` profiles take the analytic fast path
+    for every routable cell.  ``verify`` profiles calibrate: cells at
+    simulable sizes (``n <= ceiling``) run *both* the simulator (the
+    oracle) and the model and record a bit-for-bit verdict; cells above
+    the ceiling have no oracle to compare against and fall back to
+    model-only.  Only experiments with an analytic model call this —
+    everything else plans plain ``sim`` cells regardless of profile.
+    """
+    profile = RunProfile.coerce(profile)
+    if profile.mode == "sim":
+        return "sim"
+    if profile.mode == "verify" and n <= ceiling:
+        return "verify"
+    return "model"
+
+
+def calibration_line(records: "Iterable[dict]") -> "str | None":
+    """The finalize() conclusion summarizing model routing + verdicts.
+
+    ``None`` when every record is a plain simulated one (sim profiles
+    keep their historical conclusions untouched); otherwise counts the
+    model-backed cells and the verify cells' bit-for-bit PASSes.
+    """
+    records = list(records)
+    model_count = sum(
+        1 for record in records if record.get("mode") == "model"
+    )
+    verdicts = [
+        record["verdict"]
+        for record in records
+        if record.get("mode") == "verify"
+    ]
+    if not model_count and not verdicts:
+        return None
+    passed = sum(1 for verdict in verdicts if verdict == "PASS")
+    return (
+        f"analytic fast path: {model_count} model-backed cell(s); "
+        f"calibration {passed}/{len(verdicts)} verify cell(s) match the "
+        "simulator bit-for-bit"
+    )
 
 
 CellFn = Callable[[dict, random.Random], dict]
@@ -205,7 +291,11 @@ class Cell:
     reference for process executors) of its arguments only, returning a
     JSON-serializable record; ``params`` is plain JSON data.  ``weight``
     is a relative cost hint (typically the ring size) the executor uses
-    to schedule expensive cells first.
+    to schedule expensive cells first.  ``mode`` is the cell's record
+    source (:data:`MODES`); non-``sim`` cells also carry the mode in
+    their key (``.../mode=model``), so simulated and model-backed
+    records of the same measurement are distinct store entries that can
+    coexist — neither is ever "stale" relative to the other.
     """
 
     exp_id: str
@@ -214,6 +304,7 @@ class Cell:
     params: Mapping
     seed: int
     weight: float = 1.0
+    mode: str = "sim"
 
     def config_hash(self) -> str:
         """Identity of this measurement for the run store.
@@ -231,6 +322,7 @@ class Cell:
                 "schema": CELL_SCHEMA_VERSION,
                 "exp_id": self.exp_id,
                 "key": self.key,
+                "mode": self.mode,
                 "params": dict(self.params),
                 "seed": self.seed,
                 "fn": f"{self.fn.__module__}.{self.fn.__qualname__}",

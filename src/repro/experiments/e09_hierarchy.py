@@ -17,13 +17,23 @@ member words (worst case: full windows travel the whole ring).  Checks:
 
 Cell plan: one cell per (growth law, ring size); the envelope and
 boundedness checks fold in at finalize over each law's size curve.
+
+Mode axis (PERFORMANCE.md layer 7): the compare-pass counts are
+position-determined, so :mod:`repro.analysis.models` predicts them in
+closed form.  Under ``--mode model`` every cell takes that O(log n)
+analytic path (the long sweep extends past the simulable ceiling to
+n = 2^20); under ``--mode verify`` simulable cells run *both* and
+persist a bit-for-bit calibration verdict — the simulator stays the
+oracle.
 """
 
 from __future__ import annotations
 
 import random
 
+from repro.analysis import models as analytic
 from repro.analysis.growth import classify_growth, theta_check
+from repro.bits import fixed_width_for
 from repro.core.hierarchy import HierarchyRecognizer
 from repro.experiments.base import (
     Cell,
@@ -31,7 +41,9 @@ from repro.experiments.base import (
     ExperimentSpec,
     RunProfile,
     Sweep,
+    calibration_line,
     cell_seed,
+    route_mode,
 )
 from repro.languages.hierarchy import STANDARD_GROWTHS, PeriodicLanguage
 from repro.ring.unidirectional import run_unidirectional
@@ -40,59 +52,129 @@ from repro.ring.unidirectional import run_unidirectional
 # the Θ(n²) law behind eleven other experiments; under the shared-pool
 # campaign its cells interleave with the whole fleet, so the sweep now
 # doubles out to 16384 (the n^2 cell at 16384 is the campaign's single
-# heaviest and is scheduled first by global LPT).
+# heaviest and is scheduled first by global LPT).  Past that, simulation
+# stops being the tool: model-routed profiles extend the long sweep two
+# more decades to n = 2^20 through the calibrated analytic fast path.
 SWEEP = Sweep(
     full=(16, 32, 64, 128, 192, 256, 384, 512),
     quick=(16, 32, 64, 96),
     long=(1024, 2048, 4096, 10240, 12288, 16384),
+    model_long=(32768, 65536, 131072, 262144, 524288, 1048576),
 )
 
 _GROWTHS = {growth.name: growth for growth in STANDARD_GROWTHS}
 
+# The recognizer's wire format over the binary alphabet "ab".
+_LETTER_WIDTH = fixed_width_for(len("ab"))
+
+# Simulated records match the analytic model on exactly these fields —
+# the bit-for-bit calibration contract of verify cells.
+_VERIFY_FIELDS = ("skipped", "n", "p", "compare_bits", "total_bits")
+
+
+def _model_record(growth, n: int) -> dict:
+    """The analytic prediction of one (growth law, size) measurement.
+
+    Mirrors the simulated record field for field; ``decision_ok`` is
+    asserted from the language definition (members accept, non-members
+    reject) — the property the verify cells confirm against the oracle.
+    Never touches a simulator.
+    """
+    language = PeriodicLanguage(growth)
+    p = language.block_length(n)
+    if n < 1 or p < 1 or p > n:
+        # Exactly when sample_member returns None: no member to run.
+        return {"skipped": True}
+    compare = analytic.hierarchy_compare_bits(n, p, _LETTER_WIDTH)
+    total = analytic.hierarchy_count_bits(n) + compare
+    return {
+        "skipped": False,
+        "n": n,
+        "p": p,
+        "compare_bits": compare,
+        "total_bits": total,
+        "total_ratio": total / max(growth(n), 1),
+        "decision_ok": True,
+    }
+
 
 def _measure(params: dict, rng: random.Random) -> dict:
-    """One (growth law, size): member + non-member runs, pass split."""
+    """One (growth law, size) under the cell's mode.
+
+    ``sim``: member + non-member simulator runs, pass split (historical
+    record, unchanged).  ``model``: closed-form prediction only.
+    ``verify``: both, plus the bit-for-bit verdict.
+    """
     growth = _GROWTHS[params["growth"]]
     n = params["n"]
+    mode = params.get("mode", "sim")
+    if mode == "model":
+        return {**_model_record(growth, n), "mode": "model"}
     language = PeriodicLanguage(growth)
     algorithm = HierarchyRecognizer(language)
     member = language.sample_member(n, rng)
     if member is None:
-        return {"skipped": True}
-    trace = run_unidirectional(algorithm, member, trace="metrics")
-    decision_ok = trace.decision is True
-    non_member = language.sample_non_member(n, rng)
-    if non_member is not None:
-        rejected = run_unidirectional(algorithm, non_member, trace="metrics")
-        decision_ok = decision_ok and rejected.decision is False
-    return {
-        "skipped": False,
-        "n": n,
-        "p": language.block_length(n),
-        "compare_bits": trace.bits_of_pass(1),
-        "total_bits": trace.total_bits,
-        "total_ratio": trace.total_bits / max(growth(n), 1),
-        "decision_ok": decision_ok,
-    }
+        record = {"skipped": True}
+    else:
+        trace = run_unidirectional(algorithm, member, trace="metrics")
+        decision_ok = trace.decision is True
+        non_member = language.sample_non_member(n, rng)
+        if non_member is not None:
+            rejected = run_unidirectional(
+                algorithm, non_member, trace="metrics"
+            )
+            decision_ok = decision_ok and rejected.decision is False
+        record = {
+            "skipped": False,
+            "n": n,
+            "p": language.block_length(n),
+            "compare_bits": trace.bits_of_pass(1),
+            "total_bits": trace.total_bits,
+            "total_ratio": trace.total_bits / max(growth(n), 1),
+            "decision_ok": decision_ok,
+        }
+    if mode == "sim":
+        return record
+    verdict = analytic.calibration_verdict(
+        record, _model_record(growth, n), _VERIFY_FIELDS
+    )
+    return {**record, "mode": "verify", **verdict}
 
 
 TITLE = "The Theta(g(n)) hierarchy (§7(3))"
 
 
+def _cell_key(name: str, n: int, mode: str) -> str:
+    """Cell identity; non-sim modes are distinct keys (distinct records)."""
+    key = f"g={name}/n={n}"
+    return key if mode == "sim" else f"{key}/mode={mode}"
+
+
 def plan(profile: RunProfile) -> list[Cell]:
-    """Independent per-(growth law, size) cells."""
-    return [
-        Cell(
-            exp_id="E9",
-            key=f"g={name}/n={n}",
-            fn=_measure,
-            params={"growth": name, "n": n},
-            seed=cell_seed("E9", f"g={name}/n={n}"),
-            weight=_GROWTHS[name](n),
-        )
-        for name in _GROWTHS
-        for n in SWEEP.sizes(profile)
-    ]
+    """Independent per-(growth law, size) cells, routed by mode."""
+    cells = []
+    for name in _GROWTHS:
+        for n in SWEEP.sizes(profile):
+            mode = route_mode(profile, n)
+            key = _cell_key(name, n, mode)
+            params = {"growth": name, "n": n}
+            if mode != "sim":
+                params["mode"] = mode
+                params["model_version"] = analytic.MODEL_VERSION
+            cells.append(
+                Cell(
+                    exp_id="E9",
+                    key=key,
+                    fn=_measure,
+                    params=params,
+                    seed=cell_seed("E9", key),
+                    # Model cells cost O(log n) regardless of g(n); the
+                    # LPT scheduler should treat them as free.
+                    weight=1.0 if mode == "model" else _GROWTHS[name](n),
+                    mode=mode,
+                )
+            )
+    return cells
 
 
 def _measured(profile: RunProfile, records: dict, name: str) -> list:
@@ -102,7 +184,8 @@ def _measured(profile: RunProfile, records: dict, name: str) -> list:
     return [
         record
         for record in (
-            records[f"g={name}/n={n}"] for n in SWEEP.sizes(profile)
+            records[_cell_key(name, n, route_mode(profile, n))]
+            for n in SWEEP.sizes(profile)
         )
         if not record["skipped"]
     ]
@@ -130,9 +213,11 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
             "g",
             "n",
             "p",
+            "mode",
             "compare bits",
             "total bits",
             "total/g(n)",
+            "verify",
             "decision_ok",
         ],
     )
@@ -146,15 +231,18 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
         total_ratios = []
         for record in measured:
             all_ok = all_ok and record["decision_ok"]
+            all_ok = all_ok and record.get("verdict", "PASS") == "PASS"
             total_ratios.append(record["total_ratio"])
             result.rows.append(
                 {
                     "g": name,
                     "n": record["n"],
                     "p": record["p"],
+                    "mode": record.get("mode", "sim"),
                     "compare bits": record["compare_bits"],
                     "total bits": record["total_bits"],
                     "total/g(n)": round(record["total_ratio"], 3),
+                    "verify": record.get("verdict", ""),
                     "decision_ok": record["decision_ok"],
                 }
             )
@@ -172,6 +260,9 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
             f"total/g in [{min(total_ratios):.2f}, {max(total_ratios):.2f}] "
             f"{'ok' if envelope.ok and bounded else 'MISMATCH'}"
         )
+    calibration = calibration_line(records.values())
+    if calibration is not None:
+        result.conclusions.append(calibration)
     result.conclusions.append(
         "every compare-pass curve is Theta(its own g) with explicit "
         "constants, and totals track Theta(g): the n log n .. n^2 range "

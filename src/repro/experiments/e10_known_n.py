@@ -18,6 +18,14 @@ Two exhibits:
 Cell plan: one cell per (known-n law, ring size) plus one per prime-length
 ring size (which runs both the known-n and the counting recognizer so the
 ratio column never mixes cells).
+
+Mode axis (PERFORMANCE.md layer 7): both exhibits are position-determined
+bit counts, so :mod:`repro.analysis.models` predicts them exactly —
+``known_n_hierarchy_bits`` for the one-pass recognizer,
+``known_n_length_bits`` / ``counting_pass_bits`` for the prime-length
+contrast.  Under ``--mode model`` every cell takes the O(log n) analytic
+path (the long sweep extends to n = 2^20); under ``--mode verify``
+simulable cells run both and persist a bit-for-bit calibration verdict.
 """
 
 from __future__ import annotations
@@ -25,7 +33,9 @@ from __future__ import annotations
 import math
 import random
 
+from repro.analysis import models as analytic
 from repro.analysis.growth import classify_growth, curve_from_records, theta_check
+from repro.bits import fixed_width_for
 from repro.core.counting import LengthPredicateRecognizer
 from repro.core.known_n import KnownNHierarchyRecognizer, KnownNLengthRecognizer
 from repro.experiments.base import (
@@ -34,7 +44,9 @@ from repro.experiments.base import (
     ExperimentSpec,
     RunProfile,
     Sweep,
+    calibration_line,
     cell_seed,
+    route_mode,
 )
 from repro.languages.hierarchy import GrowthFunction, PeriodicLanguage
 from repro.languages.nonregular import is_prime
@@ -42,11 +54,13 @@ from repro.ring.unidirectional import run_unidirectional
 
 # Long ceiling raised from 10240 once the campaign scheduler let these
 # Θ(n²)-law cells interleave with the rest of the fleet (see E9): two
-# new sizes double the sweep out to 16384.
+# new sizes double the sweep out to 16384.  Model-routed profiles
+# extend two more decades to n = 2^20 via the calibrated analytic path.
 SWEEP = Sweep(
     full=(8, 16, 32, 64, 128, 256, 512),
     quick=(8, 16, 32),
     long=(1024, 2048, 4096, 10240, 12288, 16384),
+    model_long=(32768, 65536, 131072, 262144, 524288, 1048576),
 )
 
 _GROWTHS = {
@@ -55,42 +69,102 @@ _GROWTHS = {
     "n^2": GrowthFunction("n^2", lambda n: float(n * n)),
 }
 
+# The recognizer's wire format over the binary alphabet "ab".
+_LETTER_WIDTH = fixed_width_for(len("ab"))
+
+# Simulated records match the analytic model on exactly these fields —
+# the bit-for-bit calibration contract of verify cells.
+_HIERARCHY_VERIFY_FIELDS = ("skipped", "n", "bits")
+_PRIME_VERIFY_FIELDS = ("n", "known_bits", "unknown_bits")
+
+
+def _model_hierarchy_record(growth: GrowthFunction, n: int) -> dict:
+    """Analytic prediction of one (known-n law, size) measurement.
+
+    Mirrors the simulated record field for field; ``ok`` is asserted
+    from the language definition — the property verify cells confirm
+    against the oracle.  Never touches a simulator.
+    """
+    language = PeriodicLanguage(growth)
+    p = language.block_length(n)
+    if n < 1 or p < 1 or p > n:
+        # Exactly when sample_member returns None: no member to run.
+        return {"skipped": True}
+    bits = analytic.known_n_hierarchy_bits(n, p, _LETTER_WIDTH)
+    return {
+        "skipped": False,
+        "n": n,
+        "bits": bits,
+        "ratio": bits / max(growth(n), 1),
+        "ok": True,
+    }
+
+
+def _model_prime_record(n: int) -> dict:
+    """Analytic prediction of one prime-length contrast cell."""
+    return {
+        "n": n,
+        "known_bits": analytic.known_n_length_bits(n),
+        "unknown_bits": analytic.counting_pass_bits(n),
+        "ok": True,
+    }
+
 
 def _measure_hierarchy(params: dict, rng: random.Random) -> dict:
-    """One (known-n law, size): comparison pass only, no counting floor."""
+    """One (known-n law, size) under the cell's mode.
+
+    ``sim``: comparison pass only, no counting floor (historical record,
+    unchanged).  ``model``: closed-form prediction only.  ``verify``:
+    both, plus the bit-for-bit verdict.
+    """
     growth = _GROWTHS[params["growth"]]
     n = params["n"]
+    mode = params.get("mode", "sim")
+    if mode == "model":
+        return {**_model_hierarchy_record(growth, n), "mode": "model"}
     language = PeriodicLanguage(growth)
     algorithm = KnownNHierarchyRecognizer(language)
     member = language.sample_member(n, rng)
     if member is None:
-        return {"skipped": True}
-    trace = run_unidirectional(algorithm, member, trace="metrics")
-    ok = trace.decision is True
-    non_member = language.sample_non_member(n, rng)
-    if non_member is not None:
-        ok = ok and (
-            run_unidirectional(algorithm, non_member, trace="metrics").decision
-            is False
-        )
-    return {
-        "skipped": False,
-        "n": n,
-        "bits": trace.total_bits,
-        "ratio": trace.total_bits / max(growth(n), 1),
-        "ok": ok,
-    }
+        record = {"skipped": True}
+    else:
+        trace = run_unidirectional(algorithm, member, trace="metrics")
+        ok = trace.decision is True
+        non_member = language.sample_non_member(n, rng)
+        if non_member is not None:
+            ok = ok and (
+                run_unidirectional(
+                    algorithm, non_member, trace="metrics"
+                ).decision
+                is False
+            )
+        record = {
+            "skipped": False,
+            "n": n,
+            "bits": trace.total_bits,
+            "ratio": trace.total_bits / max(growth(n), 1),
+            "ok": ok,
+        }
+    if mode == "sim":
+        return record
+    verdict = analytic.calibration_verdict(
+        record, _model_hierarchy_record(growth, n), _HIERARCHY_VERIFY_FIELDS
+    )
+    return {**record, "mode": "verify", **verdict}
 
 
 def _measure_prime(params: dict, rng: random.Random) -> dict:
     """One prime-length size: known-n vs counting recognizer, same word."""
     n = params["n"]
+    mode = params.get("mode", "sim")
+    if mode == "model":
+        return {**_model_prime_record(n), "mode": "model"}
     word = "a" * n
     known = KnownNLengthRecognizer(is_prime, name="prime (n known)")
     unknown = LengthPredicateRecognizer(is_prime, name="prime (count)")
     known_trace = run_unidirectional(known, word, trace="metrics")
     unknown_trace = run_unidirectional(unknown, word, trace="metrics")
-    return {
+    record = {
         "n": n,
         "known_bits": known_trace.total_bits,
         "unknown_bits": unknown_trace.total_bits,
@@ -99,36 +173,65 @@ def _measure_prime(params: dict, rng: random.Random) -> dict:
             and known_trace.total_bits == n
         ),
     }
+    if mode == "sim":
+        return record
+    verdict = analytic.calibration_verdict(
+        record, _model_prime_record(n), _PRIME_VERIFY_FIELDS
+    )
+    return {**record, "mode": "verify", **verdict}
 
 
 TITLE = "Known n: the hierarchy reaches Theta(n) (§7(4))"
 
 
+def _cell_key(prefix: str, n: int, mode: str) -> str:
+    """Cell identity; non-sim modes are distinct keys (distinct records)."""
+    key = f"{prefix}/n={n}"
+    return key if mode == "sim" else f"{key}/mode={mode}"
+
+
 def plan(profile: RunProfile) -> list[Cell]:
-    """Per-(law, size) hierarchy cells plus per-size prime cells."""
-    cells = [
-        Cell(
-            exp_id="E10",
-            key=f"g={name}/n={n}",
-            fn=_measure_hierarchy,
-            params={"growth": name, "n": n},
-            seed=cell_seed("E10", f"g={name}/n={n}"),
-            weight=_GROWTHS[name](n),
+    """Per-(law, size) hierarchy cells plus per-size prime cells, routed."""
+    cells = []
+    for name in _GROWTHS:
+        for n in SWEEP.sizes(profile):
+            mode = route_mode(profile, n)
+            key = _cell_key(f"g={name}", n, mode)
+            params = {"growth": name, "n": n}
+            if mode != "sim":
+                params["mode"] = mode
+                params["model_version"] = analytic.MODEL_VERSION
+            cells.append(
+                Cell(
+                    exp_id="E10",
+                    key=key,
+                    fn=_measure_hierarchy,
+                    params=params,
+                    seed=cell_seed("E10", key),
+                    # Model cells cost O(log n) regardless of g(n); the
+                    # LPT scheduler should treat them as free.
+                    weight=1.0 if mode == "model" else _GROWTHS[name](n),
+                    mode=mode,
+                )
+            )
+    for n in SWEEP.sizes(profile):
+        mode = route_mode(profile, n)
+        key = _cell_key("prime", n, mode)
+        params = {"n": n}
+        if mode != "sim":
+            params["mode"] = mode
+            params["model_version"] = analytic.MODEL_VERSION
+        cells.append(
+            Cell(
+                exp_id="E10",
+                key=key,
+                fn=_measure_prime,
+                params=params,
+                seed=cell_seed("E10", key),
+                weight=1.0 if mode == "model" else n,
+                mode=mode,
+            )
         )
-        for name in _GROWTHS
-        for n in SWEEP.sizes(profile)
-    ]
-    cells.extend(
-        Cell(
-            exp_id="E10",
-            key=f"prime/n={n}",
-            fn=_measure_prime,
-            params={"n": n},
-            seed=cell_seed("E10", f"prime/n={n}"),
-            weight=n,
-        )
-        for n in SWEEP.sizes(profile)
-    )
     return cells
 
 
@@ -139,7 +242,8 @@ def _measured(profile: RunProfile, records: dict, name: str) -> list:
     return [
         record
         for record in (
-            records[f"g={name}/n={n}"] for n in SWEEP.sizes(profile)
+            records[_cell_key(f"g={name}", n, route_mode(profile, n))]
+            for n in SWEEP.sizes(profile)
         )
         if not record["skipped"]
     ]
@@ -161,7 +265,16 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
         claim="with n known the counting phase disappears: L_g costs "
         "Theta(g(n)) down to g(n)=n, and a non-regular language "
         "(prime length) costs exactly n bits",
-        columns=["case", "n", "bits", "unknown-n bits", "ratio", "ok"],
+        columns=[
+            "case",
+            "n",
+            "mode",
+            "bits",
+            "unknown-n bits",
+            "ratio",
+            "verify",
+            "ok",
+        ],
     )
     all_ok = True
     curve_map = curves(profile, records)
@@ -171,13 +284,16 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
         ns, bits = curve_map[name]
         for record in measured:
             all_ok = all_ok and record["ok"]
+            all_ok = all_ok and record.get("verdict", "PASS") == "PASS"
             result.rows.append(
                 {
                     "case": f"L_g[{name}] (n known)",
                     "n": record["n"],
+                    "mode": record.get("mode", "sim"),
                     "bits": record["bits"],
                     "unknown-n bits": "",
                     "ratio": round(record["ratio"], 3),
+                    "verify": record.get("verdict", ""),
                     "ok": record["ok"],
                 }
             )
@@ -192,15 +308,18 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
         )
 
     for n in SWEEP.sizes(profile):
-        record = records[f"prime/n={n}"]
+        record = records[_cell_key("prime", n, route_mode(profile, n))]
         all_ok = all_ok and record["ok"]
+        all_ok = all_ok and record.get("verdict", "PASS") == "PASS"
         result.rows.append(
             {
                 "case": "prime length",
                 "n": record["n"],
+                "mode": record.get("mode", "sim"),
                 "bits": record["known_bits"],
                 "unknown-n bits": record["unknown_bits"],
                 "ratio": round(record["unknown_bits"] / record["known_bits"], 2),
+                "verify": record.get("verdict", ""),
                 "ok": record["ok"],
             }
         )
@@ -213,6 +332,9 @@ def finalize(profile: RunProfile, records: dict) -> ExperimentResult:
             "implies",
         ]
     )
+    calibration = calibration_line(records.values())
+    if calibration is not None:
+        result.conclusions.append(calibration)
     result.passed = all_ok
     return result
 

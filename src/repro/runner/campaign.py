@@ -74,6 +74,34 @@ class CampaignExecution:
         )
 
     @property
+    def model_cell_count(self) -> int:
+        """How many cells took the analytic fast path (no simulator)."""
+        return sum(
+            1
+            for ex in self.executions.values()
+            for outcome in ex.outcomes
+            if outcome.cell.mode == "model"
+        )
+
+    @property
+    def calibration(self) -> "dict[str, int]":
+        """Verify-cell verdict tally across the whole campaign.
+
+        ``{"PASS": ..., "FAIL": ...}`` over every cell whose record
+        carries a bit-for-bit calibration verdict; all zeros for pure
+        sim or pure model campaigns.  Anything but a literal ``"PASS"``
+        counts as FAIL — the model-parity CI job fails closed.
+        """
+        counts = {"PASS": 0, "FAIL": 0}
+        for ex in self.executions.values():
+            for outcome in ex.outcomes:
+                record = outcome.record
+                if isinstance(record, dict) and record.get("mode") == "verify":
+                    verdict = record.get("verdict")
+                    counts["PASS" if verdict == "PASS" else "FAIL"] += 1
+        return counts
+
+    @property
     def utilization(self) -> float:
         """Busy worker-seconds over elapsed capacity (``wall * jobs``).
 

@@ -116,6 +116,7 @@ class RunStore:
             "exp_id": cell.exp_id,
             "key": cell.key,
             "preset": profile.preset,
+            "mode": cell.mode,
             "params": dict(cell.params),
             "seed": cell.seed,
             "config_hash": cell.config_hash(),

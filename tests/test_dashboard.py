@@ -202,7 +202,7 @@ class TestDashboardExports:
             .splitlines()
         )
         plan = get_spec("E8").cells(QUICK)
-        assert lines[0].startswith("exp_id,preset,key,config_hash")
+        assert lines[0].startswith("exp_id,preset,key,mode,config_hash")
         assert len(lines) == 1 + len(plan)
         assert all(line.startswith("E8,quick,") for line in lines[1:])
 
