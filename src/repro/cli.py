@@ -19,6 +19,9 @@ Usage::
     ring-repro E9 E10 --preset long --mode model   # analytic path to n=2^20
     ring-repro E9 E10 --preset long --mode verify  # calibrate vs simulator
     ring-repro all --profile        # per-experiment cost + pool utilization
+    ring-repro all --quick --shard 2/3 --store shard-2  # fleet leg 2 of 3
+    ring-repro ingest shard-1 shard-2 shard-3 --into runs  # merge the fleet
+    ring-repro ingest shard-* --into fleet --strip-seconds # byte-diffable
     python -m repro.cli E9          # equivalent module form
 
 Presets select a sweep variant per experiment: ``quick`` (unit-test
@@ -64,6 +67,24 @@ changed measurement code) — are warned about and deleted by
 deletes nothing; records belonging to other ``--sizes`` overrides are
 never stale and never touched).
 
+``--shard i/N`` turns one run into fleet leg ``i`` of ``N``: the
+campaign's global cell list is partitioned by a stable hash of cell
+identity (:mod:`repro.runner.sharding`), so N machines running the same
+command with ``--shard 1/N .. N/N`` measure disjoint, covering subsets
+into their own stores — campaign throughput scales with machines, not
+cores.  Experiments whose cells all land locally still print their
+tables; the rest stay partial until ``ingest`` merges the fleet.
+
+``ingest SRC... --into DIR`` merges shard stores into one fleet store
+(:mod:`repro.runner.ingest`): identical records (same key and config
+hash) are deduped keeping the older copy, same-key records with
+*differing* hashes are stale-pruned with a listed report (the hash the
+current code reproduces wins), and corrupt source records are skipped
+with a warning.  ``--strip-seconds`` zeroes per-record wall clocks on
+the way in, which is what lets CI byte-diff a merged fleet store — and
+the ``report``/``dashboard`` output rendered from it — against an
+unsharded baseline.
+
 ``dashboard`` renders the store as a static site (``repro.dashboard``):
 ``index.html`` plus one page per experiment with SVG growth curves,
 fitted Θ-envelopes, per-cell wall-clock bars, an LPT campaign timeline,
@@ -101,6 +122,8 @@ from repro.runner import (
     PlanExecution,
     RunStore,
     execute_campaign,
+    ingest_stores,
+    parse_shard,
     report_from_store,
 )
 from repro.runner.store import DEFAULT_STORE_ROOT
@@ -339,6 +362,7 @@ def _run_dashboard(args, profile: RunProfile, store: RunStore) -> int:
     from repro.dashboard import build_dashboard
 
     out_dir = args.out if args.out is not None else "dashboard"
+    fleet = args.fleet if args.fleet is not None else 1
     written = build_dashboard(
         store,
         profile,
@@ -347,6 +371,7 @@ def _run_dashboard(args, profile: RunProfile, store: RunStore) -> int:
         bench_dir=(
             args.bench_dir if args.bench_dir is not None else "benchmarks"
         ),
+        fleet=fleet,
     )
     index = next(path for path in written if path.name == "index.html")
     print(
@@ -359,6 +384,44 @@ def _run_dashboard(args, profile: RunProfile, store: RunStore) -> int:
 
         webbrowser.open(index.resolve().as_uri())
     return 0
+
+
+def _run_ingest(args, sources: "list[str]") -> int:
+    """The ``ingest`` subcommand: merge shard stores into one fleet store.
+
+    Conflict details go to stderr (they are diagnostics, like stale
+    warnings); the one-line outcome summary goes to stdout.
+    """
+    dest = args.into if args.into is not None else DEFAULT_STORE_ROOT
+    report = ingest_stores(
+        sources, dest, strip_seconds=args.strip_seconds
+    )
+    for conflict in report.pruned:
+        print(f"[ingest stale-prune: {conflict.describe()}]", file=sys.stderr)
+    if report.skipped:
+        print(
+            f"[ingest skipped {len(report.skipped)} corrupt source "
+            "record(s); see warnings above]",
+            file=sys.stderr,
+        )
+    print(report.summary())
+    return 0
+
+
+def _shard_summary(campaign: CampaignExecution, store: RunStore) -> str:
+    """The sharded-run outcome: what this leg measured, what remains."""
+    index, total = campaign.shard
+    measured = campaign.cell_count - campaign.cached_count
+    campaign_cells = campaign.cell_count + campaign.sharded_out
+    return (
+        f"[shard {index}/{total}: measured {measured} of {campaign_cells} "
+        f"campaign cell(s) into {store.root} ({campaign.cached_count} from "
+        f"store, {campaign.sharded_out} owned by other shards); "
+        f"{len(campaign.executions)} experiment(s) finalized, "
+        f"{len(campaign.partial)} partial — merge the fleet with "
+        f"'ring-repro ingest SHARD-STORE... --into {DEFAULT_STORE_ROOT}' "
+        "and render with 'ring-repro report --all']"
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -374,9 +437,42 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiments",
         nargs="+",
         help="experiment ids (E1..E12) or 'all'; prefix with 'report' to "
-        "re-render tables from stored cell records without simulating, or "
+        "re-render tables from stored cell records without simulating, "
         "use 'dashboard' to render the static HTML+JSON/CSV site from "
-        "the store",
+        "the store, or 'ingest SRC...' to merge shard stores into one "
+        "fleet store",
+    )
+    parser.add_argument(
+        "--shard",
+        metavar="I/N",
+        default=None,
+        help="run fleet leg I of N: measure only this shard of the "
+        "campaign's cell list (a stable hash of cell identity partitions "
+        "the fleet deterministically) into its own store, for a later "
+        "'ingest' merge; 1-based, so shards are 1/N .. N/N",
+    )
+    parser.add_argument(
+        "--into",
+        metavar="DIR",
+        default=None,
+        help="with ingest: destination fleet store directory "
+        f"(default: {DEFAULT_STORE_ROOT}/)",
+    )
+    parser.add_argument(
+        "--strip-seconds",
+        action="store_true",
+        help="with ingest: zero each merged record's wall clock so two "
+        "stores of the same campaign (e.g. a merged fleet and an "
+        "unsharded baseline) become byte-identical",
+    )
+    parser.add_argument(
+        "--fleet",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with dashboard: annotate each cell's provenance with the "
+        "shard (i/N) that owns it in an N-machine fleet (default: 1, a "
+        "single-machine fleet)",
     )
     parser.add_argument(
         "--quick",
@@ -491,12 +587,18 @@ def main(argv: Sequence[str] | None = None) -> int:
             raise ReproError(
                 f"--jobs needs a positive worker count, got {args.jobs}"
             )
+        if args.fleet is not None and args.fleet < 1:
+            raise ReproError(
+                f"--fleet needs a positive fleet size, got {args.fleet}"
+            )
     except ReproError as error:
         parser.error(str(error))
 
     requested = list(args.experiments)
-    report_mode = bool(requested) and requested[0].lower() == "report"
-    dashboard_mode = bool(requested) and requested[0].lower() == "dashboard"
+    command = requested[0].lower() if requested else ""
+    report_mode = command == "report"
+    dashboard_mode = command == "dashboard"
+    ingest_mode = command == "ingest"
     if args.dry_run and not args.prune_stale:
         parser.error("--dry-run only applies to report --prune-stale")
     if not dashboard_mode:
@@ -504,9 +606,62 @@ def main(argv: Sequence[str] | None = None) -> int:
             (args.open, "--open"),
             (args.out is not None, "--out"),
             (args.bench_dir is not None, "--bench-dir"),
+            (args.fleet is not None, "--fleet"),
         ):
             if flag:
                 parser.error(f"{name} only applies to dashboard mode")
+    if not ingest_mode:
+        for flag, name in (
+            (args.into is not None, "--into"),
+            (args.strip_seconds, "--strip-seconds"),
+        ):
+            if flag:
+                parser.error(f"{name} only applies to ingest mode")
+    shard = None
+    if args.shard is not None:
+        if report_mode or dashboard_mode or ingest_mode:
+            parser.error(
+                f"--shard only applies when running experiments; a "
+                f"{command} reads stores, it does not measure"
+            )
+        if args.no_store:
+            parser.error(
+                "--shard fills a run store for a later ingest merge; "
+                "drop --no-store"
+            )
+        try:
+            shard = parse_shard(args.shard)
+        except ReproError as error:
+            parser.error(str(error))
+    if ingest_mode:
+        sources = requested[1:]
+        if not sources:
+            parser.error(
+                "ingest needs at least one source store directory "
+                "(usage: ring-repro ingest SRC... [--into DIR])"
+            )
+        for flag, name in (
+            (args.no_store, "--no-store"),
+            (args.resume, "--resume"),
+            (args.profile, "--profile"),
+            (args.all, "--all"),
+            (args.refit, "--refit"),
+            (args.prune_stale, "--prune-stale"),
+            (args.quick, "--quick"),
+            (args.preset is not None, "--preset"),
+            (args.sizes is not None, "--sizes"),
+            (args.mode != "sim", "--mode"),
+            (args.jobs != 1, "--jobs"),
+            (args.store != DEFAULT_STORE_ROOT, "--store"),
+        ):
+            if flag:
+                hint = (
+                    " (ingest writes to --into DIR)"
+                    if name == "--store"
+                    else ""
+                )
+                parser.error(f"{name} does not apply to ingest mode{hint}")
+        return _run_ingest(args, sources)
     if report_mode:
         requested = requested[1:]
         if not requested and not args.all:
@@ -541,9 +696,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         ):
             if flag:
                 parser.error(f"{name} only applies to report mode")
-    if any(item.lower() in ("report", "dashboard") for item in requested):
+    if any(
+        item.lower() in ("report", "dashboard", "ingest")
+        for item in requested
+    ):
         parser.error(
-            "'report'/'dashboard' go first: ring-repro report E8 [...]"
+            "'report'/'dashboard'/'ingest' go first: "
+            "ring-repro report E8 [...]"
         )
     if args.resume and args.no_store:
         parser.error("--resume reads and refills the store; drop --no-store")
@@ -586,15 +745,27 @@ def main(argv: Sequence[str] | None = None) -> int:
             print()
             next_to_print += 1
 
+    # A sharded leg renders at the end (finalized experiments only, in
+    # request order): most experiments stay partial, so the streaming
+    # request-order gate would never open past the first partial one.
     campaign = execute_campaign(
         specs,
         profile,
         jobs=args.jobs,
         store=store,
         resume=args.resume,
-        on_result=on_result,
+        on_result=None if shard is not None else on_result,
+        shard=shard,
     )
-    assert next_to_print == len(order), "campaign finalized every experiment"
+    if shard is None:
+        assert next_to_print == len(order), (
+            "campaign finalized every experiment"
+        )
+    else:
+        for exp_id in order:
+            if exp_id in campaign.executions:
+                print(campaign.executions[exp_id].result.render())
+                print()
     if args.profile:
         _print_profile(campaign)
     failures = sum(
@@ -602,6 +773,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         for execution in campaign.executions.values()
         if not execution.result.passed
     )
+    if shard is not None:
+        print(_shard_summary(campaign, store))
+        if failures:
+            print(f"{failures} experiment(s) FAILED", file=sys.stderr)
+            return 1
+        return 0
     if failures:
         print(f"{failures} experiment(s) FAILED", file=sys.stderr)
         return 1

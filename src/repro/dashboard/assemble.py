@@ -25,6 +25,7 @@ from repro.analysis.growth import FitResult, classify_growth
 from repro.errors import ReproError
 from repro.experiments import ALL_SPECS, ExperimentResult, RunProfile
 from repro.experiments.base import ExperimentSpec
+from repro.runner.sharding import shard_index
 from repro.runner.store import RunStore
 
 __all__ = [
@@ -51,6 +52,7 @@ class CellView:
     path: str  # store-root-relative, POSIX separators
     mode: str = "sim"
     verify: str = ""  # calibration verdict ("PASS"/"FAIL"); "" otherwise
+    shard: str = "1/1"  # fleet shard owning this cell under --fleet N
 
 
 @dataclass(frozen=True)
@@ -142,6 +144,7 @@ class CampaignView:
     sizes: "tuple | None"
     store_root: str
     experiments: "list[ExperimentView]" = field(default_factory=list)
+    fleet: int = 1  # fleet size the per-cell shard column is derived for
 
     @property
     def stored_cells(self) -> int:
@@ -177,6 +180,7 @@ def _assemble_experiment(
     hits: dict,
     store: RunStore,
     profile: RunProfile,
+    fleet: int = 1,
 ) -> ExperimentView:
     view = ExperimentView(exp_id=spec.exp_id, title=spec.title or spec.exp_id)
     records: dict = {}
@@ -197,6 +201,15 @@ def _assemble_experiment(
                 path=_relative(store.path_for(cell, profile), store.root),
                 mode=cell.mode,
                 verify=str(record.get("verdict", "")),
+                # Derived, not recorded: the fleet partition is a pure
+                # function of cell identity, so "which shard owns this
+                # cell under --shard i/N" is answerable from the store
+                # alone — and identically for a merged fleet store and
+                # an unsharded baseline (byte-identical exports).
+                shard=(
+                    f"{shard_index(cell.exp_id, cell.key, fleet) + 1}"
+                    f"/{fleet}"
+                ),
             )
         )
     view.stale = [
@@ -224,15 +237,20 @@ def assemble(
     store: RunStore,
     profile: "bool | RunProfile" = False,
     specs: "Sequence[ExperimentSpec] | None" = None,
+    fleet: int = 1,
 ) -> CampaignView:
     """Build every experiment's view from the store.
 
     Record loads go through one
     :meth:`~repro.runner.store.RunStore.load_campaign` batch (the same
     one-walk skip-set the campaign's ``--resume`` uses); the only other
-    store reads are the per-experiment stale scans.
+    store reads are the per-experiment stale scans.  ``fleet`` sets the
+    fleet size the per-cell shard provenance column is derived for
+    (``--shard i/N`` partition membership; 1 = single machine).
     """
     profile = RunProfile.coerce(profile)
+    if fleet < 1:
+        raise ReproError(f"fleet size must be positive, got {fleet}")
     if specs is None:
         specs = list(ALL_SPECS.values())
     plans: dict = {}
@@ -250,6 +268,7 @@ def assemble(
         preset=profile.preset,
         sizes=profile.sizes,
         store_root=str(store.root),
+        fleet=fleet,
     )
     for spec in specs:
         if spec.exp_id in errors:
@@ -266,6 +285,7 @@ def assemble(
                     loaded[spec.exp_id],
                     store,
                     profile,
+                    fleet=fleet,
                 )
             )
     return view

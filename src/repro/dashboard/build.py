@@ -96,13 +96,22 @@ def _fits_table(view: ExperimentView) -> str:
 
 
 def _provenance_table(view: ExperimentView) -> str:
-    columns = ["cell", "mode", "config hash", "seconds", "verify", "store file"]
+    columns = [
+        "cell",
+        "mode",
+        "config hash",
+        "seconds",
+        "shard",
+        "verify",
+        "store file",
+    ]
     rows = [
         [
             cell.key,
             cell.mode,
             cell.config_hash,
             f"{cell.seconds:.6f}",
+            cell.shard,
             cell.verify,
             cell.path,
         ]
@@ -366,17 +375,20 @@ def build_dashboard(
     out_dir: "str | os.PathLike" = DEFAULT_OUT,
     timeline_jobs: int = 4,
     bench_dir: "str | os.PathLike" = "benchmarks",
+    fleet: int = 1,
 ) -> "list[Path]":
     """Render the full dashboard; returns the written paths (sorted).
 
     Reads the run store (and ``bench_dir``'s ``BENCH_*.json``) only —
     zero simulation — and always succeeds on an empty store, rendering
     honest "no data" pages, so it is safe to point at anything.
+    ``fleet`` sets the fleet size the per-cell shard provenance column
+    is derived for (``--shard i/N`` membership; 1 = single machine).
     """
     if not isinstance(store, RunStore):
         store = RunStore(store)
     profile = RunProfile.coerce(profile)
-    campaign = assemble(store, profile)
+    campaign = assemble(store, profile, fleet=fleet)
 
     files: dict[str, str] = {
         "style.css": STYLE_CSS,

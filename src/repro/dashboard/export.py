@@ -35,7 +35,10 @@ __all__ = [
     "dump_json",
 ]
 
-CAMPAIGN_SCHEMA = 1
+# v2: per-cell "shard" provenance (fleet partition membership, derived
+# from cell identity for the campaign's "fleet" size) in campaign.json
+# and the cells CSVs.
+CAMPAIGN_SCHEMA = 2
 
 CELL_CSV_COLUMNS = (
     "exp_id",
@@ -45,6 +48,7 @@ CELL_CSV_COLUMNS = (
     "config_hash",
     "seconds",
     "weight",
+    "shard",
     "verify",
     "params",
     "path",
@@ -70,6 +74,7 @@ def _experiment_payload(view: ExperimentView) -> dict:
                 "params": cell.params,
                 "seconds": cell.seconds,
                 "weight": cell.weight,
+                "shard": cell.shard,
                 "verify": cell.verify,
                 "path": cell.path,
             }
@@ -103,6 +108,7 @@ def campaign_payload(campaign: CampaignView) -> dict:
         "preset": campaign.preset,
         "sizes": list(campaign.sizes) if campaign.sizes else None,
         "store": campaign.store_root,
+        "fleet": campaign.fleet,
         "experiments": {
             view.exp_id: _experiment_payload(view)
             for view in campaign.experiments
@@ -138,6 +144,7 @@ def cells_csv(view: ExperimentView, preset: str) -> str:
             "config_hash": cell.config_hash,
             "seconds": cell.seconds,
             "weight": cell.weight,
+            "shard": cell.shard,
             "verify": cell.verify,
             "params": json.dumps(
                 cell.params, sort_keys=True, separators=(",", ":")

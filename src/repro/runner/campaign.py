@@ -33,11 +33,31 @@ from typing import Callable, Sequence
 from repro.errors import ReproError
 from repro.experiments.base import Cell, ExperimentSpec, RunProfile
 from repro.runner.executor import CellOutcome, PlanExecution, _timed_run_cell
+from repro.runner.sharding import owns
 from repro.runner.store import RunStore
 
-__all__ = ["CampaignExecution", "execute_campaign"]
+__all__ = ["CampaignExecution", "PartialExecution", "execute_campaign"]
 
 ResultCallback = Callable[[str, PlanExecution], None]
+
+
+@dataclass(frozen=True)
+class PartialExecution:
+    """A sharded campaign's leftovers for one unfinalized experiment.
+
+    Under ``--shard i/N`` most experiments land only the cells this
+    shard owns (plus any store hits), so they cannot finalize; their
+    landed outcomes are still accounted here — the shard summary and
+    ``--profile`` totals stay honest — and the experiment renders after
+    ``ring-repro ingest`` merges the fleet's stores.
+    """
+
+    outcomes: "list[CellOutcome]" = field(default_factory=list)
+    planned: int = 0
+
+    @property
+    def landed(self) -> int:
+        return len(self.outcomes)
 
 
 @dataclass
@@ -49,27 +69,41 @@ class CampaignExecution:
     from campaign start to that experiment's finalize — under a shared
     pool an experiment has no exclusive wall clock of its own, so its
     measured cost is ``cell_seconds`` as before.
+
+    Under ``--shard i/N`` only experiments whose every cell landed (from
+    this shard's measurements plus store hits) appear in ``executions``;
+    the rest are in ``partial``, and ``sharded_out`` counts the cells
+    deterministically left to the other shards.  Unsharded campaigns
+    always finalize everything: ``partial`` is empty, ``sharded_out`` 0.
     """
 
     executions: dict[str, PlanExecution] = field(default_factory=dict)
     wall_seconds: float = 0.0
     jobs: int = 1
+    shard: "tuple[int, int] | None" = None
+    partial: "dict[str, PartialExecution]" = field(default_factory=dict)
+    sharded_out: int = 0
+
+    def _outcomes(self):
+        for ex in self.executions.values():
+            yield from ex.outcomes
+        for part in self.partial.values():
+            yield from part.outcomes
 
     @property
     def cell_count(self) -> int:
-        return sum(len(ex.outcomes) for ex in self.executions.values())
+        return sum(1 for _ in self._outcomes())
 
     @property
     def cached_count(self) -> int:
-        return sum(ex.cached_count for ex in self.executions.values())
+        return sum(1 for outcome in self._outcomes() if outcome.cached)
 
     @property
     def busy_seconds(self) -> float:
         """Worker-seconds spent actually measuring (store hits excluded)."""
         return sum(
             outcome.seconds
-            for ex in self.executions.values()
-            for outcome in ex.outcomes
+            for outcome in self._outcomes()
             if not outcome.cached
         )
 
@@ -77,10 +111,7 @@ class CampaignExecution:
     def model_cell_count(self) -> int:
         """How many cells took the analytic fast path (no simulator)."""
         return sum(
-            1
-            for ex in self.executions.values()
-            for outcome in ex.outcomes
-            if outcome.cell.mode == "model"
+            1 for outcome in self._outcomes() if outcome.cell.mode == "model"
         )
 
     @property
@@ -93,12 +124,11 @@ class CampaignExecution:
         counts as FAIL — the model-parity CI job fails closed.
         """
         counts = {"PASS": 0, "FAIL": 0}
-        for ex in self.executions.values():
-            for outcome in ex.outcomes:
-                record = outcome.record
-                if isinstance(record, dict) and record.get("mode") == "verify":
-                    verdict = record.get("verdict")
-                    counts["PASS" if verdict == "PASS" else "FAIL"] += 1
+        for outcome in self._outcomes():
+            record = outcome.record
+            if isinstance(record, dict) and record.get("mode") == "verify":
+                verdict = record.get("verdict")
+                counts["PASS" if verdict == "PASS" else "FAIL"] += 1
         return counts
 
     @property
@@ -132,6 +162,7 @@ def execute_campaign(
     store: RunStore | None = None,
     resume: bool = False,
     on_result: ResultCallback | None = None,
+    shard: "tuple[int, int] | None" = None,
 ) -> CampaignExecution:
     """Run many experiments as one shared-pool campaign.
 
@@ -144,12 +175,26 @@ def execute_campaign(
     completion order, not requested order — so callers can stream
     results; ``executions`` in the returned value is requested order.
 
+    ``shard`` — the CLI's ``--shard i/N`` as a 1-based ``(index,
+    total)`` — restricts *measurement* to the cells this shard owns
+    under the fleet partition (:func:`repro.runner.sharding.owns`, a
+    stable hash of cell identity, so every shard of a fleet agrees on
+    the split regardless of request order or ``jobs``).  Store hits
+    still satisfy any cell; experiments left incomplete end up in
+    ``CampaignExecution.partial`` instead of finalizing.
+
     Failure semantics match :func:`~repro.runner.executor.execute_plan`:
     serial runs raise at the failing cell, pooled runs drain every
     sibling (persisting them) before re-raising the first failure.
     """
     if jobs < 1:
         raise ReproError(f"--jobs needs a positive worker count, got {jobs}")
+    if shard is not None:
+        index, total = shard
+        if not 1 <= index <= total:
+            raise ReproError(
+                f"shard index {index} is outside the fleet 1..{total}"
+            )
     profile = RunProfile.coerce(profile)
     started = time.perf_counter()
 
@@ -162,7 +207,7 @@ def execute_campaign(
             )
         states[spec.exp_id] = _ExperimentState(spec, spec.cells(profile))
 
-    campaign = CampaignExecution(jobs=jobs)
+    campaign = CampaignExecution(jobs=jobs, shard=shard)
 
     def finalize_if_done(state: _ExperimentState) -> None:
         if not state.done:
@@ -204,6 +249,14 @@ def execute_campaign(
                 )
             else:
                 pending.append((state, cell))
+
+    # The fleet partition: cells owned by other shards are simply not
+    # measured here.  Applied after the store skip-set, so a record any
+    # shard already persisted still satisfies its cell everywhere.
+    if shard is not None:
+        owned = [item for item in pending if owns(shard, item[1])]
+        campaign.sharded_out = len(pending) - len(owned)
+        pending = owned
 
     def finish(state: _ExperimentState, cell: Cell, record, seconds) -> None:
         state.outcomes[cell.key] = CellOutcome(cell, record, seconds)
@@ -251,9 +304,28 @@ def execute_campaign(
             finish(state, cell, record, seconds)
 
     # Completion order fed on_result; the returned mapping is requested
-    # order, which is what render loops and tests index by.
+    # order, which is what render loops and tests index by.  A sharded
+    # campaign leaves other shards' cells unmeasured, so experiments
+    # that could not finalize land in ``partial`` (requested order too).
     campaign.executions = {
-        spec.exp_id: campaign.executions[spec.exp_id] for spec in specs
+        spec.exp_id: campaign.executions[spec.exp_id]
+        for spec in specs
+        if spec.exp_id in campaign.executions
     }
+    campaign.partial = {
+        exp_id: PartialExecution(
+            outcomes=[
+                state.outcomes[cell.key]
+                for cell in state.cells
+                if cell.key in state.outcomes
+            ],
+            planned=len(state.cells),
+        )
+        for exp_id, state in states.items()
+        if not state.done
+    }
+    assert shard is not None or not campaign.partial, (
+        "an unsharded campaign finalizes every experiment"
+    )
     campaign.wall_seconds = time.perf_counter() - started
     return campaign

@@ -23,6 +23,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.errors import ReproError
 from repro.experiments.base import (
     Cell,
     ExperimentResult,
@@ -83,12 +84,20 @@ def execute_plan(
     jobs: int = 1,
     store: RunStore | None = None,
     resume: bool = False,
+    shard: "tuple[int, int] | None" = None,
 ) -> PlanExecution:
     """Run one experiment's plan and finalize its result.
 
     ``store`` persists every freshly measured cell; with ``resume`` the
     store is also consulted first and matching records skip measurement.
     ``jobs > 1`` fans the remaining cells out to worker processes.
+    ``shard`` (a 1-based ``(index, total)``) measures only this shard's
+    cells of the fleet partition; everything measured is persisted, but
+    if that leaves the plan incomplete there is no result to finalize,
+    so this single-experiment API raises — merge the fleet's stores with
+    ``ring-repro ingest`` and render via ``report`` (or drive partial
+    fills through :func:`~repro.runner.campaign.execute_campaign`,
+    which returns them as ``partial``).
 
     A plan run is a one-experiment campaign: the scheduling, streaming
     store writes, and failure semantics all live in
@@ -100,8 +109,16 @@ def execute_plan(
     from repro.runner.campaign import execute_campaign
 
     campaign = execute_campaign(
-        [spec], profile, jobs=jobs, store=store, resume=resume
+        [spec], profile, jobs=jobs, store=store, resume=resume, shard=shard
     )
+    if spec.exp_id not in campaign.executions:
+        part = campaign.partial[spec.exp_id]
+        raise ReproError(
+            f"shard {shard[0]}/{shard[1]} landed {part.landed} of "
+            f"{part.planned} {spec.exp_id} cells (every measured record "
+            "is persisted); merge the fleet's stores with 'ring-repro "
+            "ingest' and render with 'ring-repro report'"
+        )
     return campaign.executions[spec.exp_id]
 
 

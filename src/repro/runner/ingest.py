@@ -1,0 +1,230 @@
+"""Merge shard stores into one fleet store, with explicit conflict rules.
+
+``ring-repro ingest SRC... --into DIR`` is the second half of fleet
+sharding (:mod:`repro.runner.sharding`): after N machines fill N
+``runs/`` copies with ``--shard i/N``, ingest folds them into a single
+store that ``report``/``dashboard`` render exactly as if one machine
+had measured everything.
+
+Conflict rules, applied per record identity ``(exp_id, preset, key)``:
+
+* **same key, same config hash** — the records are the same measurement
+  (cell results are pure functions of identity; only wall clock can
+  differ).  Ingest *dedupes, keeping the older record*: the one already
+  in the destination, else the one from the earliest-listed source.
+* **same key, differing config hash** — at most one of them can be
+  loaded by any single code version, so this is a *stale* conflict.
+  Ingest keeps the record the **current** measurement code would load
+  (the config hash the current cell plans reproduce) and prunes the
+  other, listing every pruned record in the report; when neither hash
+  matches current code (e.g. two generations of ``--sizes`` overrides),
+  the older record wins, same as the dedupe rule.
+* **corrupt source records** — unparseable JSON, missing identity
+  fields — are skipped with a :class:`RuntimeWarning` naming the file
+  and the defect; one truncated shard upload never poisons the merge.
+
+Mode boundaries are never crossed: ``sim``-, ``model``- and
+``verify``-backed records of the same measurement carry the mode in
+their cell *key* (``.../mode=model``), so they have distinct identities
+here and coexist in the merged store just as they do in a single-machine
+one.
+
+``strip_seconds`` zeroes the per-record wall clock on the way in.  Cell
+*records* are deterministic but wall clocks are not; stripping them (on
+every store being compared) is what lets CI byte-diff a merged fleet
+store — and the reports and dashboards rendered from it — against an
+unsharded baseline.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.experiments.base import MODES, RunProfile
+from repro.runner.store import RunStore, read_record_payload
+
+__all__ = ["IngestConflict", "IngestReport", "ingest_stores"]
+
+
+@dataclass(frozen=True)
+class IngestConflict:
+    """One stale-prune decision: same record key, differing config hash."""
+
+    exp_id: str
+    preset: str
+    key: str
+    kept_hash: str
+    dropped_hash: str
+    dropped_from: str  # source file the losing record came from
+    reason: str  # "superseded by current code" | "older record wins"
+
+    def describe(self) -> str:
+        return (
+            f"{self.exp_id}/{self.preset}/{self.key}: kept {self.kept_hash}, "
+            f"dropped {self.dropped_hash} from {self.dropped_from} "
+            f"({self.reason})"
+        )
+
+
+@dataclass
+class IngestReport:
+    """Everything one ingest did, for the CLI to print and tests to check."""
+
+    dest: Path
+    ingested: "list[Path]" = field(default_factory=list)  # dest files written
+    deduped: "list[Path]" = field(default_factory=list)  # identical dupes
+    pruned: "list[IngestConflict]" = field(default_factory=list)
+    skipped: "list[tuple[Path, str]]" = field(default_factory=list)  # corrupt
+
+    def summary(self) -> str:
+        return (
+            f"ingested {len(self.ingested)} record(s) into {self.dest} "
+            f"({len(self.deduped)} duplicate(s) deduped, "
+            f"{len(self.pruned)} stale record(s) pruned, "
+            f"{len(self.skipped)} corrupt record(s) skipped)"
+        )
+
+
+def _expected_hashes(preset: str) -> "dict[tuple[str, str], str]":
+    """What the *current* code would store: ``(exp_id, key) -> hash``.
+
+    Planning every experiment under every mode is cheap (key/param
+    generation only, no measurement) and gives the stale-prune rule its
+    arbiter: a conflicting record whose hash the current plans reproduce
+    is loadable today; its rival is not.  Unknown presets (a foreign
+    store) plan nothing — the conflict then falls back to older-wins.
+    """
+    expected: "dict[tuple[str, str], str]" = {}
+    # Imported here: repro.experiments pulls in every experiment module,
+    # which the runner package otherwise never needs at import time.
+    from repro.experiments import ALL_SPECS
+
+    for mode in MODES:
+        try:
+            profile = RunProfile(preset=preset, mode=mode)
+        except ReproError:
+            return {}
+        for spec in ALL_SPECS.values():
+            for cell in spec.cells(profile):
+                expected[(cell.exp_id, cell.key)] = cell.config_hash()
+    return expected
+
+
+def ingest_stores(
+    sources: "Sequence[str | Path]",
+    dest: "str | Path",
+    strip_seconds: bool = False,
+) -> IngestReport:
+    """Merge every source store into ``dest`` under the conflict rules.
+
+    Sources are processed in listed order, each store's files in sorted
+    path order, with the destination's existing records pre-seeded as
+    the oldest generation — so "keep the older record" is deterministic
+    and independent of filesystem timestamps.  Records are re-serialized
+    canonically on write; with ``strip_seconds`` their wall clocks are
+    zeroed first.  Missing source directories are an error (a fleet leg
+    that uploaded nothing should fail loudly, not merge silently).
+    """
+    report = IngestReport(dest=Path(dest))
+    dest_store = RunStore(dest)
+    for src in sources:
+        if not Path(src).is_dir():
+            raise ReproError(
+                f"ingest source {src} is not a directory; every shard "
+                "store must exist (did a fleet leg fail to upload?)"
+            )
+    # (exp_id, preset, key) -> (config_hash, dest path currently holding it)
+    seen: "dict[tuple[str, str, str], tuple[str, Path]]" = {}
+    expected_cache: "dict[str, dict[tuple[str, str], str]]" = {}
+
+    def expected_for(preset: str) -> "dict[tuple[str, str], str]":
+        if preset not in expected_cache:
+            expected_cache[preset] = _expected_hashes(preset)
+        return expected_cache[preset]
+
+    def consider(payload: dict, src_path: Path, in_dest: bool) -> None:
+        identity = (payload["exp_id"], payload["preset"], payload["key"])
+        incoming_hash = str(payload["config_hash"])
+        if strip_seconds:
+            payload = {**payload, "seconds": 0.0}
+        held = seen.get(identity)
+        if held is None:
+            if in_dest and not strip_seconds:
+                kept_path = src_path  # already in place, byte-canonical
+            else:
+                kept_path = dest_store.write_payload(payload)
+                if not in_dest:
+                    report.ingested.append(kept_path)
+            seen[identity] = (incoming_hash, kept_path)
+            return
+        held_hash, held_path = held
+        if held_hash == incoming_hash:
+            # Same measurement twice (overlapping fleets, a re-run).
+            # The older record — the one already merged — wins.
+            report.deduped.append(src_path)
+            return
+        # Differing hashes: a stale conflict.  Keep whichever record
+        # the current code can still load; tie (neither) -> older wins.
+        current = expected_for(payload["preset"]).get(
+            (payload["exp_id"], payload["key"])
+        )
+        if incoming_hash == current:
+            held_path.unlink(missing_ok=True)
+            kept_path = dest_store.write_payload(payload)
+            if not in_dest:
+                report.ingested.append(kept_path)
+            seen[identity] = (incoming_hash, kept_path)
+            report.pruned.append(
+                IngestConflict(
+                    exp_id=payload["exp_id"],
+                    preset=payload["preset"],
+                    key=payload["key"],
+                    kept_hash=incoming_hash,
+                    dropped_hash=held_hash,
+                    dropped_from=str(held_path),
+                    reason="superseded by current code",
+                )
+            )
+            return
+        if in_dest:
+            # A pre-existing stale record inside the destination itself:
+            # losing the conflict means it leaves the merged store too.
+            src_path.unlink(missing_ok=True)
+        report.pruned.append(
+            IngestConflict(
+                exp_id=payload["exp_id"],
+                preset=payload["preset"],
+                key=payload["key"],
+                kept_hash=held_hash,
+                dropped_hash=incoming_hash,
+                dropped_from=str(src_path),
+                reason=(
+                    "superseded by current code"
+                    if held_hash == current
+                    else "older record wins"
+                ),
+            )
+        )
+
+    def walk(store: RunStore, in_dest: bool) -> None:
+        for path in sorted(store.existing_files()):
+            try:
+                payload = read_record_payload(path)
+            except ReproError as error:
+                warnings.warn(
+                    f"ingest: skipping corrupt record {path} ({error})",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                report.skipped.append((path, str(error)))
+                continue
+            consider(payload, path, in_dest)
+
+    walk(dest_store, in_dest=True)
+    for src in sources:
+        walk(RunStore(src), in_dest=False)
+    return report

@@ -1,0 +1,91 @@
+"""Deterministic fleet sharding: split one campaign across N stores.
+
+``--shard i/N`` lets N machines (or CI matrix legs) run the *same*
+campaign command and measure disjoint, covering subsets of its global
+cell list into their own ``runs/`` copies, to be merged later by
+``ring-repro ingest``.  The partition is a pure function of cell
+*identity* — a stable hash of ``(exp_id, key)`` — so it does not depend
+on request order, ``--jobs``, the preset's plan order, or anything else
+a worker could disagree about:
+
+* **disjoint** — every cell hashes to exactly one shard index;
+* **exhaustive** — the shard indexes ``1..N`` cover every cell;
+* **stable** — the same cell lands on the same shard in every process,
+  on every machine, for a fixed ``N`` (and its assignment is
+  independent of which other cells the campaign happens to plan).
+
+The hash is :mod:`hashlib` SHA-256, not :func:`hash` — Python salts
+string hashing per process (``PYTHONHASHSEED``), which is exactly the
+instability a fleet cannot tolerate.
+
+``parse_shard`` is the CLI's validator for the ``i/N`` spelling: shard
+indexes are 1-based (``1/N .. N/N``), so ``0/N``, ``i > N``, and
+non-integer forms are rejected with a message naming the rule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+
+from repro.errors import ReproError
+from repro.experiments.base import Cell
+
+__all__ = ["parse_shard", "shard_index", "owns"]
+
+_SHARD_RE = re.compile(r"(\d+)\s*/\s*(\d+)")
+
+
+def parse_shard(text: str) -> "tuple[int, int]":
+    """Parse a ``--shard`` value: ``i/N`` with ``1 <= i <= N``.
+
+    Returns ``(index, total)`` with a 1-based ``index``.  Every
+    malformed spelling gets a specific error: non-integer pieces,
+    ``0/N`` (indexes are 1-based), ``i > N`` (no such shard), and a
+    zero-size fleet.
+    """
+    match = _SHARD_RE.fullmatch(text.strip())
+    if not match:
+        raise ReproError(
+            f"--shard expects i/N with two positive integers (e.g. 2/3), "
+            f"got {text!r}"
+        )
+    index, total = int(match.group(1)), int(match.group(2))
+    if total < 1:
+        raise ReproError(
+            f"--shard needs a fleet of at least one shard, got N={total}"
+        )
+    if index < 1:
+        raise ReproError(
+            f"--shard indexes are 1-based: the first shard is 1/{total}, "
+            f"got {index}/{total}"
+        )
+    if index > total:
+        raise ReproError(
+            f"--shard index {index} exceeds the fleet size {total} "
+            f"(valid shards: 1/{total} .. {total}/{total})"
+        )
+    return index, total
+
+
+def shard_index(exp_id: str, key: str, total: int) -> int:
+    """Which shard (0-based) owns the cell ``(exp_id, key)`` in a fleet
+    of ``total``.
+
+    A stable content hash of the cell's identity, reduced mod ``total``.
+    Deliberately *not* a function of the cell's params, weight, mode
+    routing, or plan position: two fleets launched with different
+    request orders or job counts partition identically, and a cell keeps
+    its shard even if its measurement code (and hence config hash)
+    changes.
+    """
+    if total < 1:
+        raise ReproError(f"shard fleets need at least one shard, got {total}")
+    digest = hashlib.sha256(f"shard:{exp_id}:{key}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") % total
+
+
+def owns(shard: "tuple[int, int]", cell: Cell) -> bool:
+    """Whether the 1-based ``(index, total)`` shard measures this cell."""
+    index, total = shard
+    return shard_index(cell.exp_id, cell.key, total) == index - 1

@@ -28,7 +28,12 @@ from typing import Mapping
 from repro.errors import ReproError
 from repro.experiments.base import Cell, RunProfile
 
-__all__ = ["RunStore", "StoredCell", "DEFAULT_STORE_ROOT"]
+__all__ = [
+    "RunStore",
+    "StoredCell",
+    "DEFAULT_STORE_ROOT",
+    "read_record_payload",
+]
 
 DEFAULT_STORE_ROOT = "runs"
 
@@ -51,6 +56,38 @@ class StoredCell:
 
     record: dict
     seconds: float
+
+
+def read_record_payload(path: "str | os.PathLike") -> dict:
+    """Parse one record file into its full payload, or raise naming why.
+
+    This is the store-to-store primitive (``ring-repro ingest`` walks
+    *source* stores with it): unlike :meth:`RunStore.load`, there is no
+    planned cell to validate against, so it checks the payload's own
+    integrity — parseable JSON, the identity fields
+    (``exp_id``/``key``/``preset``/``config_hash``) present as
+    non-empty strings, a ``record``, and a numeric ``seconds``.  Raises
+    :class:`ReproError` with the specific defect; callers decide
+    whether that is fatal (a report) or a skip-with-warning (ingest).
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        raise ReproError(f"unreadable record ({error})") from None
+    if not isinstance(payload, dict):
+        raise ReproError("record payload is not a JSON object")
+    for field_name in ("exp_id", "key", "preset", "config_hash"):
+        value = payload.get(field_name)
+        if not isinstance(value, str) or not value:
+            raise ReproError(f"record is missing its {field_name!r} field")
+    if "record" not in payload:
+        raise ReproError("record payload has no 'record' body")
+    try:
+        float(payload.get("seconds", 0.0))
+    except (TypeError, ValueError):
+        raise ReproError("record 'seconds' is not a number") from None
+    return payload
 
 
 class RunStore:
@@ -128,6 +165,41 @@ class RunStore:
         tmp = path.with_suffix(f".json.{os.getpid()}.tmp")
         tmp.write_text(
             json.dumps(payload, sort_keys=True, indent=1), encoding="utf-8"
+        )
+        os.replace(tmp, path)
+        return path
+
+    def payload_path(self, payload: Mapping) -> Path:
+        """Where a full record payload lives under this root.
+
+        The payload addresses itself: ``exp_id``/``preset`` pick the
+        directory and ``key``/``config_hash`` the filename — the same
+        layout :meth:`path_for` derives from a planned cell, so a
+        payload copied between stores lands exactly where the
+        destination's own ``save`` would have put it.
+        """
+        return (
+            self.root
+            / str(payload["exp_id"])
+            / str(payload["preset"])
+            / f"{_safe_key(str(payload['key']))}__{payload['config_hash']}.json"
+        )
+
+    def write_payload(self, payload: Mapping) -> Path:
+        """Persist a full record payload verbatim (atomic, canonical).
+
+        The ingest primitive: re-serializes through the same canonical
+        ``json.dumps`` as :meth:`save`, so a record that crossed
+        machines byte-shifted (different indent, key order) is
+        normalized back to the exact bytes a local run would have
+        written.
+        """
+        path = self.payload_path(payload)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".json.{os.getpid()}.tmp")
+        tmp.write_text(
+            json.dumps(dict(payload), sort_keys=True, indent=1),
+            encoding="utf-8",
         )
         os.replace(tmp, path)
         return path

@@ -286,6 +286,76 @@ class TestDashboardCLI:
         assert payload["experiments"]["E1"]["complete"] is False
 
 
+class TestFleetProvenance:
+    """The derived per-cell shard column (``--fleet N``): computed from
+    cell identity at render time, never recorded — which is what keeps a
+    merged fleet store's exports byte-identical to an unsharded one."""
+
+    def test_default_fleet_is_single_machine(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        _populate(store, ("E8",))
+        build_dashboard(store, QUICK, tmp_path / "site")
+        payload = json.loads(
+            (tmp_path / "site" / "campaign.json").read_text()
+        )
+        assert payload["fleet"] == 1
+        for cell in payload["experiments"]["E8"]["cells"]:
+            assert cell["shard"] == "1/1"
+
+    def test_shard_column_matches_the_partition(self, tmp_path):
+        from repro.runner import shard_index
+
+        store = RunStore(tmp_path / "runs")
+        _populate(store, ("E8", "E9"))
+        code = main(
+            [
+                "dashboard",
+                "--quick",
+                "--store",
+                str(store.root),
+                "--out",
+                str(tmp_path / "site"),
+                "--fleet",
+                "3",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(
+            (tmp_path / "site" / "campaign.json").read_text()
+        )
+        assert payload["fleet"] == 3
+        for exp_id in ("E8", "E9"):
+            for cell in payload["experiments"][exp_id]["cells"]:
+                expected = shard_index(exp_id, cell["key"], 3) + 1
+                assert cell["shard"] == f"{expected}/3"
+        csv_head = (
+            (tmp_path / "site" / "E8.cells.csv")
+            .read_text()
+            .splitlines()[0]
+        )
+        assert "shard" in csv_head.split(",")
+        html = (tmp_path / "site" / "E8.html").read_text()
+        assert "<th>shard</th>" in html
+
+    def test_fleet_flag_validation(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["E8", "--quick", "--fleet", "3", "--no-store"])
+        assert excinfo.value.code == 2
+        assert "--fleet" in capsys.readouterr().err
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "dashboard",
+                    "--fleet",
+                    "0",
+                    "--store",
+                    str(tmp_path / "runs"),
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "positive fleet size" in capsys.readouterr().err
+
+
 class TestSpecTitles:
     def test_every_spec_declares_its_title(self):
         for exp_id, spec in ALL_SPECS.items():

@@ -186,6 +186,79 @@ class TestCLIParsing:
         assert preset_output == quick_output
 
 
+class TestShardFlagValidation:
+    """--shard/ingest argument hygiene: every bad spelling is a clean
+    argparse usage error (exit 2 + a message naming the rule), never a
+    traceback or a silent misfill of somebody else's shard."""
+
+    @pytest.mark.parametrize(
+        "spelling, message",
+        [
+            ("0/3", "1-based"),
+            ("4/3", "exceeds the fleet size"),
+            ("x/3", "two positive integers"),
+            ("1/0", "at least one shard"),
+            ("1.5/3", "two positive integers"),
+        ],
+    )
+    def test_cli_bad_shard_is_clean_usage_error(
+        self, capsys, spelling, message
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["E9", "--quick", "--shard", spelling])
+        assert excinfo.value.code == 2
+        assert message in capsys.readouterr().err
+
+    def test_parse_shard_roundtrip(self):
+        from repro.runner import parse_shard
+
+        assert parse_shard("1/1") == (1, 1)
+        assert parse_shard("3/3") == (3, 3)
+        with pytest.raises(ReproError):
+            parse_shard("2/")
+
+    def test_cli_shard_conflicts_with_no_store(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["E9", "--quick", "--shard", "1/3", "--no-store"])
+        assert excinfo.value.code == 2
+        assert "--no-store" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", ["report", "dashboard"])
+    def test_cli_shard_rejected_in_read_only_modes(self, capsys, command):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "--quick", "--shard", "1/3"])
+        assert excinfo.value.code == 2
+        assert "does not measure" in capsys.readouterr().err
+
+    def test_cli_ingest_needs_sources(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["ingest"])
+        assert excinfo.value.code == 2
+        assert "at least one source" in capsys.readouterr().err
+
+    def test_cli_ingest_rejects_run_flags(self, tmp_path, capsys):
+        (tmp_path / "src").mkdir()
+        for extra, message in (
+            (["--jobs", "2"], "--jobs"),
+            (["--store", str(tmp_path / "other")], "--into DIR"),
+            (["--quick"], "--quick"),
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["ingest", str(tmp_path / "src"), *extra])
+            assert excinfo.value.code == 2
+            assert message in capsys.readouterr().err
+
+    def test_cli_into_and_strip_seconds_are_ingest_only(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["E9", "--quick", "--into", "dir"])
+        assert excinfo.value.code == 2
+        assert "--into" in capsys.readouterr().err
+        with pytest.raises(SystemExit) as excinfo:
+            main(["report", "E9", "--quick", "--strip-seconds"])
+        assert excinfo.value.code == 2
+        assert "--strip-seconds" in capsys.readouterr().err
+
+
 class TestDocs:
     def test_readme_mentions_every_experiment(self):
         """The CI docs check, enforced locally: README.md is the front door
