@@ -68,12 +68,17 @@ deletes nothing; records belonging to other ``--sizes`` overrides are
 never stale and never touched).
 
 ``--shard i/N`` turns one run into fleet leg ``i`` of ``N``: the
-campaign's global cell list is partitioned by a stable hash of cell
-identity (:mod:`repro.runner.sharding`), so N machines running the same
+campaign's global cell list is partitioned deterministically
+(:mod:`repro.runner.sharding`), so N machines running the same
 command with ``--shard 1/N .. N/N`` measure disjoint, covering subsets
 into their own stores — campaign throughput scales with machines, not
-cores.  Experiments whose cells all land locally still print their
-tables; the rest stay partial until ``ingest`` merges the fleet.
+cores.  ``--shard-strategy`` picks the partition: ``hash`` (default)
+assigns each cell by a stable identity hash, while ``weight`` runs a
+deterministic LPT pass over the campaign's planned cell weights so
+heavy-tailed fleets balance their makespans (PERFORMANCE.md layer 9)
+— every leg must then request the same experiments, preset, and mode.
+Experiments whose cells all land locally still print their tables;
+the rest stay partial until ``ingest`` merges the fleet.
 
 ``ingest SRC... --into DIR`` merges shard stores into one fleet store
 (:mod:`repro.runner.ingest`): identical records (same key and config
@@ -452,6 +457,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         "'ingest' merge; 1-based, so shards are 1/N .. N/N",
     )
     parser.add_argument(
+        "--shard-strategy",
+        choices=["hash", "weight"],
+        default="hash",
+        help="with --shard: how the fleet partition assigns cells — "
+        "hash (default: stable identity hash, each cell's shard is "
+        "independent of the rest of the campaign) or weight "
+        "(deterministic LPT over planned cell weights, balancing "
+        "heavy-tailed campaigns; every leg must request the same "
+        "experiments, preset, and mode)",
+    )
+    parser.add_argument(
         "--into",
         metavar="DIR",
         default=None,
@@ -633,6 +649,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             shard = parse_shard(args.shard)
         except ReproError as error:
             parser.error(str(error))
+    elif args.shard_strategy != "hash":
+        parser.error(
+            "--shard-strategy only applies with --shard i/N; an unsharded "
+            "run measures every cell regardless of the partition"
+        )
     if ingest_mode:
         sources = requested[1:]
         if not sources:
@@ -756,6 +777,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         resume=args.resume,
         on_result=None if shard is not None else on_result,
         shard=shard,
+        shard_strategy=args.shard_strategy,
     )
     if shard is None:
         assert next_to_print == len(order), (

@@ -147,7 +147,12 @@ def plan(profile: RunProfile) -> list[Cell]:
             fn=_measure_witness,
             params={"length": witness_length},
             seed=cell_seed("E2", "witness"),
-            weight=witness_length,
+            # The cost is infinite_witness's million-vertex BFS over the
+            # message graph, not the witness length: this is the campaign's
+            # heaviest quick cell by two orders of magnitude, and the weight
+            # hint must say so or LPT (in-process and --shard-strategy
+            # weight) schedules it last and packs other work beside it.
+            weight=1_000_000.0,
         )
     )
     return cells

@@ -14,10 +14,19 @@ One FIFO queue per ``(sender, direction)`` link port, managed by
 scheduler (the default FIFO) the active queues sit in an age-ordered
 heap and each delivery costs O(log q) for q concurrently active queues;
 schedulers that inspect the whole candidate list (random, LIFO,
-adversarial) get it sorted by head-message age, O(q log q) per delivery
-as before.  Either way q is bounded by the algorithm's concurrency (1
-for the sequential recognizers, so O(1) there), **not** by the ring
-size: emptied queues leave the active set immediately.
+adversarial) get it sorted by head-message age, maintained
+incrementally (O(log q) search + one list shift per delivery).  Either
+way q is bounded by the algorithm's concurrency (1 for the sequential
+recognizers, so O(1) there), **not** by the ring size: emptied queues
+leave the active set immediately.
+
+When the scheduler is additionally ``round_batchable`` (the default
+FIFO) and the run streams ``trace="metrics"``, the whole loop is
+replaced by the round-batched engine
+(:func:`~repro.ring.delivery.run_round_batched`): identical delivery
+order and accounting, but whole rounds swept at a time with no heap,
+no dict-keyed queues, and no per-delivery scheduler call.  Set
+``REPRO_NO_ROUND_BATCH=1`` to force the heap oracle.
 
 Trace modes: ``run(trace="full")`` (default) materializes an
 :class:`~repro.ring.trace.ExecutionTrace`; ``run(trace="metrics")``
@@ -29,7 +38,11 @@ from __future__ import annotations
 
 from repro.bits import Bits
 from repro.errors import ProtocolError, RingError
-from repro.ring.delivery import LinkQueues
+from repro.ring.delivery import (
+    LinkQueues,
+    round_batching_enabled,
+    run_round_batched,
+)
 from repro.ring.messages import Direction, Send
 from repro.ring.processor import Processor, RingAlgorithm
 from repro.ring.schedulers import FifoScheduler, Scheduler
@@ -95,6 +108,20 @@ class BidirectionalRing:
             )
         else:
             record = TraceStats(self.word, leader=0)
+            if self.scheduler.round_batchable and round_batching_enabled():
+                # Pure global-FIFO + streaming counters: take the
+                # round-batched engine (no heap, no per-delivery
+                # scheduling — identical order and accounting).
+                run_round_batched(
+                    self.processors, n, 0, record, max_messages, line=False
+                )
+                record.decision = self.processors[0].decision
+                if record.decision is None:
+                    raise ProtocolError(
+                        f"execution of {self.algorithm.name!r} on "
+                        f"{self.word!r} quiesced without a leader decision"
+                    )
+                return record
         # Pending deliveries, age-ordered: a heap of active queues under
         # the head-only (FIFO) scheduler, the sorted candidate list for
         # schedulers that inspect everything.  See repro.ring.delivery.

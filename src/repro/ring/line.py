@@ -24,9 +24,13 @@ Scheduling model and complexity
 queues (:class:`~repro.ring.delivery.LinkQueues`): under a ``head_only``
 scheduler (the default FIFO) the active queues form an age-ordered heap,
 O(log q) per delivery for q active queues; other schedulers see the full
-candidate list re-sorted by enqueue stamp, O(q log q) per delivery as
-before (q <= 2n, and O(1) for the sequential algorithms the compiler
-produces).
+candidate list, sorted by enqueue stamp and maintained incrementally
+(q <= 2n, and O(1) for the sequential algorithms the compiler
+produces).  Under a ``round_batchable`` scheduler with
+``trace="metrics"`` the loop is replaced wholesale by
+:func:`~repro.ring.delivery.run_round_batched` — same delivery order
+and accounting, whole rounds per sweep, no heap and no per-delivery
+scheduling (``REPRO_NO_ROUND_BATCH=1`` forces the heap oracle back).
 
 Trace modes: ``LineNetwork.run(trace="full" | "metrics")`` mirrors the
 ring simulators (full :class:`~repro.ring.trace.ExecutionTrace` vs
@@ -46,7 +50,11 @@ from dataclasses import dataclass, field
 
 from repro.bits import Bits
 from repro.errors import ProtocolError, RingError
-from repro.ring.delivery import LinkQueues
+from repro.ring.delivery import (
+    LinkQueues,
+    round_batching_enabled,
+    run_round_batched,
+)
 from repro.ring.messages import Direction, Send
 from repro.ring.processor import Processor, RingAlgorithm
 from repro.ring.schedulers import FifoScheduler, Scheduler
@@ -357,6 +365,26 @@ class LineNetwork:
             )
         else:
             record = TraceStats(self.word, leader=self.leader)
+            if self.scheduler.round_batchable and round_batching_enabled():
+                # Pure global-FIFO + streaming counters: round-batched
+                # engine (identical order/accounting, no heap, no
+                # per-delivery scheduling); line topology rejects sends
+                # off either end at enqueue time, as below.
+                run_round_batched(
+                    self.processors,
+                    n,
+                    self.leader,
+                    record,
+                    max_messages,
+                    line=True,
+                )
+                record.decision = self.processors[self.leader].decision
+                if record.decision is None:
+                    raise ProtocolError(
+                        f"line execution of {self.algorithm.name!r} on "
+                        f"{self.word!r} quiesced without a leader decision"
+                    )
+                return record
         # Pending deliveries, age-ordered (heap under the head-only FIFO
         # scheduler, sorted candidates otherwise); see repro.ring.delivery.
         pending = LinkQueues(use_heap=self.scheduler.head_only)

@@ -40,9 +40,19 @@ class Scheduler(ABC):
     queues (see :mod:`repro.ring.delivery`).  Delivery order is
     unaffected; a subclass that overrides ``choose`` to pick other
     indices must leave ``head_only`` False.
+
+    ``round_batchable`` strengthens ``head_only``: it declares the
+    scheduler is pure global-FIFO *and stateless about its choices*, so
+    metrics-mode runs may skip per-delivery scheduling entirely and take
+    the round-batched engine (:func:`repro.ring.delivery.run_round_batched`),
+    which never calls ``choose`` at all.  A ``head_only`` scheduler that
+    observes its own ``choose`` calls (counters, logging adversaries)
+    must leave ``round_batchable`` False to keep seeing every delivery;
+    the delivery order is identical either way.
     """
 
     head_only = False
+    round_batchable = False
 
     @abstractmethod
     def choose(self, candidates: Sequence[object]) -> int:
@@ -53,6 +63,7 @@ class FifoScheduler(Scheduler):
     """Deliver the globally oldest message first (synchronous-like order)."""
 
     head_only = True
+    round_batchable = True
 
     def choose(self, candidates: Sequence[object]) -> int:
         return 0

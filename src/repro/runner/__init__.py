@@ -27,7 +27,14 @@ from repro.runner.executor import (
     report_from_store,
 )
 from repro.runner.ingest import IngestConflict, IngestReport, ingest_stores
-from repro.runner.sharding import owns, parse_shard, shard_index
+from repro.runner.sharding import (
+    SHARD_STRATEGIES,
+    lpt_assignment,
+    owns,
+    parse_shard,
+    shard_assignment,
+    shard_index,
+)
 from repro.runner.store import RunStore, StoredCell
 
 __all__ = [
@@ -38,12 +45,15 @@ __all__ = [
     "PartialExecution",
     "PlanExecution",
     "RunStore",
+    "SHARD_STRATEGIES",
     "StoredCell",
     "execute_campaign",
     "execute_plan",
     "ingest_stores",
+    "lpt_assignment",
     "owns",
     "parse_shard",
     "report_from_store",
+    "shard_assignment",
     "shard_index",
 ]

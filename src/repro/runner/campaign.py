@@ -33,7 +33,7 @@ from typing import Callable, Sequence
 from repro.errors import ReproError
 from repro.experiments.base import Cell, ExperimentSpec, RunProfile
 from repro.runner.executor import CellOutcome, PlanExecution, _timed_run_cell
-from repro.runner.sharding import owns
+from repro.runner.sharding import shard_assignment
 from repro.runner.store import RunStore
 
 __all__ = ["CampaignExecution", "PartialExecution", "execute_campaign"]
@@ -163,6 +163,7 @@ def execute_campaign(
     resume: bool = False,
     on_result: ResultCallback | None = None,
     shard: "tuple[int, int] | None" = None,
+    shard_strategy: str = "hash",
 ) -> CampaignExecution:
     """Run many experiments as one shared-pool campaign.
 
@@ -177,10 +178,16 @@ def execute_campaign(
 
     ``shard`` — the CLI's ``--shard i/N`` as a 1-based ``(index,
     total)`` — restricts *measurement* to the cells this shard owns
-    under the fleet partition (:func:`repro.runner.sharding.owns`, a
-    stable hash of cell identity, so every shard of a fleet agrees on
-    the split regardless of request order or ``jobs``).  Store hits
-    still satisfy any cell; experiments left incomplete end up in
+    under the fleet partition
+    (:func:`repro.runner.sharding.shard_assignment`), a pure function
+    of the campaign, so every shard of a fleet agrees on the split
+    regardless of request order or ``jobs``.  ``shard_strategy``
+    selects it: ``"hash"`` (default) assigns each cell by a stable
+    identity hash; ``"weight"`` balances the campaign's planned cell
+    weights with a deterministic LPT pass.  The assignment is computed
+    over *all* planned cells — not the post-resume leftovers — so
+    resume state never changes the partition.  Store hits still
+    satisfy any cell; experiments left incomplete end up in
     ``CampaignExecution.partial`` instead of finalizing.
 
     Failure semantics match :func:`~repro.runner.executor.execute_plan`:
@@ -252,9 +259,25 @@ def execute_campaign(
 
     # The fleet partition: cells owned by other shards are simply not
     # measured here.  Applied after the store skip-set, so a record any
-    # shard already persisted still satisfies its cell everywhere.
+    # shard already persisted still satisfies its cell everywhere — but
+    # computed over every *planned* cell, so resume state cannot change
+    # which shard owns what.
     if shard is not None:
-        owned = [item for item in pending if owns(shard, item[1])]
+        index, total = shard
+        assignment = shard_assignment(
+            [
+                (state.spec.exp_id, cell)
+                for state in states.values()
+                for cell in state.cells
+            ],
+            total,
+            shard_strategy,
+        )
+        owned = [
+            item
+            for item in pending
+            if assignment[(item[0].spec.exp_id, item[1].key)] == index - 1
+        ]
         campaign.sharded_out = len(pending) - len(owned)
         pending = owned
 

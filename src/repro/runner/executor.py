@@ -85,6 +85,7 @@ def execute_plan(
     store: RunStore | None = None,
     resume: bool = False,
     shard: "tuple[int, int] | None" = None,
+    shard_strategy: str = "hash",
 ) -> PlanExecution:
     """Run one experiment's plan and finalize its result.
 
@@ -92,7 +93,8 @@ def execute_plan(
     store is also consulted first and matching records skip measurement.
     ``jobs > 1`` fans the remaining cells out to worker processes.
     ``shard`` (a 1-based ``(index, total)``) measures only this shard's
-    cells of the fleet partition; everything measured is persisted, but
+    cells of the fleet partition (``shard_strategy``: identity hash or
+    weight-balancing LPT); everything measured is persisted, but
     if that leaves the plan incomplete there is no result to finalize,
     so this single-experiment API raises — merge the fleet's stores with
     ``ring-repro ingest`` and render via ``report`` (or drive partial
@@ -109,7 +111,13 @@ def execute_plan(
     from repro.runner.campaign import execute_campaign
 
     campaign = execute_campaign(
-        [spec], profile, jobs=jobs, store=store, resume=resume, shard=shard
+        [spec],
+        profile,
+        jobs=jobs,
+        store=store,
+        resume=resume,
+        shard=shard,
+        shard_strategy=shard_strategy,
     )
     if spec.exp_id not in campaign.executions:
         part = campaign.partial[spec.exp_id]

@@ -18,6 +18,14 @@ The hash is :mod:`hashlib` SHA-256, not :func:`hash` — Python salts
 string hashing per process (``PYTHONHASHSEED``), which is exactly the
 instability a fleet cannot tolerate.
 
+Two strategies share that contract (``--shard-strategy``, default
+``hash``): the identity hash above, whose per-cell assignment is
+independent of everything else the campaign plans, and ``weight`` —
+a deterministic LPT pass over the campaign's planned cell weights
+(:func:`lpt_assignment`) that spreads heavy-tailed fleets the hash
+provably cannot (PERFORMANCE.md layer 8: quick's 16 s witness cell
+pins hash sharding to ~1.04×).
+
 ``parse_shard`` is the CLI's validator for the ``i/N`` spelling: shard
 indexes are 1-based (``1/N .. N/N``), so ``0/N``, ``i > N``, and
 non-integer forms are rejected with a message naming the rule.
@@ -27,11 +35,19 @@ from __future__ import annotations
 
 import hashlib
 import re
+from typing import Iterable, Sequence
 
 from repro.errors import ReproError
 from repro.experiments.base import Cell
 
-__all__ = ["parse_shard", "shard_index", "owns"]
+__all__ = [
+    "parse_shard",
+    "shard_index",
+    "owns",
+    "SHARD_STRATEGIES",
+    "lpt_assignment",
+    "shard_assignment",
+]
 
 _SHARD_RE = re.compile(r"(\d+)\s*/\s*(\d+)")
 
@@ -89,3 +105,67 @@ def owns(shard: "tuple[int, int]", cell: Cell) -> bool:
     """Whether the 1-based ``(index, total)`` shard measures this cell."""
     index, total = shard
     return shard_index(cell.exp_id, cell.key, total) == index - 1
+
+
+SHARD_STRATEGIES = ("hash", "weight")
+
+
+def lpt_assignment(
+    cells: "Iterable[tuple[str, Cell]]", total: int
+) -> "dict[tuple[str, str], int]":
+    """LPT the campaign's cells over ``total`` shards by planned weight.
+
+    Longest-processing-time-first over ``Cell.weight``: cells are taken
+    heaviest first and each goes to the currently lightest shard, so a
+    heavy-tailed campaign spreads its dominant cells instead of letting
+    the identity hash bunch them (PERFORMANCE.md layer 8's 1.04×
+    ceiling).  Returns ``{(exp_id, key): shard}`` with 0-based shards.
+
+    Deterministic and *order-invariant*: the LPT pass sorts by
+    ``(-weight, exp_id, key)`` — a total order, since keys are unique
+    per experiment — and weight ties inside a shard choice break toward
+    the lowest shard index (``min`` is stable).  Unlike the hash
+    strategy the result DOES depend on which cells the campaign plans
+    (that is the point: load balance is a whole-campaign property), so
+    every fleet leg must be launched with the same experiment set,
+    preset, and mode; the partition is still independent of request
+    order, ``--jobs``, and resume state.
+    """
+    if total < 1:
+        raise ReproError(f"shard fleets need at least one shard, got {total}")
+    loads = [0.0] * total
+    assignment: "dict[tuple[str, str], int]" = {}
+    ordered = sorted(
+        cells, key=lambda item: (-item[1].weight, item[0], item[1].key)
+    )
+    for exp_id, cell in ordered:
+        target = min(range(total), key=loads.__getitem__)
+        assignment[(exp_id, cell.key)] = target
+        loads[target] += cell.weight
+    return assignment
+
+
+def shard_assignment(
+    cells: "Sequence[tuple[str, Cell]]",
+    total: int,
+    strategy: str = "hash",
+) -> "dict[tuple[str, str], int]":
+    """The fleet partition for a whole campaign, as ``{identity: shard}``.
+
+    ``strategy="hash"`` reproduces :func:`shard_index` cell by cell (the
+    compatible default — each cell's shard depends only on its own
+    identity); ``strategy="weight"`` balances planned weights with
+    :func:`lpt_assignment`.  Both are pure functions of the campaign, so
+    fleet legs need no coordination beyond launching the same command.
+    """
+    if strategy not in SHARD_STRATEGIES:
+        raise ReproError(
+            f"unknown shard strategy {strategy!r}; expected one of "
+            f"{', '.join(SHARD_STRATEGIES)}"
+        )
+    if strategy == "weight":
+        return lpt_assignment(cells, total)
+    return {
+        (exp_id, cell.key): shard_index(exp_id, cell.key, total)
+        for exp_id, cell in cells
+    }

@@ -30,6 +30,7 @@ from hypothesis import strategies as st
 from repro.cli import main
 from repro.errors import ReproError
 from repro.experiments import ALL_SPECS, RunProfile, get_spec
+from repro.experiments.base import Cell
 from repro.runner import (
     RunStore,
     execute_campaign,
@@ -37,6 +38,7 @@ from repro.runner import (
     ingest_stores,
     owns,
     parse_shard,
+    shard_assignment,
     shard_index,
 )
 from repro.runner.store import read_record_payload
@@ -563,3 +565,243 @@ class TestFleetByteIdentity:
             for cell in experiment["cells"]:
                 expected = shard_index(exp_id, cell["key"], FLEET_SIZE) + 1
                 assert cell["shard"] == f"{expected}/{FLEET_SIZE}"
+
+
+def _noop_cell_fn(params, rng):  # pragma: no cover - never measured
+    return {}
+
+
+def _cell(exp_id: str, key: str, weight: float) -> Cell:
+    """A minimal cell carrying just the identity + weight LPT looks at."""
+    return Cell(
+        exp_id=exp_id, key=key, fn=_noop_cell_fn, params={}, seed=0,
+        weight=weight,
+    )
+
+
+def _loads(cells, assignment, total) -> "list[float]":
+    weights = {(exp_id, cell.key): cell.weight for exp_id, cell in cells}
+    loads = [0.0] * total
+    for identity, shard in assignment.items():
+        loads[shard] += weights[identity]
+    return loads
+
+
+class TestWeightStrategy:
+    """--shard-strategy weight: deterministic LPT over planned weights."""
+
+    def _quick_cells(self):
+        return [
+            (spec.exp_id, cell)
+            for spec in ALL_SPECS.values()
+            for cell in spec.cells(QUICK)
+        ]
+
+    def test_assignment_is_pinned(self):
+        """Golden values: the weight partition is fleet protocol too.
+
+        Heaviest first, each to the lightest shard, ties toward the
+        lowest shard index — any change to that rule strands running
+        weight-sharded fleets exactly like a hash change would.
+        """
+        cells = [
+            ("E1", _cell("E1", "n=8", 8.0)),
+            ("E1", _cell("E1", "n=6", 6.0)),
+            ("E1", _cell("E1", "n=5", 5.0)),
+            ("E1", _cell("E1", "n=4", 4.0)),
+            ("E1", _cell("E1", "n=3a", 3.0)),
+            ("E1", _cell("E1", "n=3b", 3.0)),
+        ]
+        assignment = shard_assignment(cells, 2, "weight")
+        assert assignment == {
+            ("E1", "n=8"): 0,
+            ("E1", "n=6"): 1,
+            ("E1", "n=5"): 1,
+            ("E1", "n=4"): 0,
+            ("E1", "n=3a"): 1,
+            ("E1", "n=3b"): 0,
+        }
+        loads = _loads(cells, assignment, 2)
+        assert loads == [15.0, 14.0]
+
+    def test_weight_tie_breaks_are_total(self):
+        """Equal weights order by (exp_id, key): no ambiguity left."""
+        cells = [
+            ("E2", _cell("E2", "n=1", 1.0)),
+            ("E1", _cell("E1", "n=2", 1.0)),
+            ("E1", _cell("E1", "n=1", 1.0)),
+        ]
+        assignment = shard_assignment(cells, 2, "weight")
+        assert assignment == {
+            ("E1", "n=1"): 0,
+            ("E1", "n=2"): 1,
+            ("E2", "n=1"): 0,
+        }
+
+    @pytest.mark.parametrize("total", [1, 2, 3, 5])
+    def test_partition_laws_on_real_plans(self, total):
+        """Disjoint, covering, deterministic, order-invariant."""
+        cells = self._quick_cells()
+        assignment = shard_assignment(cells, total, "weight")
+        assert set(assignment) == {(e, c.key) for e, c in cells}
+        assert set(assignment.values()) <= set(range(total))
+        assert shard_assignment(cells, total, "weight") == assignment
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_order_invariance(self, seed):
+        """Any permutation of the planned cells partitions identically."""
+        import random as _random
+
+        cells = self._quick_cells()
+        baseline = shard_assignment(cells, 3, "weight")
+        shuffled = list(cells)
+        _random.Random(seed).shuffle(shuffled)
+        assert shard_assignment(shuffled, 3, "weight") == baseline
+
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.5, max_value=1000.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=40,
+        ),
+        total=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_lpt_never_loses_to_hash(self, weights, total):
+        """LPT's max planned load <= the identity hash's, always."""
+        cells = [
+            ("EW", _cell("EW", f"n={i}", weight))
+            for i, weight in enumerate(weights)
+        ]
+        lpt = _loads(cells, shard_assignment(cells, total, "weight"), total)
+        hashed = _loads(cells, shard_assignment(cells, total, "hash"), total)
+        assert max(lpt) <= max(hashed) + 1e-9
+
+    def test_lpt_beats_hash_on_heavy_tail(self):
+        """A crafted heavy tail the hash provably bunches, LPT spreads.
+
+        ``shard_index("EW", "n=0", 2) == shard_index("EW", "n=3", 2)``
+        (both hash to shard 0), so hash puts both heavy cells on one
+        shard; LPT puts one on each.
+        """
+        assert shard_index("EW", "n=0", 2) == shard_index("EW", "n=3", 2)
+        cells = [
+            ("EW", _cell("EW", "n=0", 100.0)),
+            ("EW", _cell("EW", "n=3", 100.0)),
+            ("EW", _cell("EW", "n=1", 1.0)),
+            ("EW", _cell("EW", "n=2", 1.0)),
+        ]
+        lpt = _loads(cells, shard_assignment(cells, 2, "weight"), 2)
+        hashed = _loads(cells, shard_assignment(cells, 2, "hash"), 2)
+        assert max(lpt) < max(hashed)
+        assert max(lpt) == 101.0
+
+    def test_quick_campaign_max_load_improves(self):
+        """On the real quick campaign the balance strictly improves."""
+        cells = self._quick_cells()
+        for total in (2, 4):
+            lpt = _loads(
+                cells, shard_assignment(cells, total, "weight"), total
+            )
+            hashed = _loads(
+                cells, shard_assignment(cells, total, "hash"), total
+            )
+            assert max(lpt) < max(hashed)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ReproError, match="unknown shard strategy"):
+            shard_assignment([], 2, "roundrobin")
+
+    def test_weight_shards_partition_the_unsharded_store(self, tmp_path):
+        """Weight-sharded fills are disjoint and cover the baseline."""
+        base = RunStore(tmp_path / "base")
+        execute_campaign([get_spec("E9")], QUICK, store=base)
+        shard_files = []
+        for index in (1, 2, 3):
+            store = RunStore(tmp_path / f"shard-{index}")
+            execute_campaign(
+                [get_spec("E9")],
+                QUICK,
+                store=store,
+                shard=(index, 3),
+                shard_strategy="weight",
+            )
+            shard_files.append(set(_store_files(store.root)))
+        base_files = set(_store_files(base.root))
+        assert set().union(*shard_files) == base_files
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert not (shard_files[i] & shard_files[j])
+
+    def test_partition_ignores_resume_state(self, tmp_path):
+        """A pre-filled store must not change which cells a leg owns.
+
+        The assignment is computed over every *planned* cell; if it were
+        computed over the post-resume leftovers, a leg that resumed a
+        partial store would re-balance onto cells another leg owns.
+        """
+        spec = get_spec("E9")
+        cells = [(spec.exp_id, cell) for cell in spec.cells(QUICK)]
+        assignment = shard_assignment(cells, 2, "weight")
+        owned_fresh = {
+            identity for identity, shard in assignment.items() if shard == 0
+        }
+        # Pre-fill the whole experiment, then resume leg 1/2: nothing to
+        # measure, but the partition (sharded_out accounting) must match
+        # the fresh assignment.
+        store = RunStore(tmp_path / "prefilled")
+        execute_campaign([spec], QUICK, store=store)
+        campaign = execute_campaign(
+            [spec],
+            QUICK,
+            store=store,
+            resume=True,
+            shard=(1, 2),
+            shard_strategy="weight",
+        )
+        assert campaign.sharded_out == 0  # store hits satisfy everything
+        assert campaign.executions  # finalized purely from the store
+        # And a fresh (no-store) leg measures exactly the owned set.
+        fresh = RunStore(tmp_path / "fresh")
+        execute_campaign(
+            [spec], QUICK, store=fresh, shard=(1, 2),
+            shard_strategy="weight",
+        )
+        measured = {
+            ("E9", payload["key"])
+            for payload in map(
+                read_record_payload, _store_files(fresh.root).values()
+            )
+        }
+        assert measured == owned_fresh
+
+    def test_cli_strategy_requires_shard(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "E9",
+                    "--quick",
+                    "--shard-strategy",
+                    "weight",
+                    "--store",
+                    str(tmp_path / "s"),
+                ]
+            )
+        assert "--shard-strategy only applies" in capsys.readouterr().err
+
+    def test_cli_weight_leg_runs(self, tmp_path, capsys):
+        rc = main(
+            [
+                "E9",
+                "--quick",
+                "--shard",
+                "1/2",
+                "--shard-strategy",
+                "weight",
+                "--store",
+                str(tmp_path / "s1"),
+            ]
+        )
+        assert rc == 0
+        assert "[shard 1/2: measured" in capsys.readouterr().out
