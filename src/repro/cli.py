@@ -57,6 +57,16 @@ as it lands (``--store DIR`` to relocate, ``--no-store`` to disable).
 ``--resume`` reuses stored records whose config hash still matches, so
 an interrupted campaign continues from what it already measured.
 
+Cells that declare a ``split`` hook are *divisible*: the campaign
+schedules their subtasks as first-class pool work items (so one heavy
+cell no longer pins the makespan to its own wall clock) and folds the
+part records back into the exact cell record the monolithic path
+produces — tables and stores are byte-identical either way, because
+every part derives its randomness from a subtask seed on both paths.
+Landed parts persist as ``.json.part`` records, so ``--resume``
+restarts mid-cell; ``REPRO_NO_SPLIT=1`` disables splitting entirely,
+keeping the undivided path available as the oracle.
+
 ``report`` renders entirely from the store and runs no simulations:
 ``--all`` appends an aggregated campaign summary over every experiment,
 ``--refit`` regenerates each experiment's growth-law fits from the
@@ -194,10 +204,22 @@ def _profile_line(exp_id: str, execution: PlanExecution) -> str:
 
 
 def _campaign_line(campaign: CampaignExecution) -> str:
-    """The campaign-level ``--profile`` line: shared-pool utilization."""
+    """The campaign-level ``--profile`` line: shared-pool utilization.
+
+    Busy worker-seconds include measurement, fold, and finalize time —
+    a worker reassembling a divided cell is as busy as one simulating —
+    so the utilization ratio stays honest when campaigns split cells.
+    """
+    divided = (
+        f", {campaign.subtasks_run} subtask(s) folded into "
+        f"{campaign.cells_folded} cell(s)"
+        if campaign.subtasks_run or campaign.cells_folded
+        else ""
+    )
     return (
         f"[campaign: {len(campaign.executions)} experiment(s), "
-        f"{campaign.cell_count} cells ({campaign.cached_count} from store), "
+        f"{campaign.cell_count} cells ({campaign.cached_count} from store"
+        f"{divided}), "
         f"busy {campaign.busy_seconds:.2f} worker-seconds over "
         f"{campaign.wall_seconds:.2f}s wall x {campaign.jobs} jobs => "
         f"utilization {campaign.utilization:.0%}]"
@@ -414,14 +436,20 @@ def _run_ingest(args, sources: "list[str]") -> int:
 
 
 def _shard_summary(campaign: CampaignExecution, store: RunStore) -> str:
-    """The sharded-run outcome: what this leg measured, what remains."""
+    """The sharded-run outcome: what this leg measured, what remains.
+
+    ``sharded_out`` counts *work items* (whole cells, or a divided
+    cell's subtasks under the weight strategy), so the denominator is
+    the campaign's work-item total — a divided cell some other shard
+    partially owns still shows up in it part by part.
+    """
     index, total = campaign.shard
     measured = campaign.cell_count - campaign.cached_count
     campaign_cells = campaign.cell_count + campaign.sharded_out
     return (
         f"[shard {index}/{total}: measured {measured} of {campaign_cells} "
-        f"campaign cell(s) into {store.root} ({campaign.cached_count} from "
-        f"store, {campaign.sharded_out} owned by other shards); "
+        f"campaign work item(s) into {store.root} ({campaign.cached_count} "
+        f"from store, {campaign.sharded_out} owned by other shards); "
         f"{len(campaign.executions)} experiment(s) finalized, "
         f"{len(campaign.partial)} partial — merge the fleet with "
         f"'ring-repro ingest SHARD-STORE... --into {DEFAULT_STORE_ROOT}' "

@@ -22,6 +22,11 @@ classify its growth, and per-message position counters would bury the
 
 Compare-pass cost: ``n * (2 + p b) + O(p log p)`` bits, i.e.
 ``Theta(n p) = Theta(g(n))``; total with counting ``Theta(g(n))``.
+
+Both passes are single-token, so the token's state at any ring position
+is a pure function of the word prefix — :func:`replay_segment` exploits
+this to reconstruct any slice of the trace independently (the
+divisible-cell decomposition of E9's member measurement).
 """
 
 from __future__ import annotations
@@ -40,7 +45,7 @@ from repro.languages.hierarchy import GrowthFunction, PeriodicLanguage
 from repro.ring.messages import Direction, Send
 from repro.ring.processor import Processor, RingAlgorithm
 
-__all__ = ["HierarchyRecognizer"]
+__all__ = ["HierarchyRecognizer", "replay_segment"]
 
 _PHASE_COUNT, _PHASE_COMPARE = 0, 1
 _FILLING, _FULL = 0, 1
@@ -73,6 +78,23 @@ class _CompareCodec:
         while reader.remaining:
             window.append(reader.read_fixed(self.letter_width))
         return fail, to_fill, window
+
+    def encoded_size(self, fail: int, to_fill: int, window_len: int) -> int:
+        """``len(self.encode(fail, to_fill, window))`` without the window.
+
+        The head is built with the same constructors :meth:`encode`
+        uses; the window contributes exactly ``window_len *
+        letter_width`` bits because :func:`repro.bits.encode_fixed` is
+        fixed-width by contract (letter values never change a message's
+        size).  :func:`replay_segment` sums these sizes for hops whose
+        windows it never needs to materialize.
+        """
+        head = Bits([_PHASE_COMPARE, fail])
+        if to_fill > 0:
+            head = head + Bits([_FILLING]) + encode_elias_gamma(to_fill)
+        else:
+            head = head + Bits([_FULL])
+        return len(head) + window_len * self.letter_width
 
 
 class _HierarchyLeader(Processor):
@@ -157,3 +179,64 @@ class HierarchyRecognizer(RingAlgorithm):
         if is_leader:
             return _HierarchyLeader(letter, self)
         return _HierarchyFollower(letter, self)
+
+
+def replay_segment(
+    language: PeriodicLanguage, word: str, start: int, stop: int
+) -> dict:
+    """Exact bit accounting for ring positions ``[start, stop)``.
+
+    The recognizer's execution on ``word`` is a pair of single-token
+    passes, and the token's state when position ``h`` emits is a pure
+    function of the word prefix:
+
+    * count pass — position ``h`` emits the phase bit plus
+      ``gamma(h + 1)`` (the leader launches with ``gamma(1)``, every
+      follower increments);
+    * compare pass — position ``h`` emits ``to_fill = max(p-1-h, 0)``
+      and the window ``word[max(0, h-p+1) .. h]``, with the fail flag
+      set iff some comparison ``word[i] != word[i-p]`` with
+      ``p <= i <= h`` already failed.
+
+    Replaying a slice of positions therefore reconstructs that slice of
+    the trace independently of every other slice — the divisible-cell
+    decomposition of E9's member run (PERFORMANCE.md layer 10).  Sizes
+    come from the live protocol's own codec
+    (:meth:`_CompareCodec.encoded_size`); summing segments over any
+    partition of ``[0, n)`` equals the simulated
+    :class:`~repro.ring.trace.TraceStats` pass totals bit for bit (the
+    ``fail`` flag returned is the *segment-local* disjunction — OR the
+    segments to get the run's decision; the flag never changes a
+    message's size, so the bit totals are exact either way).
+
+    When ``p`` is invalid (no word of this length is in ``L_g``) the
+    leader decides after the count pass and no compare message exists —
+    mirrored here by ``p_valid`` and zero compare bits.
+    """
+    n = len(word)
+    if not 0 <= start <= stop <= n:
+        raise ProtocolError(
+            f"segment [{start}, {stop}) outside a ring of {n} positions"
+        )
+    recognizer = HierarchyRecognizer(language)
+    p = recognizer.growth(n) // n
+    p_valid = 1 <= p <= n
+    count_bits = 0
+    for h in range(start, stop):
+        count_bits += 1 + len(encode_elias_gamma(h + 1))
+    compare_bits = 0
+    fail = 0
+    if p_valid:
+        codec = recognizer.codec
+        for h in range(start, stop):
+            if h >= p and word[h] != word[h - p]:
+                fail = 1
+            compare_bits += codec.encoded_size(
+                fail, max(p - 1 - h, 0), min(h + 1, p)
+            )
+    return {
+        "count_bits": count_bits,
+        "compare_bits": compare_bits,
+        "fail": fail,
+        "p_valid": p_valid,
+    }

@@ -32,7 +32,11 @@ from repro.languages.hierarchy import PeriodicLanguage
 from repro.ring.messages import Direction, Send
 from repro.ring.processor import Processor, RingAlgorithm
 
-__all__ = ["KnownNHierarchyRecognizer", "KnownNLengthRecognizer"]
+__all__ = [
+    "KnownNHierarchyRecognizer",
+    "KnownNLengthRecognizer",
+    "replay_segment",
+]
 
 
 class _KnownNHierarchyLeader(Processor):
@@ -127,6 +131,15 @@ class KnownNHierarchyRecognizer(RingAlgorithm):
             window.append(reader.read_fixed(self.letter_width))
         return fail, window
 
+    def encoded_size(self, fail: int, window_len: int) -> int:
+        """``len(self.encode(fail, window))`` without the window.
+
+        One fail bit plus ``window_len`` fixed-width letters — letter
+        values never change a message's size, which is what lets
+        :func:`replay_segment` account hops without building windows.
+        """
+        return len(Bits([fail])) + window_len * self.letter_width
+
     def create_processor(self, letter: str, is_leader: bool) -> Processor:
         raise ProtocolError(
             "KnownNHierarchyRecognizer needs positional knowledge; "
@@ -139,6 +152,43 @@ class KnownNHierarchyRecognizer(RingAlgorithm):
         if is_leader:
             return _KnownNHierarchyLeader(letter, self, size)
         return _KnownNHierarchyFollower(letter, self, index, size)
+
+
+def replay_segment(
+    language: PeriodicLanguage, word: str, start: int, stop: int
+) -> dict:
+    """Exact bit accounting for ring positions ``[start, stop)``.
+
+    The known-``n`` recognizer is one single-token pass whose state at
+    position ``h`` is a pure function of the word prefix: the emitted
+    window is ``word[max(0, h-p+1) .. h]`` (length ``min(h+1, p)``) and
+    the fail flag records any comparison ``word[i] != word[i-p]`` with
+    ``p <= i <= h``.  Replaying a slice of positions reconstructs that
+    slice of the trace independently — the divisible-cell decomposition
+    of E10's member run, mirroring
+    :func:`repro.core.hierarchy.replay_segment` (see there for the
+    segment-sum-equals-simulation contract and the meaning of the
+    segment-local ``fail``).
+
+    When ``p`` is invalid the leader decides with *zero* messages, so
+    every segment accounts zero bits.
+    """
+    n = len(word)
+    if not 0 <= start <= stop <= n:
+        raise ProtocolError(
+            f"segment [{start}, {stop}) outside a ring of {n} positions"
+        )
+    recognizer = KnownNHierarchyRecognizer(language)
+    p = recognizer.block_length(n)
+    p_valid = 1 <= p <= n
+    bits = 0
+    fail = 0
+    if p_valid:
+        for h in range(start, stop):
+            if h >= p and word[h] != word[h - p]:
+                fail = 1
+            bits += recognizer.encoded_size(fail, min(h + 1, p))
+    return {"bits": bits, "fail": fail, "p_valid": p_valid}
 
 
 class _KnownNLengthLeader(Processor):

@@ -82,9 +82,22 @@ class MessageGraph:
 
 
 def build_message_graph(
-    transducer: OnePassTransducer, max_vertices: int = 10_000
+    transducer: OnePassTransducer,
+    max_vertices: int = 10_000,
+    stop_at_depth: "int | None" = None,
 ) -> MessageGraph:
-    """BFS-explore ``G`` from ``v0`` up to ``max_vertices`` vertices."""
+    """BFS-explore ``G`` from ``v0`` up to ``max_vertices`` vertices.
+
+    ``stop_at_depth`` ends exploration the moment a vertex at that BFS
+    depth is discovered (the graph is marked truncated: it is a lower
+    bound, not the whole graph).  Because BFS discovers vertices in
+    nondecreasing depth and never revisits a parent pointer, the
+    early-stopped graph is a *prefix* of the full exploration — the
+    first vertex at the stop depth, and the tree path to it, are
+    identical to what the unbounded search would have found.  This is
+    what :func:`infinite_witness` runs on: a witness of length ``n``
+    needs O(depth n) exploration, not the million-vertex budget.
+    """
     graph = MessageGraph(alphabet=tuple(transducer.alphabet))
     graph.vertices.add(_START)
     graph.depth[_START] = 0
@@ -106,6 +119,12 @@ def build_message_graph(
             graph.vertices.add(successor)
             graph.depth[successor] = graph.depth[vertex] + 1
             graph.parent[successor] = (vertex, letter)
+            if (
+                stop_at_depth is not None
+                and graph.depth[successor] >= stop_at_depth
+            ):
+                graph.truncated = True
+                return graph
             queue.append(successor)
     return graph
 
@@ -122,8 +141,17 @@ def infinite_witness(
 
     Raises :class:`CompilationError` when no such path exists within the
     exploration budget (e.g. the graph is actually finite).
+
+    The exploration stops at the first vertex of depth ``length``
+    (``stop_at_depth``) — BFS depths grow contiguously, so that vertex
+    is exactly the minimal-depth candidate the full ``max_vertices``
+    search would select, and its tree path (hence the returned word) is
+    identical; the budget only matters when no such vertex exists and
+    the error path reports how far exploration got.
     """
-    graph = build_message_graph(transducer, max_vertices=max_vertices)
+    graph = build_message_graph(
+        transducer, max_vertices=max_vertices, stop_at_depth=length
+    )
     candidates = [v for v, d in graph.depth.items() if d >= length]
     if not candidates:
         raise CompilationError(

@@ -18,13 +18,13 @@ pages instead of failing; nothing here ever runs a measurement.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from repro.analysis.growth import FitResult, classify_growth
 from repro.errors import ReproError
 from repro.experiments import ALL_SPECS, ExperimentResult, RunProfile
-from repro.experiments.base import ExperimentSpec
+from repro.experiments.base import ExperimentSpec, splitting_enabled
 from repro.runner.sharding import shard_index
 from repro.runner.store import RunStore
 
@@ -53,6 +53,12 @@ class CellView:
     mode: str = "sim"
     verify: str = ""  # calibration verdict ("PASS"/"FAIL"); "" otherwise
     shard: str = "1/1"  # fleet shard owning this cell under --fleet N
+    # Divisible cells only: the subtask roster as (part, seconds) pairs.
+    # Derived, not recorded — parts are cleared once folded, so the
+    # stored wall clock is split back proportional to the planned
+    # subtask weights; empty when splitting is off (REPRO_NO_SPLIT=1)
+    # or the cell is monolithic.
+    parts: "tuple[tuple[str, float], ...]" = ()
 
 
 @dataclass(frozen=True)
@@ -191,6 +197,18 @@ def _assemble_experiment(
             continue
         records[cell.key] = stored.record
         record = stored.record if isinstance(stored.record, dict) else {}
+        parts: "tuple[tuple[str, float], ...]" = ()
+        if cell.divisible and splitting_enabled():
+            subtasks = cell.subtasks()
+            total = sum(subtask.weight for subtask in subtasks)
+            parts = tuple(
+                (
+                    subtask.part,
+                    stored.seconds
+                    * (subtask.weight / total if total > 0 else 1 / len(subtasks)),
+                )
+                for subtask in subtasks
+            )
         view.cells.append(
             CellView(
                 key=cell.key,
@@ -210,6 +228,7 @@ def _assemble_experiment(
                     f"{shard_index(cell.exp_id, cell.key, fleet) + 1}"
                     f"/{fleet}"
                 ),
+                parts=parts,
             )
         )
     view.stale = [
@@ -296,25 +315,48 @@ def lpt_schedule(
 ) -> "tuple[list[list], float]":
     """Replay the campaign's LPT schedule from stored cell seconds.
 
-    Every stored cell, heaviest first (ties broken by experiment then
-    plan order — deterministic), lands on the earliest-available of
-    ``jobs`` workers.  Returns ``(lanes, makespan)`` where each lane is
-    a list of ``(exp_index, cell, start)`` tuples in start order; this
-    is the schedule the executor's heaviest-first policy approximates,
-    rendered from what the cells actually cost.
+    Every stored work item, heaviest first (ties broken by experiment
+    then plan order — deterministic), lands on the earliest-available
+    of ``jobs`` workers.  Divisible cells appear *part by part*: each
+    ``(part, seconds)`` entry of :attr:`CellView.parts` schedules as
+    its own item keyed ``<cell>#part=<part>`` — the timeline shows
+    divided cells exactly the way the executor's pool ran them, with
+    the owning cell readable off every lane label.  Returns ``(lanes,
+    makespan)`` where each lane is a list of ``(exp_index, cell,
+    start)`` tuples in start order; this is the schedule the executor's
+    heaviest-first policy approximates, rendered from what the cells
+    actually cost.
     """
     jobs = max(1, jobs)
-    weighted = [
-        (-cell.seconds, exp_index, cell_index, cell)
-        for exp_index, experiment in enumerate(campaign.experiments)
-        for cell_index, cell in enumerate(experiment.cells)
-    ]
-    weighted.sort(key=lambda item: item[:3])
+    weighted = []
+    for exp_index, experiment in enumerate(campaign.experiments):
+        for cell_index, cell in enumerate(experiment.cells):
+            if cell.parts:
+                for part_index, (part, seconds) in enumerate(cell.parts):
+                    weighted.append(
+                        (
+                            -seconds,
+                            exp_index,
+                            cell_index,
+                            part_index,
+                            replace(
+                                cell,
+                                key=f"{cell.key}#part={part}",
+                                seconds=seconds,
+                                parts=(),
+                            ),
+                        )
+                    )
+            else:
+                weighted.append(
+                    (-cell.seconds, exp_index, cell_index, -1, cell)
+                )
+    weighted.sort(key=lambda item: item[:4])
     lanes: "list[list]" = [[] for _ in range(jobs)]
     heap = [(0.0, lane) for lane in range(jobs)]
     heapq.heapify(heap)
     makespan = 0.0
-    for _neg, exp_index, _cell_index, cell in weighted:
+    for _neg, exp_index, _cell_index, _part_index, cell in weighted:
         load, lane = heapq.heappop(heap)
         lanes[lane].append((exp_index, cell, load))
         load += cell.seconds

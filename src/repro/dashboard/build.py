@@ -335,11 +335,24 @@ def _index_page(
                 title=f"LPT schedule on {timeline_jobs} worker(s)",
             )
         )
+        divided = sum(
+            1
+            for view in campaign.experiments
+            for cell in view.cells
+            if cell.parts
+        )
+        split_note = (
+            f" &middot; {divided} divisible cell(s) shown part by part "
+            "(<code>key#part=&hellip;</code> lanes; wall clock split by "
+            "subtask weight)"
+            if divided
+            else ""
+        )
         body.append(
             f'<p class="muted">makespan {makespan:.2f}s &middot; busy '
             f"{busy:.2f} worker-seconds &middot; utilization "
             f"{utilization:.0%} (stored cell seconds replayed through the "
-            "executor&rsquo;s heaviest-first schedule)</p>"
+            f"executor&rsquo;s heaviest-first schedule){split_note}</p>"
         )
     else:
         body.append(

@@ -38,7 +38,11 @@ __all__ = [
 # v2: per-cell "shard" provenance (fleet partition membership, derived
 # from cell identity for the campaign's "fleet" size) in campaign.json
 # and the cells CSVs.
-CAMPAIGN_SCHEMA = 2
+# v3: per-cell "parts" roster (divisible cells' subtask decomposition,
+# with the stored wall clock split back proportional to the planned
+# subtask weights — derived, not recorded, like "shard") in
+# campaign.json and the cells CSVs; empty under REPRO_NO_SPLIT=1.
+CAMPAIGN_SCHEMA = 3
 
 CELL_CSV_COLUMNS = (
     "exp_id",
@@ -50,6 +54,7 @@ CELL_CSV_COLUMNS = (
     "weight",
     "shard",
     "verify",
+    "parts",
     "params",
     "path",
 )
@@ -76,6 +81,10 @@ def _experiment_payload(view: ExperimentView) -> dict:
                 "weight": cell.weight,
                 "shard": cell.shard,
                 "verify": cell.verify,
+                "parts": [
+                    {"part": part, "seconds": round(seconds, 6)}
+                    for part, seconds in cell.parts
+                ],
                 "path": cell.path,
             }
             for cell in view.cells
@@ -146,6 +155,14 @@ def cells_csv(view: ExperimentView, preset: str) -> str:
             "weight": cell.weight,
             "shard": cell.shard,
             "verify": cell.verify,
+            "parts": json.dumps(
+                [
+                    {"part": part, "seconds": round(seconds, 6)}
+                    for part, seconds in cell.parts
+                ],
+                sort_keys=True,
+                separators=(",", ":"),
+            ),
             "params": json.dumps(
                 cell.params, sort_keys=True, separators=(",", ":")
             ),

@@ -33,6 +33,7 @@ from __future__ import annotations
 import hashlib
 import inspect
 import json
+import os
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
@@ -46,12 +47,17 @@ __all__ = [
     "ExperimentResult",
     "ExperimentSpec",
     "RunProfile",
+    "Subtask",
     "Sweep",
     "calibration_line",
     "cell_seed",
     "default_rng",
+    "fold_cell",
     "route_mode",
     "run_cell",
+    "run_subtask",
+    "splitting_enabled",
+    "subtask_seed",
     "PRESETS",
     "MODES",
     "SIM_CEILING",
@@ -86,7 +92,11 @@ DEFAULT_SEED = 20250612
 # v2: cells carry a mode axis (sim | model | verify); the mode is part
 # of the hash (and of non-sim cell keys), so model-backed and simulated
 # records of the same (exp, size) are distinct store entries.
-CELL_SCHEMA_VERSION = 2
+# v3: cells may be divisible (split/fold hooks, covered by the hash);
+# the converted experiments re-derive their per-part randomness from
+# subtask_seed on BOTH paths, so the monolithic records themselves
+# changed and every pre-split store entry must stop matching.
+CELL_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -218,6 +228,36 @@ def cell_seed(exp_id: str, key: str, base: int = DEFAULT_SEED) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+def subtask_seed(
+    exp_id: str, key: str, part: str, base: int = DEFAULT_SEED
+) -> int:
+    """Derive one subtask's RNG seed from ``(cell identity, part name)``.
+
+    The sub-seed is a :func:`cell_seed` over the synthetic key
+    ``"<key>#part=<part>"`` — a pure function of *which slice of which
+    measurement* this is, never of K, scheduling order, or which worker
+    runs it.  Divisible measurement functions draw each part's
+    randomness from its own sub-seed on the monolithic path too, which
+    is what makes ``fold(subtasks) == monolithic`` an identity rather
+    than a hope.
+    """
+    return cell_seed(exp_id, f"{key}#part={part}", base)
+
+
+def splitting_enabled() -> bool:
+    """Whether divisible cells actually decompose (REPRO_NO_SPLIT kill
+    switch).
+
+    With ``REPRO_NO_SPLIT=1`` every divisible cell runs its monolithic
+    measurement function — the oracle path the split/fold pair must
+    reproduce byte-for-byte (the ``split-parity`` CI job diffs whole
+    campaigns across this switch).  Cell identity is unaffected: the
+    config hash covers the declared hooks either way, so both paths
+    share store records.
+    """
+    return not os.environ.get("REPRO_NO_SPLIT")
+
+
 def route_mode(
     profile: "bool | RunProfile", n: int, ceiling: int = SIM_CEILING
 ) -> str:
@@ -269,6 +309,37 @@ def calibration_line(records: "Iterable[dict]") -> "str | None":
 CellFn = Callable[[dict, random.Random], dict]
 
 
+@dataclass(frozen=True)
+class Subtask:
+    """One slice of a divisible cell — a first-class pool work item.
+
+    Like a cell, a subtask is pure and picklable: ``fn(params, rng)``
+    must be a module-level function returning a JSON record, ``params``
+    plain data, and ``seed`` derived from identity
+    (:func:`subtask_seed`), so subtasks run in any order, on any
+    worker, on any shard, without changing the folded record.
+    ``weight`` is the scheduling cost hint (the cell's weight divided
+    among its parts); ``key`` is the pool-global work-item identity the
+    weight shard strategy partitions on.
+    """
+
+    exp_id: str
+    cell_key: str
+    part: str
+    fn: CellFn
+    params: Mapping
+    seed: int
+    weight: float = 1.0
+
+    @property
+    def key(self) -> str:
+        return f"{self.cell_key}#part={self.part}"
+
+
+SplitFn = Callable[["Cell"], "Sequence[Subtask]"]
+FoldFn = Callable[[dict, dict], dict]
+
+
 def _fn_source(fn: CellFn) -> str:
     """The measurement function's source text, for the config hash.
 
@@ -281,6 +352,13 @@ def _fn_source(fn: CellFn) -> str:
         return inspect.getsource(fn)
     except (OSError, TypeError):
         return ""
+
+
+def _hook_id(hook: "Callable | None") -> "list[str] | None":
+    """Identity of an optional split/fold hook for the config hash."""
+    if hook is None:
+        return None
+    return [f"{hook.__module__}.{hook.__qualname__}", _fn_source(hook)]
 
 
 @dataclass(frozen=True)
@@ -296,6 +374,15 @@ class Cell:
     their key (``.../mode=model``), so simulated and model-backed
     records of the same measurement are distinct store entries that can
     coexist — neither is ever "stale" relative to the other.
+
+    A cell opts into *divisibility* by declaring both hooks:
+    ``split(cell) -> [Subtask, ...]`` decomposes the measurement into
+    independent picklable slices (each with a :func:`subtask_seed`
+    sub-seed) and ``fold(params, {part: record}) -> record`` is the
+    pure reducer reconstructing the exact cell record.  The contract —
+    enforced by the ``split-parity`` CI diff and the kill switch
+    (:func:`splitting_enabled`) — is byte-identity: ``fold`` over the
+    parts must equal what ``fn`` computes monolithically.
     """
 
     exp_id: str
@@ -305,6 +392,42 @@ class Cell:
     seed: int
     weight: float = 1.0
     mode: str = "sim"
+    split: "SplitFn | None" = None
+    fold: "FoldFn | None" = None
+
+    @property
+    def divisible(self) -> bool:
+        """Whether this cell declares the split/fold pair."""
+        return self.split is not None and self.fold is not None
+
+    def subtasks(self) -> "list[Subtask]":
+        """The declared decomposition, validated.
+
+        Every part must target this cell (same ``exp_id``/``key``) and
+        part names must be unique — the store files partial records per
+        part and the fold keys on them.
+        """
+        if not self.divisible:
+            raise ReproError(
+                f"cell {self.exp_id}/{self.key} declares no split/fold pair"
+            )
+        parts = list(self.split(self))
+        if not parts:
+            raise ReproError(
+                f"split of {self.exp_id}/{self.key} produced no subtasks"
+            )
+        names = [subtask.part for subtask in parts]
+        if len(set(names)) != len(names):
+            raise ReproError(
+                f"split of {self.exp_id}/{self.key} has duplicate parts"
+            )
+        for subtask in parts:
+            if subtask.exp_id != self.exp_id or subtask.cell_key != self.key:
+                raise ReproError(
+                    f"subtask {subtask.exp_id}/{subtask.key} does not "
+                    f"belong to cell {self.exp_id}/{self.key}"
+                )
+        return parts
 
     def config_hash(self) -> str:
         """Identity of this measurement for the run store.
@@ -327,6 +450,13 @@ class Cell:
                 "seed": self.seed,
                 "fn": f"{self.fn.__module__}.{self.fn.__qualname__}",
                 "fn_source": _fn_source(self.fn),
+                # The divisibility hooks are part of the measurement's
+                # identity (a fold edit must invalidate folded records),
+                # but NOT the split/no-split execution choice: divided
+                # and undivided runs of the same cell share one hash,
+                # which is what lets REPRO_NO_SPLIT byte-diff stores.
+                "split": _hook_id(self.split),
+                "fold": _hook_id(self.fold),
             },
             sort_keys=True,
         )
@@ -341,6 +471,32 @@ def run_cell(cell: Cell) -> dict:
     not only on the resume path) and non-serializable records fail fast.
     """
     record = cell.fn(dict(cell.params), random.Random(cell.seed))
+    return json.loads(json.dumps(record))
+
+
+def run_subtask(subtask: Subtask) -> dict:
+    """Execute one subtask in-process and return its JSON record.
+
+    Same round-trip discipline as :func:`run_cell`: a part record that
+    just ran is indistinguishable from one loaded back from a partial
+    store file, so the fold sees identical inputs on every path.
+    """
+    record = subtask.fn(dict(subtask.params), random.Random(subtask.seed))
+    return json.loads(json.dumps(record))
+
+
+def fold_cell(cell: Cell, parts: "Mapping[str, dict]") -> dict:
+    """Reduce a divisible cell's part records into its cell record.
+
+    ``parts`` maps part name to that subtask's JSON record.  The result
+    is round-tripped like every other record, so a folded cell is
+    byte-identical in the store to a monolithically measured one.
+    """
+    if cell.fold is None:
+        raise ReproError(
+            f"cell {cell.exp_id}/{cell.key} declares no fold reducer"
+        )
+    record = cell.fold(dict(cell.params), dict(parts))
     return json.loads(json.dumps(record))
 
 

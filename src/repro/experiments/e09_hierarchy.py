@@ -17,6 +17,14 @@ member words (worst case: full windows travel the whole ring).  Checks:
 
 Cell plan: one cell per (growth law, ring size); the envelope and
 boundedness checks fold in at finalize over each law's size curve.
+Sim/verify cells are *divisible* (PERFORMANCE.md layer 10): the
+non-member simulation rides as one subtask, and the member run — the
+Θ(g(n)) single-token pass that used to pin the campaign makespan —
+decomposes into independent ring-segment replays
+(:func:`repro.core.hierarchy.replay_segment`), every part drawing its
+inputs from identity-derived seeds.  The monolithic path
+(``REPRO_NO_SPLIT=1``) simulates both halves for real and stays the
+byte-identity oracle for the replays.
 
 Mode axis (PERFORMANCE.md layer 7): the compare-pass counts are
 position-determined, so :mod:`repro.analysis.models` predicts them in
@@ -34,16 +42,18 @@ import random
 from repro.analysis import models as analytic
 from repro.analysis.growth import classify_growth, theta_check
 from repro.bits import fixed_width_for
-from repro.core.hierarchy import HierarchyRecognizer
+from repro.core.hierarchy import HierarchyRecognizer, replay_segment
 from repro.experiments.base import (
     Cell,
     ExperimentResult,
     ExperimentSpec,
     RunProfile,
+    Subtask,
     Sweep,
     calibration_line,
     cell_seed,
     route_mode,
+    subtask_seed,
 )
 from repro.languages.hierarchy import STANDARD_GROWTHS, PeriodicLanguage
 from repro.ring.unidirectional import run_unidirectional
@@ -98,47 +108,227 @@ def _model_record(growth, n: int) -> dict:
     }
 
 
+def _measure_member(params: dict, rng: random.Random) -> dict:
+    """Member-word half of one (growth law, size) simulation.
+
+    The expensive half of the cell: sample a member, run the recognizer,
+    split the passes.  ``decision_ok`` here covers the member run only —
+    the fold ANDs in the non-member verdict.
+    """
+    growth = _GROWTHS[params["growth"]]
+    n = params["n"]
+    language = PeriodicLanguage(growth)
+    member = language.sample_member(n, rng)
+    if member is None:
+        return {"skipped": True}
+    trace = run_unidirectional(
+        HierarchyRecognizer(language), member, trace="metrics"
+    )
+    return {
+        "skipped": False,
+        "n": n,
+        "p": language.block_length(n),
+        "compare_bits": trace.bits_of_pass(1),
+        "total_bits": trace.total_bits,
+        "total_ratio": trace.total_bits / max(growth(n), 1),
+        "decision_ok": trace.decision is True,
+    }
+
+
+def _measure_non_member(params: dict, rng: random.Random) -> dict:
+    """Non-member half: does the recognizer reject a perturbed word?
+
+    ``rejected`` is ``None`` when no non-member exists at this size —
+    the fold then leaves the member verdict alone, exactly like the
+    historical single-pass measurement did.
+    """
+    growth = _GROWTHS[params["growth"]]
+    n = params["n"]
+    language = PeriodicLanguage(growth)
+    non_member = language.sample_non_member(n, rng)
+    if non_member is None:
+        return {"rejected": None}
+    trace = run_unidirectional(
+        HierarchyRecognizer(language), non_member, trace="metrics"
+    )
+    return {"rejected": trace.decision is False}
+
+
+# The sim decomposition (PERFORMANCE.md layer 10).  The member run is
+# the cell's makespan problem — one Θ(g(n)) single-token simulation
+# that used to ride whole — so the divided path replays it as
+# _SEGMENTS independent ring slices (repro.core.hierarchy.replay_segment:
+# the token's state at any position is a pure function of the word
+# prefix, and sizes come from the live codec).  The non-member run
+# stays a true simulation: it is the cheap half, and it keeps the
+# simulator exercised on the default path.  The monolithic oracle
+# (_measure under REPRO_NO_SPLIT=1) simulates BOTH halves, so
+# fold(subtasks) == monolithic asserts replay == simulation.
+_SEGMENTS = 4
+# Divided-path cost shares of the declared cell weight: the non-member
+# simulation dominates (segment replay is O(n log n) regardless of g);
+# when p == n no non-member exists and its run is a no-op.
+_NON_MEMBER_SHARE = 0.9
+
+
+def _segment_bounds(n: int, index: int, total: int) -> "tuple[int, int]":
+    """Contiguous position range of segment ``index`` of ``total``."""
+    return (n * index) // total, (n * (index + 1)) // total
+
+
+def _member_word(params: dict) -> "str | None":
+    """The member word, from the *cell-level* ``member`` seed stream.
+
+    Every member segment — and the monolithic ``_measure_member`` run —
+    reconstructs the same word: it is a function of cell identity, not
+    of which part (or worker, or K) touches it.
+    """
+    growth = _GROWTHS[params["growth"]]
+    n = params["n"]
+    language = PeriodicLanguage(growth)
+    key = _cell_key(params["growth"], n, params.get("mode", "sim"))
+    return language.sample_member(
+        n, random.Random(subtask_seed("E9", key, "member"))
+    )
+
+
+def _measure_member_segment(params: dict, rng: random.Random) -> dict:
+    """One ring-segment replay of the member run (divided path only).
+
+    ``params["segment"]``/``params["segments"]`` select the position
+    slice; the shared ``rng`` is unused (the word comes from
+    :func:`_member_word`, the segment accounting is deterministic).
+    """
+    member = _member_word(params)
+    if member is None:
+        return {"skipped": True}
+    growth = _GROWTHS[params["growth"]]
+    start, stop = _segment_bounds(
+        params["n"], params["segment"], params["segments"]
+    )
+    return {
+        "skipped": False,
+        **replay_segment(PeriodicLanguage(growth), member, start, stop),
+    }
+
+
+def _member_from_segments(params: dict, parts: dict) -> dict:
+    """Reassemble the member-half record from its segment replays.
+
+    Summing any partition of ``[0, n)`` reproduces the simulated pass
+    totals exactly; the decision is the OR of the segment-local fail
+    flags (a mismatch anywhere fails the word).
+    """
+    segments = [parts[f"member-seg{k}"] for k in range(_SEGMENTS)]
+    if any(segment["skipped"] for segment in segments):
+        return {"skipped": True}
+    growth = _GROWTHS[params["growth"]]
+    n = params["n"]
+    compare = sum(segment["compare_bits"] for segment in segments)
+    total = compare + sum(segment["count_bits"] for segment in segments)
+    fail = max(segment["fail"] for segment in segments)
+    return {
+        "skipped": False,
+        "n": n,
+        "p": PeriodicLanguage(growth).block_length(n),
+        "compare_bits": compare,
+        "total_bits": total,
+        "total_ratio": total / max(growth(n), 1),
+        "decision_ok": bool(segments[0]["p_valid"]) and fail == 0,
+    }
+
+
+def _split(cell: Cell) -> "list[Subtask]":
+    """Decompose one sim/verify cell: non-member run + member segments."""
+    n = cell.params["n"]
+    p = PeriodicLanguage(_GROWTHS[cell.params["growth"]]).block_length(n)
+    non_share = 0.0 if p == n else _NON_MEMBER_SHARE
+    subtasks = [
+        Subtask(
+            exp_id=cell.exp_id,
+            cell_key=cell.key,
+            part="non-member",
+            fn=_measure_non_member,
+            params=dict(cell.params),
+            seed=subtask_seed(cell.exp_id, cell.key, "non-member"),
+            weight=cell.weight * non_share,
+        )
+    ]
+    segment_share = (1.0 - non_share) / _SEGMENTS
+    for k in range(_SEGMENTS):
+        part = f"member-seg{k}"
+        subtasks.append(
+            Subtask(
+                exp_id=cell.exp_id,
+                cell_key=cell.key,
+                part=part,
+                fn=_measure_member_segment,
+                params={**cell.params, "segment": k, "segments": _SEGMENTS},
+                seed=subtask_seed(cell.exp_id, cell.key, part),
+                weight=cell.weight * segment_share,
+            )
+        )
+    return subtasks
+
+
+def _combine(params: dict, member: dict, non_member: dict) -> dict:
+    """Member + non-member halves -> the cell record (both paths).
+
+    Pure in its inputs; the verify verdict is recomputed here (the
+    analytic model is O(log n)) so a folded verify cell carries exactly
+    the verdict the monolithic path would have persisted.
+    """
+    growth = _GROWTHS[params["growth"]]
+    n = params["n"]
+    record = dict(member)
+    if not record["skipped"]:
+        rejected = non_member["rejected"]
+        if rejected is not None:
+            record["decision_ok"] = record["decision_ok"] and rejected
+    else:
+        record = {"skipped": True}
+    if params.get("mode", "sim") == "sim":
+        return record
+    verdict = analytic.calibration_verdict(
+        record, _model_record(growth, n), _VERIFY_FIELDS
+    )
+    return {**record, "mode": "verify", **verdict}
+
+
+def _fold(params: dict, parts: dict) -> dict:
+    """Reconstruct the cell record from the divided path's parts."""
+    return _combine(
+        dict(params),
+        _member_from_segments(dict(params), parts),
+        parts["non-member"],
+    )
+
+
 def _measure(params: dict, rng: random.Random) -> dict:
     """One (growth law, size) under the cell's mode.
 
-    ``sim``: member + non-member simulator runs, pass split (historical
-    record, unchanged).  ``model``: closed-form prediction only.
-    ``verify``: both, plus the bit-for-bit verdict.
+    ``sim``/``verify`` simulate both halves for real — this is the
+    oracle the divided path's segment replays are byte-diffed against
+    (REPRO_NO_SPLIT=1, the split-parity CI job, and tests/test_split.py
+    all pin ``fold(subtasks) == monolithic``).  Each half draws its
+    word from its own :func:`subtask_seed` stream, never from the
+    shared ``rng``.  ``model``: closed-form prediction only.
     """
     growth = _GROWTHS[params["growth"]]
     n = params["n"]
     mode = params.get("mode", "sim")
     if mode == "model":
         return {**_model_record(growth, n), "mode": "model"}
-    language = PeriodicLanguage(growth)
-    algorithm = HierarchyRecognizer(language)
-    member = language.sample_member(n, rng)
-    if member is None:
-        record = {"skipped": True}
-    else:
-        trace = run_unidirectional(algorithm, member, trace="metrics")
-        decision_ok = trace.decision is True
-        non_member = language.sample_non_member(n, rng)
-        if non_member is not None:
-            rejected = run_unidirectional(
-                algorithm, non_member, trace="metrics"
-            )
-            decision_ok = decision_ok and rejected.decision is False
-        record = {
-            "skipped": False,
-            "n": n,
-            "p": language.block_length(n),
-            "compare_bits": trace.bits_of_pass(1),
-            "total_bits": trace.total_bits,
-            "total_ratio": trace.total_bits / max(growth(n), 1),
-            "decision_ok": decision_ok,
-        }
-    if mode == "sim":
-        return record
-    verdict = analytic.calibration_verdict(
-        record, _model_record(growth, n), _VERIFY_FIELDS
+    key = _cell_key(params["growth"], n, mode)
+    return _combine(
+        dict(params),
+        _measure_member(
+            dict(params), random.Random(subtask_seed("E9", key, "member"))
+        ),
+        _measure_non_member(
+            dict(params), random.Random(subtask_seed("E9", key, "non-member"))
+        ),
     )
-    return {**record, "mode": "verify", **verdict}
 
 
 TITLE = "The Theta(g(n)) hierarchy (§7(3))"
@@ -161,6 +351,7 @@ def plan(profile: RunProfile) -> list[Cell]:
             if mode != "sim":
                 params["mode"] = mode
                 params["model_version"] = analytic.MODEL_VERSION
+            divisible = mode != "model"
             cells.append(
                 Cell(
                     exp_id="E9",
@@ -169,9 +360,13 @@ def plan(profile: RunProfile) -> list[Cell]:
                     params=params,
                     seed=cell_seed("E9", key),
                     # Model cells cost O(log n) regardless of g(n); the
-                    # LPT scheduler should treat them as free.
+                    # LPT scheduler should treat them as free.  Sim and
+                    # verify cells are divisible: their member and
+                    # non-member runs schedule as independent subtasks.
                     weight=1.0 if mode == "model" else _GROWTHS[name](n),
                     mode=mode,
+                    split=_split if divisible else None,
+                    fold=_fold if divisible else None,
                 )
             )
     return cells

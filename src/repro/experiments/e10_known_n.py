@@ -37,16 +37,22 @@ from repro.analysis import models as analytic
 from repro.analysis.growth import classify_growth, curve_from_records, theta_check
 from repro.bits import fixed_width_for
 from repro.core.counting import LengthPredicateRecognizer
-from repro.core.known_n import KnownNHierarchyRecognizer, KnownNLengthRecognizer
+from repro.core.known_n import (
+    KnownNHierarchyRecognizer,
+    KnownNLengthRecognizer,
+    replay_segment as replay_known_n_segment,
+)
 from repro.experiments.base import (
     Cell,
     ExperimentResult,
     ExperimentSpec,
     RunProfile,
+    Subtask,
     Sweep,
     calibration_line,
     cell_seed,
     route_mode,
+    subtask_seed,
 )
 from repro.languages.hierarchy import GrowthFunction, PeriodicLanguage
 from repro.languages.nonregular import is_prime
@@ -110,45 +116,209 @@ def _model_prime_record(n: int) -> dict:
     }
 
 
+def _measure_hierarchy_member(params: dict, rng: random.Random) -> dict:
+    """Member-word half of one (known-n law, size) simulation."""
+    growth = _GROWTHS[params["growth"]]
+    n = params["n"]
+    language = PeriodicLanguage(growth)
+    member = language.sample_member(n, rng)
+    if member is None:
+        return {"skipped": True}
+    trace = run_unidirectional(
+        KnownNHierarchyRecognizer(language), member, trace="metrics"
+    )
+    return {
+        "skipped": False,
+        "n": n,
+        "bits": trace.total_bits,
+        "ratio": trace.total_bits / max(growth(n), 1),
+        "ok": trace.decision is True,
+    }
+
+
+def _measure_hierarchy_non_member(params: dict, rng: random.Random) -> dict:
+    """Non-member half; ``rejected=None`` when no non-member exists."""
+    growth = _GROWTHS[params["growth"]]
+    n = params["n"]
+    language = PeriodicLanguage(growth)
+    non_member = language.sample_non_member(n, rng)
+    if non_member is None:
+        return {"rejected": None}
+    trace = run_unidirectional(
+        KnownNHierarchyRecognizer(language), non_member, trace="metrics"
+    )
+    return {"rejected": trace.decision is False}
+
+
+# The sim decomposition (PERFORMANCE.md layer 10), mirroring E9: the
+# member run — the Θ(g(n)) single-token pass — replays as _SEGMENTS
+# independent ring slices (repro.core.known_n.replay_segment), the
+# non-member run stays a true simulation, and the monolithic oracle
+# (_measure_hierarchy under REPRO_NO_SPLIT=1) simulates both halves.
+_SEGMENTS = 4
+_NON_MEMBER_SHARE = 0.9
+
+
+def _segment_bounds(n: int, index: int, total: int) -> "tuple[int, int]":
+    """Contiguous position range of segment ``index`` of ``total``."""
+    return (n * index) // total, (n * (index + 1)) // total
+
+
+def _hierarchy_member_word(params: dict) -> "str | None":
+    """The member word, from the *cell-level* ``member`` seed stream.
+
+    Every member segment — and the monolithic run — reconstructs the
+    same word: a function of cell identity, not of which part runs.
+    """
+    growth = _GROWTHS[params["growth"]]
+    n = params["n"]
+    language = PeriodicLanguage(growth)
+    key = _cell_key(f"g={params['growth']}", n, params.get("mode", "sim"))
+    return language.sample_member(
+        n, random.Random(subtask_seed("E10", key, "member"))
+    )
+
+
+def _measure_hierarchy_member_segment(
+    params: dict, rng: random.Random
+) -> dict:
+    """One ring-segment replay of the member run (divided path only)."""
+    member = _hierarchy_member_word(params)
+    if member is None:
+        return {"skipped": True}
+    growth = _GROWTHS[params["growth"]]
+    start, stop = _segment_bounds(
+        params["n"], params["segment"], params["segments"]
+    )
+    return {
+        "skipped": False,
+        **replay_known_n_segment(
+            PeriodicLanguage(growth), member, start, stop
+        ),
+    }
+
+
+def _hierarchy_member_from_segments(params: dict, parts: dict) -> dict:
+    """Reassemble the member-half record from its segment replays."""
+    segments = [parts[f"member-seg{k}"] for k in range(_SEGMENTS)]
+    if any(segment["skipped"] for segment in segments):
+        return {"skipped": True}
+    growth = _GROWTHS[params["growth"]]
+    n = params["n"]
+    bits = sum(segment["bits"] for segment in segments)
+    fail = max(segment["fail"] for segment in segments)
+    return {
+        "skipped": False,
+        "n": n,
+        "bits": bits,
+        "ratio": bits / max(growth(n), 1),
+        "ok": bool(segments[0]["p_valid"]) and fail == 0,
+    }
+
+
+def _combine_hierarchy(params: dict, member: dict, non_member: dict) -> dict:
+    """Member + non-member halves -> the cell record (both paths)."""
+    growth = _GROWTHS[params["growth"]]
+    n = params["n"]
+    record = dict(member)
+    if not record["skipped"]:
+        rejected = non_member["rejected"]
+        if rejected is not None:
+            record["ok"] = record["ok"] and rejected
+    else:
+        record = {"skipped": True}
+    if params.get("mode", "sim") == "sim":
+        return record
+    verdict = analytic.calibration_verdict(
+        record, _model_hierarchy_record(growth, n), _HIERARCHY_VERIFY_FIELDS
+    )
+    return {**record, "mode": "verify", **verdict}
+
+
+def _fold_hierarchy(params: dict, parts: dict) -> dict:
+    """Reconstruct one (known-n law, size) record from the divided parts."""
+    return _combine_hierarchy(
+        dict(params),
+        _hierarchy_member_from_segments(dict(params), parts),
+        parts["non-member"],
+    )
+
+
 def _measure_hierarchy(params: dict, rng: random.Random) -> dict:
     """One (known-n law, size) under the cell's mode.
 
-    ``sim``: comparison pass only, no counting floor (historical record,
-    unchanged).  ``model``: closed-form prediction only.  ``verify``:
-    both, plus the bit-for-bit verdict.
+    ``sim``/``verify`` simulate both halves for real — the oracle the
+    divided path's segment replays are byte-diffed against (the shared
+    ``rng`` is unused; each half draws from its own
+    :func:`subtask_seed` stream).  ``model``: closed-form only.
     """
     growth = _GROWTHS[params["growth"]]
     n = params["n"]
     mode = params.get("mode", "sim")
     if mode == "model":
         return {**_model_hierarchy_record(growth, n), "mode": "model"}
-    language = PeriodicLanguage(growth)
-    algorithm = KnownNHierarchyRecognizer(language)
-    member = language.sample_member(n, rng)
-    if member is None:
-        record = {"skipped": True}
-    else:
-        trace = run_unidirectional(algorithm, member, trace="metrics")
-        ok = trace.decision is True
-        non_member = language.sample_non_member(n, rng)
-        if non_member is not None:
-            ok = ok and (
-                run_unidirectional(
-                    algorithm, non_member, trace="metrics"
-                ).decision
-                is False
-            )
-        record = {
-            "skipped": False,
-            "n": n,
-            "bits": trace.total_bits,
-            "ratio": trace.total_bits / max(growth(n), 1),
-            "ok": ok,
-        }
-    if mode == "sim":
+    key = _cell_key(f"g={params['growth']}", n, mode)
+    return _combine_hierarchy(
+        dict(params),
+        _measure_hierarchy_member(
+            dict(params), random.Random(subtask_seed("E10", key, "member"))
+        ),
+        _measure_hierarchy_non_member(
+            dict(params),
+            random.Random(subtask_seed("E10", key, "non-member")),
+        ),
+    )
+
+
+def _measure_prime_known(params: dict, rng: random.Random) -> dict:
+    """The known-n recognizer's run: exactly n confirmation bits."""
+    n = params["n"]
+    trace = run_unidirectional(
+        KnownNLengthRecognizer(is_prime, name="prime (n known)"),
+        "a" * n,
+        trace="metrics",
+    )
+    return {"known_bits": trace.total_bits, "decision": trace.decision}
+
+
+def _measure_prime_unknown(params: dict, rng: random.Random) -> dict:
+    """The counting recognizer's run: the Theta(n log n) contrast."""
+    n = params["n"]
+    trace = run_unidirectional(
+        LengthPredicateRecognizer(is_prime, name="prime (count)"),
+        "a" * n,
+        trace="metrics",
+    )
+    return {"unknown_bits": trace.total_bits, "decision": trace.decision}
+
+
+# The counting run is the dominant cost (its messages carry counters,
+# the known-n run's are single bits): bias the declared split so LPT
+# schedules the heavy part first.
+_PRIME_PARTS = (
+    ("known", _measure_prime_known, 0.25),
+    ("unknown", _measure_prime_unknown, 0.75),
+)
+
+
+def _fold_prime(params: dict, parts: dict) -> dict:
+    """Reconstruct one prime-length contrast record from its two runs."""
+    n = params["n"]
+    known = parts["known"]
+    unknown = parts["unknown"]
+    record = {
+        "n": n,
+        "known_bits": known["known_bits"],
+        "unknown_bits": unknown["unknown_bits"],
+        "ok": (
+            known["decision"] == unknown["decision"] == is_prime(n)
+            and known["known_bits"] == n
+        ),
+    }
+    if params.get("mode", "sim") == "sim":
         return record
     verdict = analytic.calibration_verdict(
-        record, _model_hierarchy_record(growth, n), _HIERARCHY_VERIFY_FIELDS
+        record, _model_prime_record(n), _PRIME_VERIFY_FIELDS
     )
     return {**record, "mode": "verify", **verdict}
 
@@ -159,26 +329,65 @@ def _measure_prime(params: dict, rng: random.Random) -> dict:
     mode = params.get("mode", "sim")
     if mode == "model":
         return {**_model_prime_record(n), "mode": "model"}
-    word = "a" * n
-    known = KnownNLengthRecognizer(is_prime, name="prime (n known)")
-    unknown = LengthPredicateRecognizer(is_prime, name="prime (count)")
-    known_trace = run_unidirectional(known, word, trace="metrics")
-    unknown_trace = run_unidirectional(unknown, word, trace="metrics")
-    record = {
-        "n": n,
-        "known_bits": known_trace.total_bits,
-        "unknown_bits": unknown_trace.total_bits,
-        "ok": (
-            known_trace.decision == unknown_trace.decision == is_prime(n)
-            and known_trace.total_bits == n
-        ),
+    key = _cell_key("prime", n, mode)
+    parts = {
+        part: fn(dict(params), random.Random(subtask_seed("E10", key, part)))
+        for part, fn, _share in _PRIME_PARTS
     }
-    if mode == "sim":
-        return record
-    verdict = analytic.calibration_verdict(
-        record, _model_prime_record(n), _PRIME_VERIFY_FIELDS
-    )
-    return {**record, "mode": "verify", **verdict}
+    return _fold_prime(dict(params), parts)
+
+
+def _split_hierarchy(cell: Cell) -> "list[Subtask]":
+    """Decompose one hierarchy cell: non-member run + member segments."""
+    n = cell.params["n"]
+    p = PeriodicLanguage(_GROWTHS[cell.params["growth"]]).block_length(n)
+    non_share = 0.0 if p == n else _NON_MEMBER_SHARE
+    subtasks = [
+        Subtask(
+            exp_id=cell.exp_id,
+            cell_key=cell.key,
+            part="non-member",
+            fn=_measure_hierarchy_non_member,
+            params=dict(cell.params),
+            seed=subtask_seed(cell.exp_id, cell.key, "non-member"),
+            weight=cell.weight * non_share,
+        )
+    ]
+    segment_share = (1.0 - non_share) / _SEGMENTS
+    for k in range(_SEGMENTS):
+        part = f"member-seg{k}"
+        subtasks.append(
+            Subtask(
+                exp_id=cell.exp_id,
+                cell_key=cell.key,
+                part=part,
+                fn=_measure_hierarchy_member_segment,
+                params={**cell.params, "segment": k, "segments": _SEGMENTS},
+                seed=subtask_seed(cell.exp_id, cell.key, part),
+                weight=cell.weight * segment_share,
+            )
+        )
+    return subtasks
+
+
+def _split_prime(cell: Cell) -> "list[Subtask]":
+    """Decompose one sim/verify prime cell into its two recognizer runs."""
+    return _split_parts(cell, _PRIME_PARTS)
+
+
+def _split_parts(cell: Cell, spec: tuple) -> "list[Subtask]":
+    return [
+        Subtask(
+            exp_id=cell.exp_id,
+            cell_key=cell.key,
+            part=part,
+            fn=fn,
+            params=dict(cell.params),
+            seed=subtask_seed(cell.exp_id, cell.key, part),
+            weight=cell.weight * share,
+        )
+        for part, fn, share in spec
+    ]
 
 
 TITLE = "Known n: the hierarchy reaches Theta(n) (§7(4))"
@@ -201,6 +410,7 @@ def plan(profile: RunProfile) -> list[Cell]:
             if mode != "sim":
                 params["mode"] = mode
                 params["model_version"] = analytic.MODEL_VERSION
+            divisible = mode != "model"
             cells.append(
                 Cell(
                     exp_id="E10",
@@ -209,9 +419,13 @@ def plan(profile: RunProfile) -> list[Cell]:
                     params=params,
                     seed=cell_seed("E10", key),
                     # Model cells cost O(log n) regardless of g(n); the
-                    # LPT scheduler should treat them as free.
+                    # LPT scheduler should treat them as free.  Sim and
+                    # verify cells divide into the non-member run plus
+                    # ring-segment replays of the member run.
                     weight=1.0 if mode == "model" else _GROWTHS[name](n),
                     mode=mode,
+                    split=_split_hierarchy if divisible else None,
+                    fold=_fold_hierarchy if divisible else None,
                 )
             )
     for n in SWEEP.sizes(profile):
@@ -221,6 +435,7 @@ def plan(profile: RunProfile) -> list[Cell]:
         if mode != "sim":
             params["mode"] = mode
             params["model_version"] = analytic.MODEL_VERSION
+        divisible = mode != "model"
         cells.append(
             Cell(
                 exp_id="E10",
@@ -230,6 +445,8 @@ def plan(profile: RunProfile) -> list[Cell]:
                 seed=cell_seed("E10", key),
                 weight=1.0 if mode == "model" else n,
                 mode=mode,
+                split=_split_prime if divisible else None,
+                fold=_fold_prime if divisible else None,
             )
         )
     return cells

@@ -24,6 +24,11 @@ messages.  This module owns that machinery, at three cost tiers:
   stays untouched as the oracle (``tests/test_delivery_batch.py`` pins
   the equivalence; the ``delivery-parity`` CI job diffs whole quick
   campaigns with the engine forced off via ``REPRO_NO_ROUND_BATCH=1``).
+  The unidirectional ring rides the same engine (``uni=True``): it has
+  no scheduler at all — its global FIFO deque *is* the engine's
+  delivery order — so its metrics-mode runs sweep rounds too, with the
+  CCW-send model violation raised at enqueue time in that simulator's
+  exact wording.
 * **Heap path** — when the scheduler only ever consumes the oldest head
   (``Scheduler.head_only``) but the run needs full traces (or the batch
   engine is disabled), the active queues live in a min-heap keyed by
@@ -80,6 +85,7 @@ def run_round_batched(
     record: "TraceStats",
     max_messages: int,
     line: bool = False,
+    uni: bool = False,
 ) -> None:
     """Execute to quiescence in round-batched sweeps (global-FIFO order).
 
@@ -96,6 +102,12 @@ def run_round_batched(
     ``line=True`` selects line topology: neighbor tables stop at the
     ends and a send off either end raises :class:`ProtocolError` at
     enqueue time, exactly like ``LineNetwork``'s ``enqueue`` validator.
+    ``uni=True`` selects the unidirectional model: the ring wraps, but
+    any CCW send raises :class:`ProtocolError` at enqueue time with
+    ``UnidirectionalRing``'s exact wording — that simulator's global
+    FIFO deque is already the engine's delivery order (each round's
+    messages precede everything they cause), so the sweep is a drop-in
+    for its metrics loop.
     The message cap matches the heap loop's raise/no-raise decision: it
     trips exactly when deliveries would exceed ``max_messages`` with
     traffic still pending (checked per round — the cap can only be
@@ -166,6 +178,11 @@ def run_round_batched(
                 )
             codes.append((leader << 1) | 1)
         else:
+            if uni:
+                raise ProtocolError(
+                    "unidirectional algorithms may only send CW "
+                    f"(p_{leader} tried {direction})"
+                )
             if leader == ccw_forbidden:
                 raise ProtocolError(
                     f"p_{leader} sent {direction} off the end of the line"
@@ -216,6 +233,11 @@ def run_round_batched(
                         )
                     append_code((receiver << 1) | 1)
                 else:
+                    if uni:
+                        raise ProtocolError(
+                            "unidirectional algorithms may only send CW "
+                            f"(p_{receiver} tried {direction})"
+                        )
                     if receiver == ccw_forbidden:
                         raise ProtocolError(
                             f"p_{receiver} sent {direction} off the end "

@@ -25,7 +25,13 @@ Trace modes: ``run(trace="full")`` (default) materializes an
 :class:`~repro.ring.trace.ExecutionTrace` (O(m) events + local logs);
 ``run(trace="metrics")`` streams the same accounting into an O(n)-memory
 :class:`~repro.ring.trace.TraceStats`.  Counter-only sweeps (E1, E7-E11
-and the ``--preset long`` workloads) use metrics mode.
+and the ``--preset long`` workloads) use metrics mode — and metrics
+mode takes the round-batched engine
+(:func:`~repro.ring.delivery.run_round_batched` with ``uni=True``):
+global FIFO is round-structured, so the engine's sweep order is
+exactly this deque's pop order, with identical counters and identical
+model-violation errors.  ``REPRO_NO_ROUND_BATCH=1`` forces the deque
+loop, which stays as the parity oracle.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from collections import deque
 
 from repro.bits import Bits
 from repro.errors import ProtocolError, RingError
+from repro.ring.delivery import round_batching_enabled, run_round_batched
 from repro.ring.messages import Direction, Send
 from repro.ring.processor import Processor, RingAlgorithm
 from repro.ring.trace import (
@@ -95,6 +102,22 @@ class UnidirectionalRing:
             )
         else:
             record = TraceStats(self.word, leader=0)
+            if round_batching_enabled():
+                # The unique execution is global-FIFO by definition, so
+                # metrics-mode runs take the round-batched engine
+                # (uni=True: CCW sends raise this simulator's model
+                # violation).  REPRO_NO_ROUND_BATCH=1 forces the deque
+                # loop below, the oracle the parity tests diff against.
+                run_round_batched(
+                    self.processors, n, 0, record, max_messages, uni=True
+                )
+                record.decision = self.processors[0].decision
+                if record.decision is None:
+                    raise ProtocolError(
+                        f"execution of {self.algorithm.name!r} on "
+                        f"{self.word!r} quiesced without a leader decision"
+                    )
+                return record
         pending: deque[tuple[int, Bits]] = deque()
         delivered = 0
 

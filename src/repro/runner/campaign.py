@@ -17,10 +17,20 @@ records in plan order, so a campaign renders tables byte-identical to
 the per-experiment path at every worker count (the CLI's CI jobs diff
 them).
 
+Divisible cells (:meth:`repro.experiments.base.Cell.divisible`) do not
+enter the pool whole: their declared ``split`` decomposes them into
+subtasks that are scheduled as first-class work items — interleaved
+with ordinary cells in the same heaviest-first order — and the pure
+``fold`` reducer reconstructs the cell record the moment its last part
+lands.  Each landed part streams into the store as a ``.json.part``
+record under the cell's key, so a killed campaign resumes mid-cell;
+``REPRO_NO_SPLIT=1`` (:func:`repro.experiments.base.splitting_enabled`)
+keeps the monolithic path as the byte-for-byte oracle.
+
 ``CampaignExecution`` additionally accounts the campaign as a whole:
-``busy_seconds`` (worker-seconds spent measuring, excluding store hits)
-against ``wall_seconds * jobs`` gives the pool utilization that
-``--profile`` reports.
+``busy_seconds`` (worker-seconds spent measuring, folding, and
+finalizing, excluding store hits) against ``wall_seconds * jobs`` gives
+the pool utilization that ``--profile`` reports.
 """
 
 from __future__ import annotations
@@ -31,9 +41,21 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.errors import ReproError
-from repro.experiments.base import Cell, ExperimentSpec, RunProfile
-from repro.runner.executor import CellOutcome, PlanExecution, _timed_run_cell
-from repro.runner.sharding import shard_assignment
+from repro.experiments.base import (
+    Cell,
+    ExperimentSpec,
+    RunProfile,
+    Subtask,
+    fold_cell,
+    splitting_enabled,
+)
+from repro.runner.executor import (
+    CellOutcome,
+    PlanExecution,
+    _timed_run_cell,
+    _timed_run_subtask,
+)
+from repro.runner.sharding import campaign_assignment
 from repro.runner.store import RunStore
 
 __all__ = ["CampaignExecution", "PartialExecution", "execute_campaign"]
@@ -72,9 +94,10 @@ class CampaignExecution:
 
     Under ``--shard i/N`` only experiments whose every cell landed (from
     this shard's measurements plus store hits) appear in ``executions``;
-    the rest are in ``partial``, and ``sharded_out`` counts the cells
-    deterministically left to the other shards.  Unsharded campaigns
-    always finalize everything: ``partial`` is empty, ``sharded_out`` 0.
+    the rest are in ``partial``, and ``sharded_out`` counts the work
+    items — whole cells and divided cells' subtasks — deterministically
+    left to the other shards.  Unsharded campaigns always finalize
+    everything: ``partial`` is empty, ``sharded_out`` 0.
     """
 
     executions: dict[str, PlanExecution] = field(default_factory=dict)
@@ -83,6 +106,11 @@ class CampaignExecution:
     shard: "tuple[int, int] | None" = None
     partial: "dict[str, PartialExecution]" = field(default_factory=dict)
     sharded_out: int = 0
+    subtasks_run: int = 0
+    cells_folded: int = 0
+    fold_seconds: float = 0.0
+    finalize_seconds: float = 0.0
+    partial_fresh_seconds: float = 0.0
 
     def _outcomes(self):
         for ex in self.executions.values():
@@ -99,12 +127,30 @@ class CampaignExecution:
         return sum(1 for outcome in self._outcomes() if outcome.cached)
 
     @property
+    def measured_seconds(self) -> float:
+        """Worker-seconds spent actually measuring *in this run*.
+
+        Store hits are free; a folded cell assembled partly from
+        resumed ``.json.part`` records counts only its freshly measured
+        parts; ``partial_fresh_seconds`` carries the parts measured for
+        cells this run could not complete (a weight-sharded fleet may
+        split one cell's parts across legs).
+        """
+        return (
+            sum(outcome.busy_seconds for outcome in self._outcomes())
+            + self.partial_fresh_seconds
+        )
+
+    @property
     def busy_seconds(self) -> float:
-        """Worker-seconds spent actually measuring (store hits excluded)."""
-        return sum(
-            outcome.seconds
-            for outcome in self._outcomes()
-            if not outcome.cached
+        """All busy worker-seconds: measuring, folding, finalizing.
+
+        Fold and finalize run in the dispatching process between cell
+        landings — real work the pool cannot overlap with, so counting
+        it keeps the utilization line from inflating reported idle.
+        """
+        return (
+            self.measured_seconds + self.fold_seconds + self.finalize_seconds
         )
 
     @property
@@ -153,6 +199,27 @@ class _ExperimentState:
     @property
     def done(self) -> bool:
         return len(self.outcomes) == len(self.cells)
+
+
+@dataclass
+class _CellAssembly:
+    """Mutable bookkeeping for one divided cell's in-flight parts.
+
+    ``parts``/``part_seconds`` accumulate landed records (freshly
+    measured or resumed from ``.json.part`` files); ``fresh_seconds``
+    counts only the former — the cell's busy cost in *this* run.
+    """
+
+    state: _ExperimentState
+    cell: Cell
+    expected: "list[Subtask]"
+    parts: "dict[str, dict]" = field(default_factory=dict)
+    part_seconds: "dict[str, float]" = field(default_factory=dict)
+    fresh_seconds: float = 0.0
+
+    @property
+    def complete(self) -> bool:
+        return len(self.parts) == len(self.expected)
 
 
 def execute_campaign(
@@ -222,8 +289,11 @@ def execute_campaign(
         records = {
             cell.key: state.outcomes[cell.key].record for cell in state.cells
         }
+        finalize_started = time.perf_counter()
+        result = state.spec.finalize(profile, records)
+        campaign.finalize_seconds += time.perf_counter() - finalize_started
         execution = PlanExecution(
-            result=state.spec.finalize(profile, records),
+            result=result,
             outcomes=[state.outcomes[cell.key] for cell in state.cells],
             wall_seconds=time.perf_counter() - started,
             jobs=jobs,
@@ -245,7 +315,14 @@ def execute_campaign(
             {exp_id: state.cells for exp_id, state in states.items()},
             profile,
         )
-    pending: list[tuple[_ExperimentState, Cell]] = []
+    # Pending work items: ordinary cells ride whole (subtask=None);
+    # divisible cells decompose into their subtasks, each a first-class
+    # pool item, with an assembly accumulating the landed parts.  On
+    # resume, parts a killed run already persisted load back from their
+    # .json.part records and only the missing parts are measured.
+    split_active = splitting_enabled()
+    assemblies: "dict[tuple[str, str], _CellAssembly]" = {}
+    pending: "list[tuple[_ExperimentState, Cell, Subtask | None]]" = []
     for exp_id, state in states.items():
         hits = skip_set.get(exp_id, {})
         for cell in state.cells:
@@ -254,61 +331,144 @@ def execute_campaign(
                 state.outcomes[cell.key] = CellOutcome(
                     cell, hit.record, hit.seconds, cached=True
                 )
+                continue
+            if split_active and cell.divisible:
+                assembly = _CellAssembly(state, cell, cell.subtasks())
+                assemblies[(exp_id, cell.key)] = assembly
+                stored_parts = (
+                    store.load_subtasks(cell, profile)
+                    if resume and store is not None
+                    else {}
+                )
+                for subtask in assembly.expected:
+                    stored = stored_parts.get(subtask.part)
+                    if stored is not None:
+                        assembly.parts[subtask.part] = stored.record
+                        assembly.part_seconds[subtask.part] = stored.seconds
+                    else:
+                        pending.append((state, cell, subtask))
             else:
-                pending.append((state, cell))
+                pending.append((state, cell, None))
 
-    # The fleet partition: cells owned by other shards are simply not
-    # measured here.  Applied after the store skip-set, so a record any
-    # shard already persisted still satisfies its cell everywhere — but
-    # computed over every *planned* cell, so resume state cannot change
-    # which shard owns what.
+    # The fleet partition: work items owned by other shards are simply
+    # not measured here.  Applied after the store skip-set, so a record
+    # any shard already persisted still satisfies its cell everywhere —
+    # but computed over every *planned* work item, so resume state
+    # cannot change which shard owns what.  Hash sharding keys subtasks
+    # by their owning cell (a cell's parts stay together); the weight
+    # strategy LPTs over the expanded items, splitting divisible weight
+    # across shards (their part records merge back at ingest).
     if shard is not None:
         index, total = shard
-        assignment = shard_assignment(
-            [
-                (state.spec.exp_id, cell)
-                for state in states.values()
-                for cell in state.cells
-            ],
-            total,
-            shard_strategy,
-        )
+        planned: "list[tuple[str, Cell | Subtask]]" = []
+        for state in states.values():
+            for cell in state.cells:
+                if split_active and cell.divisible:
+                    planned.extend(
+                        (state.spec.exp_id, subtask)
+                        for subtask in cell.subtasks()
+                    )
+                else:
+                    planned.append((state.spec.exp_id, cell))
+        assignment = campaign_assignment(planned, total, shard_strategy)
         owned = [
             item
             for item in pending
-            if assignment[(item[0].spec.exp_id, item[1].key)] == index - 1
+            if assignment[(item[0].spec.exp_id, (item[2] or item[1]).key)]
+            == index - 1
         ]
         campaign.sharded_out = len(pending) - len(owned)
         pending = owned
 
-    def finish(state: _ExperimentState, cell: Cell, record, seconds) -> None:
-        state.outcomes[cell.key] = CellOutcome(cell, record, seconds)
+    def finish(
+        state: _ExperimentState,
+        cell: Cell,
+        record,
+        seconds,
+        fresh_seconds: "float | None" = None,
+    ) -> None:
+        state.outcomes[cell.key] = CellOutcome(
+            cell, record, seconds, fresh_seconds=fresh_seconds
+        )
         if store is not None:
             store.save(cell, profile, record, seconds)
         finalize_if_done(state)
 
+    def complete_assembly(assembly: _CellAssembly) -> None:
+        # The fold runs in the dispatching process the moment the last
+        # part lands; its cost is accounted as busy (see busy_seconds).
+        fold_started = time.perf_counter()
+        record = fold_cell(assembly.cell, assembly.parts)
+        campaign.fold_seconds += time.perf_counter() - fold_started
+        campaign.cells_folded += 1
+        finish(
+            assembly.state,
+            assembly.cell,
+            record,
+            sum(assembly.part_seconds.values()),
+            fresh_seconds=assembly.fresh_seconds,
+        )
+        # Full record saved first, parts cleared second: a kill between
+        # the two leaves spent-but-harmless part files, never a cell
+        # that lost landed work.
+        if store is not None:
+            store.clear_subtasks(assembly.cell, profile)
+
+    def land(
+        state: _ExperimentState,
+        cell: Cell,
+        subtask: "Subtask | None",
+        record,
+        seconds,
+    ) -> None:
+        if subtask is None:
+            finish(state, cell, record, seconds)
+            return
+        assembly = assemblies[(state.spec.exp_id, cell.key)]
+        assembly.parts[subtask.part] = record
+        assembly.part_seconds[subtask.part] = seconds
+        assembly.fresh_seconds += seconds
+        campaign.subtasks_run += 1
+        if store is not None:
+            store.save_subtask(cell, profile, subtask.part, record, seconds)
+        if assembly.complete:
+            complete_assembly(assembly)
+
     # Experiments fully satisfied from the store finalize before any
-    # measurement starts (completion order: requested order).
+    # measurement starts (completion order: requested order), and cells
+    # whose every part was already persisted fold the same way — the
+    # mid-cell analogue of a store hit.
+    for assembly in assemblies.values():
+        if assembly.complete:
+            complete_assembly(assembly)
     for state in states.values():
         finalize_if_done(state)
 
-    # One shared LPT schedule for the whole campaign: heaviest cells
-    # first regardless of owning experiment; ties keep flatten order
-    # (requested experiment order, then plan order — stable sort).
-    pending.sort(key=lambda item: -item[1].weight)
+    # One shared LPT schedule for the whole campaign: heaviest work
+    # items first regardless of owning experiment or cell; ties keep
+    # flatten order (requested experiment order, then plan order, then
+    # part order — stable sort).
+    pending.sort(key=lambda item: -(item[2] or item[1]).weight)
     if jobs > 1 and len(pending) > 1:
         with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
             futures = {
-                pool.submit(_timed_run_cell, cell): (state, cell)
-                for state, cell in pending
+                pool.submit(_timed_run_cell, cell)
+                if subtask is None
+                else pool.submit(_timed_run_subtask, subtask): (
+                    state,
+                    cell,
+                    subtask,
+                )
+                for state, cell, subtask in pending
             }
             remaining = set(futures)
             failure: BaseException | None = None
             while remaining:
-                # Stream results as they land — store writes and
-                # finalizes happen mid-campaign, not at pool teardown,
-                # so a killed run keeps every finished cell and a
-                # finished experiment renders while others still run.
+                # Stream results as they land — store writes, folds,
+                # and finalizes happen mid-campaign, not at pool
+                # teardown, so a killed run keeps every finished work
+                # item and a finished experiment renders while others
+                # still run.
                 done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in done:
                     error = future.exception()
@@ -317,14 +477,27 @@ def execute_campaign(
                             failure = error
                         continue
                     record, seconds = future.result()
-                    state, cell = futures[future]
-                    finish(state, cell, record, seconds)
+                    state, cell, subtask = futures[future]
+                    land(state, cell, subtask, record, seconds)
             if failure is not None:
                 raise failure
     else:
-        for state, cell in pending:
-            record, seconds = _timed_run_cell(cell)
-            finish(state, cell, record, seconds)
+        for state, cell, subtask in pending:
+            record, seconds = (
+                _timed_run_cell(cell)
+                if subtask is None
+                else _timed_run_subtask(subtask)
+            )
+            land(state, cell, subtask, record, seconds)
+
+    # Parts measured for cells this run could not complete (their other
+    # parts belong to sibling shards) are persisted above; account their
+    # cost so sharded --profile lines stay honest.
+    campaign.partial_fresh_seconds = sum(
+        assembly.fresh_seconds
+        for assembly in assemblies.values()
+        if not assembly.complete
+    )
 
     # Completion order fed on_result; the returned mapping is requested
     # order, which is what render loops and tests index by.  A sharded

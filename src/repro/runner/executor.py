@@ -29,7 +29,9 @@ from repro.experiments.base import (
     ExperimentResult,
     ExperimentSpec,
     RunProfile,
+    Subtask,
     run_cell,
+    run_subtask,
 )
 from repro.runner.store import RunStore
 
@@ -43,12 +45,30 @@ __all__ = [
 
 @dataclass(frozen=True)
 class CellOutcome:
-    """One cell's measured (or store-loaded) record plus its wall clock."""
+    """One cell's measured (or store-loaded) record plus its wall clock.
+
+    ``seconds`` is the cell's full measured cost (for a folded divisible
+    cell: the sum of its parts' clocks, wherever they ran).
+    ``fresh_seconds`` — set only by the campaign's fold path — is the
+    slice of that cost actually measured *in this run*: a resume that
+    picked up a half-landed cell re-measures only the missing parts, and
+    only those count as busy worker-seconds.
+    """
 
     cell: Cell
     record: dict
     seconds: float
     cached: bool = False
+    fresh_seconds: "float | None" = None
+
+    @property
+    def busy_seconds(self) -> float:
+        """Worker-seconds this outcome cost the *current* run."""
+        if self.cached:
+            return 0.0
+        if self.fresh_seconds is not None:
+            return self.fresh_seconds
+        return self.seconds
 
 
 @dataclass
@@ -75,6 +95,13 @@ def _timed_run_cell(cell: Cell) -> tuple[dict, float]:
     """Measure one cell, timing it where it actually runs (the worker)."""
     started = time.perf_counter()
     record = run_cell(cell)
+    return record, time.perf_counter() - started
+
+
+def _timed_run_subtask(subtask: Subtask) -> tuple[dict, float]:
+    """Measure one subtask, timing it where it actually runs."""
+    started = time.perf_counter()
+    record = run_subtask(subtask)
     return record, time.perf_counter() - started
 
 

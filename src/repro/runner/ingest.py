@@ -23,6 +23,19 @@ Conflict rules, applied per record identity ``(exp_id, preset, key)``:
   fields — are skipped with a :class:`RuntimeWarning` naming the file
   and the defect; one truncated shard upload never poisons the merge.
 
+Partial subtask records (``.json.part``, divisible cells) merge too,
+keyed ``(exp_id, preset, key, part)`` under the same dedupe and
+stale-prune rules.  After the walk, any group of parts that completes a
+cell the *current* code plans as divisible (matching config hash, every
+declared part present) is **folded** into the full cell record on the
+spot — this is how a weight-sharded fleet whose subtasks landed on
+different machines reassembles its divided cells — and counts as
+ingested; incomplete groups are carried into the destination as part
+files for a later ``--resume`` or ingest to finish.  Parts subsumed by
+an already-merged full record of the same measurement are dropped as
+duplicates, and a stale full record loses to a complete current-hash
+part set just as it would to a current-hash full record.
+
 Mode boundaries are never crossed: ``sim``-, ``model``- and
 ``verify``-backed records of the same measurement carry the mode in
 their cell *key* (``.../mode=model``), so they have distinct identities
@@ -44,8 +57,12 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.errors import ReproError
-from repro.experiments.base import MODES, RunProfile
-from repro.runner.store import RunStore, read_record_payload
+from repro.experiments.base import MODES, Cell, RunProfile, fold_cell
+from repro.runner.store import (
+    RunStore,
+    read_record_payload,
+    read_subtask_payload,
+)
 
 __all__ = ["IngestConflict", "IngestReport", "ingest_stores"]
 
@@ -79,26 +96,37 @@ class IngestReport:
     deduped: "list[Path]" = field(default_factory=list)  # identical dupes
     pruned: "list[IngestConflict]" = field(default_factory=list)
     skipped: "list[tuple[Path, str]]" = field(default_factory=list)  # corrupt
+    folded: "list[Path]" = field(default_factory=list)  # records from parts
+    parts_carried: "list[Path]" = field(default_factory=list)  # incomplete
 
     def summary(self) -> str:
+        divided = (
+            f", {len(self.folded)} cell(s) folded from parts, "
+            f"{len(self.parts_carried)} partial subtask record(s) carried"
+            if self.folded or self.parts_carried
+            else ""
+        )
         return (
             f"ingested {len(self.ingested)} record(s) into {self.dest} "
             f"({len(self.deduped)} duplicate(s) deduped, "
             f"{len(self.pruned)} stale record(s) pruned, "
-            f"{len(self.skipped)} corrupt record(s) skipped)"
+            f"{len(self.skipped)} corrupt record(s) skipped{divided})"
         )
 
 
-def _expected_hashes(preset: str) -> "dict[tuple[str, str], str]":
-    """What the *current* code would store: ``(exp_id, key) -> hash``.
+def _expected_hashes(preset: str) -> "dict[tuple[str, str], tuple[str, Cell]]":
+    """What the *current* code would store: ``(exp_id, key) -> (hash, cell)``.
 
     Planning every experiment under every mode is cheap (key/param
     generation only, no measurement) and gives the stale-prune rule its
     arbiter: a conflicting record whose hash the current plans reproduce
     is loadable today; its rival is not.  Unknown presets (a foreign
     store) plan nothing — the conflict then falls back to older-wins.
+    The planned :class:`Cell` rides along for the part-merge: folding a
+    complete subtask group needs the cell's declared ``fold`` hook and
+    its ``subtasks()`` roster.
     """
-    expected: "dict[tuple[str, str], str]" = {}
+    expected: "dict[tuple[str, str], tuple[str, Cell]]" = {}
     # Imported here: repro.experiments pulls in every experiment module,
     # which the runner package otherwise never needs at import time.
     from repro.experiments import ALL_SPECS
@@ -110,7 +138,10 @@ def _expected_hashes(preset: str) -> "dict[tuple[str, str], str]":
             return {}
         for spec in ALL_SPECS.values():
             for cell in spec.cells(profile):
-                expected[(cell.exp_id, cell.key)] = cell.config_hash()
+                expected[(cell.exp_id, cell.key)] = (
+                    cell.config_hash(),
+                    cell,
+                )
     return expected
 
 
@@ -139,12 +170,18 @@ def ingest_stores(
             )
     # (exp_id, preset, key) -> (config_hash, dest path currently holding it)
     seen: "dict[tuple[str, str, str], tuple[str, Path]]" = {}
-    expected_cache: "dict[str, dict[tuple[str, str], str]]" = {}
+    # (exp_id, preset, key, part) -> (hash, payload, path, in_dest)
+    part_seen: "dict[tuple[str, str, str, str], tuple[str, dict, Path, bool]]" = {}
+    expected_cache: "dict[str, dict[tuple[str, str], tuple[str, Cell]]]" = {}
 
-    def expected_for(preset: str) -> "dict[tuple[str, str], str]":
+    def expected_for(preset: str) -> "dict[tuple[str, str], tuple[str, Cell]]":
         if preset not in expected_cache:
             expected_cache[preset] = _expected_hashes(preset)
         return expected_cache[preset]
+
+    def current_hash_for(preset: str, exp_id: str, key: str) -> "str | None":
+        entry = expected_for(preset).get((exp_id, key))
+        return entry[0] if entry is not None else None
 
     def consider(payload: dict, src_path: Path, in_dest: bool) -> None:
         identity = (payload["exp_id"], payload["preset"], payload["key"])
@@ -169,8 +206,8 @@ def ingest_stores(
             return
         # Differing hashes: a stale conflict.  Keep whichever record
         # the current code can still load; tie (neither) -> older wins.
-        current = expected_for(payload["preset"]).get(
-            (payload["exp_id"], payload["key"])
+        current = current_hash_for(
+            payload["preset"], payload["exp_id"], payload["key"]
         )
         if incoming_hash == current:
             held_path.unlink(missing_ok=True)
@@ -210,6 +247,62 @@ def ingest_stores(
             )
         )
 
+    def consider_part(payload: dict, src_path: Path, in_dest: bool) -> None:
+        identity = (
+            payload["exp_id"],
+            payload["preset"],
+            payload["key"],
+            payload["part"],
+        )
+        incoming_hash = str(payload["config_hash"])
+        if strip_seconds:
+            payload = {**payload, "seconds": 0.0}
+        held = part_seen.get(identity)
+        if held is None:
+            part_seen[identity] = (incoming_hash, payload, src_path, in_dest)
+            return
+        held_hash, _held_payload, held_path, held_in_dest = held
+        if held_hash == incoming_hash:
+            report.deduped.append(src_path)
+            return
+        current = current_hash_for(
+            payload["preset"], payload["exp_id"], payload["key"]
+        )
+        part_key = f"{payload['key']}#part={payload['part']}"
+        if incoming_hash == current:
+            if held_in_dest:
+                held_path.unlink(missing_ok=True)
+            part_seen[identity] = (incoming_hash, payload, src_path, in_dest)
+            report.pruned.append(
+                IngestConflict(
+                    exp_id=payload["exp_id"],
+                    preset=payload["preset"],
+                    key=part_key,
+                    kept_hash=incoming_hash,
+                    dropped_hash=held_hash,
+                    dropped_from=str(held_path),
+                    reason="superseded by current code",
+                )
+            )
+            return
+        if in_dest:
+            src_path.unlink(missing_ok=True)
+        report.pruned.append(
+            IngestConflict(
+                exp_id=payload["exp_id"],
+                preset=payload["preset"],
+                key=part_key,
+                kept_hash=held_hash,
+                dropped_hash=incoming_hash,
+                dropped_from=str(src_path),
+                reason=(
+                    "superseded by current code"
+                    if held_hash == current
+                    else "older record wins"
+                ),
+            )
+        )
+
     def walk(store: RunStore, in_dest: bool) -> None:
         for path in sorted(store.existing_files()):
             try:
@@ -223,8 +316,118 @@ def ingest_stores(
                 report.skipped.append((path, str(error)))
                 continue
             consider(payload, path, in_dest)
+        for path in sorted(store.existing_part_files()):
+            try:
+                payload = read_subtask_payload(path)
+            except ReproError as error:
+                warnings.warn(
+                    f"ingest: skipping corrupt subtask record {path} "
+                    f"({error})",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                report.skipped.append((path, str(error)))
+                continue
+            consider_part(payload, path, in_dest)
+
+    def merge_parts() -> None:
+        """Phase two: fold or carry the surviving partial records.
+
+        Groups the survivors by owning cell.  A group that completes a
+        cell the current code plans as *divisible* (hash matches, every
+        declared part present) folds into the full record — reassembling
+        divided cells whose parts landed on different fleet legs.  A
+        full record of the same measurement subsumes its parts; a
+        *stale* full record loses to a complete current-hash group.
+        Everything else is carried into the destination as part files.
+        """
+        groups: "dict[tuple[str, str, str], dict[str, tuple]]" = {}
+        for identity, held in part_seen.items():
+            exp_id, preset, key, part = identity
+            groups.setdefault((exp_id, preset, key), {})[part] = held
+        for group_id in sorted(groups):
+            exp_id, preset, key = group_id
+            parts = groups[group_id]
+            entry = expected_for(preset).get((exp_id, key))
+            current, cell = entry if entry is not None else (None, None)
+            whole = seen.get(group_id)
+            foldable = (
+                cell is not None
+                and cell.divisible
+                and all(held[0] == current for held in parts.values())
+                and set(parts)
+                == {subtask.part for subtask in cell.subtasks()}
+            )
+            if foldable and whole is not None and whole[0] != current:
+                # The full record lost to the complete current-hash
+                # group — the same arbiter as record-vs-record.
+                whole[1].unlink(missing_ok=True)
+                report.pruned.append(
+                    IngestConflict(
+                        exp_id=exp_id,
+                        preset=preset,
+                        key=key,
+                        kept_hash=str(current),
+                        dropped_hash=whole[0],
+                        dropped_from=str(whole[1]),
+                        reason="superseded by current code",
+                    )
+                )
+                whole = None
+            if whole is not None:
+                # The merged full record subsumes its parts: drop the
+                # duplicates, clearing any that pre-existed in dest.
+                for held in parts.values():
+                    _hash, _payload, path, in_dest = held
+                    if in_dest:
+                        path.unlink(missing_ok=True)
+                    else:
+                        report.deduped.append(path)
+                continue
+            if foldable:
+                seconds = (
+                    0.0
+                    if strip_seconds
+                    else round(
+                        sum(held[1]["seconds"] for held in parts.values()), 6
+                    )
+                )
+                record = fold_cell(
+                    cell,
+                    {part: held[1]["record"] for part, held in parts.items()},
+                )
+                payload = {
+                    "exp_id": cell.exp_id,
+                    "key": cell.key,
+                    "preset": preset,
+                    "mode": cell.mode,
+                    "params": dict(cell.params),
+                    "seed": cell.seed,
+                    "config_hash": current,
+                    "seconds": seconds,
+                    "record": record,
+                }
+                kept_path = dest_store.write_payload(payload)
+                report.ingested.append(kept_path)
+                report.folded.append(kept_path)
+                seen[group_id] = (str(current), kept_path)
+                for held in parts.values():
+                    if held[3]:  # a dest part file, now folded away
+                        held[2].unlink(missing_ok=True)
+                continue
+            # Incomplete (or not currently foldable): carry the parts.
+            for held in parts.values():
+                _hash, payload, path, in_dest = held
+                if in_dest and not strip_seconds:
+                    report.parts_carried.append(path)
+                    continue
+                written = dest_store.write_subtask_payload(payload)
+                if not in_dest:
+                    report.ingested.append(written)
+                report.parts_carried.append(written)
 
     walk(dest_store, in_dest=True)
     for src in sources:
         walk(RunStore(src), in_dest=False)
+    merge_parts()
     return report

@@ -45,6 +45,7 @@ __all__ = [
     "shard_index",
     "owns",
     "SHARD_STRATEGIES",
+    "campaign_assignment",
     "lpt_assignment",
     "shard_assignment",
 ]
@@ -168,4 +169,41 @@ def shard_assignment(
     return {
         (exp_id, cell.key): shard_index(exp_id, cell.key, total)
         for exp_id, cell in cells
+    }
+
+
+def campaign_assignment(
+    items: "Sequence[tuple[str, object]]",
+    total: int,
+    strategy: str = "hash",
+) -> "dict[tuple[str, str], int]":
+    """The fleet partition over a campaign's expanded *work items*.
+
+    ``items`` pairs each experiment id with a work item — a whole
+    :class:`Cell` or a divided cell's
+    :class:`~repro.experiments.base.Subtask` (both expose ``key`` and
+    ``weight``, which is all the LPT pass reads).  The two strategies
+    treat subtasks differently, on purpose:
+
+    * ``hash`` keys a subtask by its *owning cell* (``cell_key``), so a
+      cell's parts always land on one shard together and the partition
+      matches :func:`shard_index` cell for cell — hash fleets never
+      need cross-shard part merging;
+    * ``weight`` LPTs over the expanded items, splitting a divisible
+      cell's weight across shards — that is the point of divisibility
+      (the heaviest cell no longer pins a leg's makespan), and the
+      part records merge back at ``ring-repro ingest``.
+    """
+    if strategy not in SHARD_STRATEGIES:
+        raise ReproError(
+            f"unknown shard strategy {strategy!r}; expected one of "
+            f"{', '.join(SHARD_STRATEGIES)}"
+        )
+    if strategy == "weight":
+        return lpt_assignment(items, total)  # type: ignore[arg-type]
+    return {
+        (exp_id, item.key): shard_index(
+            exp_id, getattr(item, "cell_key", item.key), total
+        )
+        for exp_id, item in items
     }

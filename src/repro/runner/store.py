@@ -3,6 +3,7 @@
 Layout::
 
     <root>/<exp_id>/<preset>/<safe_key>__<config_hash>.json
+    <root>/<exp_id>/<preset>/<safe_key>__<config_hash>.<part>.json.part
 
 ``config_hash`` (see :meth:`repro.experiments.base.Cell.config_hash`)
 covers the cell's params and derived seed, so a stored record is loaded
@@ -10,6 +11,14 @@ only when re-running the cell would recompute it identically — change a
 sweep, a knob, or the seed derivation and the old records simply stop
 matching instead of silently corrupting tables.  ``--sizes`` overrides
 need no special casing: the sizes live in the cell keys and params.
+
+``.json.part`` files are a divisible cell's landed subtask records,
+keyed under the cell's own name and hash: a campaign killed mid-cell
+resumes from the finished parts instead of re-running a 150 s
+measurement from zero.  The extension deliberately does not end in
+``.json``, so every whole-record walk (:meth:`RunStore.existing_files`,
+stale pruning, report loading) is blind to them; they are deleted the
+moment the cell's fold lands its full record.
 
 Writes go through a temp file + ``os.replace`` so a killed run never
 leaves a half-written record for ``--resume`` to trip over.
@@ -33,6 +42,7 @@ __all__ = [
     "StoredCell",
     "DEFAULT_STORE_ROOT",
     "read_record_payload",
+    "read_subtask_payload",
 ]
 
 DEFAULT_STORE_ROOT = "runs"
@@ -87,6 +97,20 @@ def read_record_payload(path: "str | os.PathLike") -> dict:
         float(payload.get("seconds", 0.0))
     except (TypeError, ValueError):
         raise ReproError("record 'seconds' is not a number") from None
+    return payload
+
+
+def read_subtask_payload(path: "str | os.PathLike") -> dict:
+    """Parse one ``.json.part`` file into its payload, or raise why.
+
+    The partial-record sibling of :func:`read_record_payload` (ingest
+    walks source stores' part files with it): same integrity checks,
+    plus the ``part`` name that keys the fold.
+    """
+    payload = read_record_payload(path)
+    part = payload.get("part")
+    if not isinstance(part, str) or not part:
+        raise ReproError("partial record is missing its 'part' field")
     return payload
 
 
@@ -169,6 +193,133 @@ class RunStore:
         os.replace(tmp, path)
         return path
 
+    def subtask_path_for(
+        self, cell: Cell, profile: RunProfile, part: str
+    ) -> Path:
+        """Where one part of a divisible cell's record lives."""
+        return (
+            self.root
+            / cell.exp_id
+            / _profile_tag(profile)
+            / (
+                f"{_safe_key(cell.key)}__{cell.config_hash()}"
+                f".{_safe_key(part)}.json.part"
+            )
+        )
+
+    def _subtask_paths(self, cell: Cell, profile: RunProfile) -> "list[Path]":
+        directory = self.root / cell.exp_id / _profile_tag(profile)
+        if not directory.is_dir():
+            return []
+        pattern = f"{_safe_key(cell.key)}__{cell.config_hash()}.*.json.part"
+        return sorted(directory.glob(pattern))
+
+    def save_subtask(
+        self,
+        cell: Cell,
+        profile: RunProfile,
+        part: str,
+        record: dict,
+        seconds: float,
+    ) -> Path:
+        """Persist one landed subtask record under its cell's key.
+
+        Partial records carry the owning cell's full identity (same
+        ``config_hash``), so a resumed campaign — or an ingest merging
+        weight-sharded fleet legs whose parts landed on different
+        machines — can only ever fold parts the current code would have
+        measured identically.
+        """
+        path = self.subtask_path_for(cell, profile, part)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "exp_id": cell.exp_id,
+            "key": cell.key,
+            "part": part,
+            "preset": profile.preset,
+            "mode": cell.mode,
+            "config_hash": cell.config_hash(),
+            "seconds": round(seconds, 6),
+            "record": record,
+        }
+        # Manual temp name: with_suffix would only strip ".part".
+        tmp = path.parent / f"{path.name}.{os.getpid()}.tmp"
+        tmp.write_text(
+            json.dumps(payload, sort_keys=True, indent=1), encoding="utf-8"
+        )
+        os.replace(tmp, path)
+        return path
+
+    def load_subtasks(
+        self, cell: Cell, profile: RunProfile
+    ) -> "dict[str, StoredCell]":
+        """Every landed part of this cell, as ``{part: StoredCell}``.
+
+        Validation mirrors :meth:`load`: a part whose embedded identity
+        does not match the cell is ignored, a part that fails to parse
+        warns and is re-measured.
+        """
+        parts: "dict[str, StoredCell]" = {}
+        for path in self._subtask_paths(cell, profile):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError) as error:
+                warnings.warn(
+                    f"partial record {path} is corrupt ({error}); the "
+                    "subtask will be re-measured",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            if not isinstance(payload, dict):
+                continue
+            if (
+                payload.get("exp_id") != cell.exp_id
+                or payload.get("key") != cell.key
+                or payload.get("config_hash") != cell.config_hash()
+                or not isinstance(payload.get("part"), str)
+                or "record" not in payload
+            ):
+                continue
+            try:
+                seconds = float(payload.get("seconds", 0.0))
+            except (TypeError, ValueError):
+                continue
+            parts[payload["part"]] = StoredCell(
+                record=payload["record"], seconds=seconds
+            )
+        return parts
+
+    def clear_subtasks(self, cell: Cell, profile: RunProfile) -> "list[Path]":
+        """Delete this cell's part files (the fold landed; they are spent).
+
+        Files that vanish mid-clear (a concurrent fold) are skipped.
+        """
+        cleared = []
+        for path in self._subtask_paths(cell, profile):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                continue
+            cleared.append(path)
+        return cleared
+
+    def existing_part_files(self) -> "set[Path]":
+        """Every partial subtask record under the root — one walk.
+
+        The part-file sibling of :meth:`existing_files` (which is blind
+        to ``.json.part`` by construction); ingest uses it to carry
+        killed or cross-shard partial work between stores.
+        """
+        found: set[Path] = set()
+        if not self.root.is_dir():
+            return found
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                if name.endswith(".json.part"):
+                    found.add(Path(dirpath) / name)
+        return found
+
     def payload_path(self, payload: Mapping) -> Path:
         """Where a full record payload lives under this root.
 
@@ -197,6 +348,30 @@ class RunStore:
         path = self.payload_path(payload)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".json.{os.getpid()}.tmp")
+        tmp.write_text(
+            json.dumps(dict(payload), sort_keys=True, indent=1),
+            encoding="utf-8",
+        )
+        os.replace(tmp, path)
+        return path
+
+    def subtask_payload_path(self, payload: Mapping) -> Path:
+        """Where a partial subtask payload lives under this root."""
+        return (
+            self.root
+            / str(payload["exp_id"])
+            / str(payload["preset"])
+            / (
+                f"{_safe_key(str(payload['key']))}__{payload['config_hash']}"
+                f".{_safe_key(str(payload['part']))}.json.part"
+            )
+        )
+
+    def write_subtask_payload(self, payload: Mapping) -> Path:
+        """Persist a partial subtask payload verbatim (atomic, canonical)."""
+        path = self.subtask_payload_path(payload)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f"{path.name}.{os.getpid()}.tmp"
         tmp.write_text(
             json.dumps(dict(payload), sort_keys=True, indent=1),
             encoding="utf-8",

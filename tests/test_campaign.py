@@ -106,10 +106,18 @@ class TestCampaignAccounting:
             len(get_spec(exp_id).cells(QUICK)) for exp_id in FLEET
         )
         assert campaign.cached_count == 0
-        assert campaign.busy_seconds == pytest.approx(
+        # Measurement time is the per-experiment cell-seconds sum; busy
+        # worker-seconds additionally count fold and finalize work (a
+        # worker reassembling a divided cell is busy too).
+        assert campaign.measured_seconds == pytest.approx(
             sum(
                 ex.cell_seconds for ex in campaign.executions.values()
             )
+        )
+        assert campaign.busy_seconds == pytest.approx(
+            campaign.measured_seconds
+            + campaign.fold_seconds
+            + campaign.finalize_seconds
         )
         assert 0.0 < campaign.utilization <= 1.0 + 1e-9
 
@@ -120,7 +128,13 @@ class TestCampaignAccounting:
             _fleet_specs(), QUICK, store=store, resume=True
         )
         assert resumed.cached_count == resumed.cell_count
-        assert resumed.busy_seconds == 0.0
+        # Nothing was measured or folded (whole records satisfied every
+        # cell, divisible ones included); only finalize time is busy.
+        assert resumed.measured_seconds == 0.0
+        assert resumed.fold_seconds == 0.0
+        assert resumed.busy_seconds == pytest.approx(
+            resumed.finalize_seconds
+        )
 
 
 class TestCampaignResume:

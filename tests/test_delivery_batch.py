@@ -6,7 +6,9 @@ streams ``trace="metrics"``.  Its contract is *bit-for-bit equivalence*
 with the heap oracle: identical delivery order (pinned here through a
 shared journal every processor appends to), identical
 :class:`~repro.ring.trace.TraceStats` counters, and identical experiment
-tables — across both asynchronous substrates and randomized protocols.
+tables — across the asynchronous substrates (bidirectional ring, line)
+and the unidirectional ring (``uni=True``, whose own global-FIFO deque
+loop is the oracle), with randomized protocols.
 The poisoned-oracle tests prove the engagement rule from both sides: an
 engaged batch run never constructs :class:`LinkQueues` at all, and
 ``REPRO_NO_ROUND_BATCH=1`` (the ``delivery-parity`` CI job's diff lever)
@@ -19,7 +21,9 @@ re-sort.
 
 from __future__ import annotations
 
+import os
 import random
+from contextlib import contextmanager
 
 import pytest
 from hypothesis import given, settings
@@ -33,6 +37,7 @@ from repro.ring.delivery import LinkQueues, round_batching_enabled
 from repro.ring.line import LineNetwork
 from repro.ring.messages import Direction, Send
 from repro.ring.processor import Processor, RingAlgorithm
+from repro.ring.unidirectional import run_unidirectional
 from repro.ring.schedulers import (
     AdversarialScheduler,
     FifoScheduler,
@@ -63,6 +68,16 @@ def _assert_stats_equal(left, right) -> None:
         assert getattr(left, field) == getattr(right, field), field
 
 
+@contextmanager
+def _batching_disabled():
+    """Force the oracle loop, hypothesis-safe (no function-scoped fixture)."""
+    os.environ["REPRO_NO_ROUND_BATCH"] = "1"
+    try:
+        yield
+    finally:
+        os.environ.pop("REPRO_NO_ROUND_BATCH", None)
+
+
 # ---------------------------------------------------------------------------
 # A randomized protocol whose executions are deterministic per seed:
 # every processor draws from its own RNG, and since both engines deliver
@@ -75,13 +90,15 @@ def _assert_stats_equal(left, right) -> None:
 
 class _ChaosProcessor(Processor):
     def __init__(
-        self, letter, is_leader, index, size, seed, line, journal
+        self, letter, is_leader, index, size, seed, line, journal,
+        uni=False,
     ):
         super().__init__(letter, is_leader)
         self._rng = random.Random(seed * 1_000_003 + index)
         self._index = index
         self._size = size
         self._line = line
+        self._uni = uni
         self._journal = journal
 
     def _sends(self, budget: int):
@@ -100,7 +117,7 @@ class _ChaosProcessor(Processor):
             choices = []
             if not self._line or self._index < self._size - 1:
                 choices.append(Direction.CW)
-            if not self._line or self._index > 0:
+            if not self._uni and (not self._line or self._index > 0):
                 choices.append(Direction.CCW)
             if not choices:
                 break
@@ -119,10 +136,13 @@ class _ChaosProcessor(Processor):
 class _ChaosAlgorithm(RingAlgorithm):
     name = "chaos"
 
-    def __init__(self, seed: int, line: bool = False) -> None:
+    def __init__(
+        self, seed: int, line: bool = False, uni: bool = False
+    ) -> None:
         super().__init__("ab")
         self._seed = seed
         self._line = line
+        self._uni = uni
         self.journal: "list[tuple[int, int, Direction]]" = []
 
     def create_processor(self, letter, is_leader):
@@ -131,7 +151,7 @@ class _ChaosAlgorithm(RingAlgorithm):
     def create_processor_positioned(self, letter, is_leader, index, size):
         return _ChaosProcessor(
             letter, is_leader, index, size, self._seed, self._line,
-            self.journal,
+            self.journal, uni=self._uni,
         )
 
 
@@ -149,6 +169,12 @@ def _run_chaos_line(seed: int, n: int, scheduler: Scheduler, trace: str):
     result = LineNetwork(
         algorithm, "a" * n, leader=leader, scheduler=scheduler
     ).run(trace=trace)
+    return result, algorithm.journal
+
+
+def _run_chaos_uni(seed: int, n: int, trace: str):
+    algorithm = _ChaosAlgorithm(seed, uni=True)
+    result = run_unidirectional(algorithm, "a" * n, trace=trace)
     return result, algorithm.journal
 
 
@@ -196,6 +222,142 @@ class TestOracleEquivalence:
         monkeypatch.setenv("REPRO_NO_ROUND_BATCH", "1")
         heap = get_experiment("E6")(True).render()
         assert batched == heap
+
+
+class TestUnidirectionalBatch:
+    """The uni substrate on the engine: the global FIFO deque is the oracle.
+
+    The unidirectional simulator has no scheduler or ``LinkQueues`` —
+    its deque loop *is* global FIFO — so parity pins the engine against
+    that loop (``REPRO_NO_ROUND_BATCH=1``) instead of a heap, plus the
+    full-trace accounting which always takes the deque path.
+    """
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n=st.integers(min_value=1, max_value=24),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_uni_batch_equals_deque_and_full(self, seed, n):
+        batch, batch_journal = _run_chaos_uni(seed, n, "metrics")
+        with _batching_disabled():
+            deque_stats, deque_journal = _run_chaos_uni(seed, n, "metrics")
+        full, full_journal = _run_chaos_uni(seed, n, "full")
+        # Identical delivery order, message for message...
+        assert batch_journal == deque_journal == full_journal
+        # ...and identical accounting, field for field.
+        _assert_stats_equal(batch, deque_stats)
+        _assert_stats_equal(batch, full.stats())
+
+    def test_uni_ccw_error_identical(self, monkeypatch):
+        """The engine's CCW rejection matches the deque loop's, word for
+        word (the unidirectional model violation, not the line's)."""
+
+        class _Rebel(Processor):
+            def on_start(self):
+                self.decide(True)
+                return [Send.cw(Bits("1"))]
+
+            def on_receive(self, bits, arrived_from):
+                return [Send.ccw(bits)]
+
+        class _RebelAlgo(RingAlgorithm):
+            name = "rebel"
+
+            def __init__(self):
+                super().__init__("ab")
+
+            def create_processor(self, letter, is_leader):
+                return _Rebel(letter, is_leader)
+
+        def message():
+            with pytest.raises(ProtocolError) as info:
+                run_unidirectional(_RebelAlgo(), "aaa", trace="metrics")
+            return str(info.value)
+
+        batched = message()
+        assert "unidirectional algorithms may only send CW" in batched
+        monkeypatch.setenv("REPRO_NO_ROUND_BATCH", "1")
+        assert batched == message()
+
+    def test_uni_cap_errors_identical(self, monkeypatch):
+        """The round-hoisted cap raises exactly like the deque loop's."""
+
+        class _Forever(Processor):
+            def on_start(self):
+                self.decide(True)
+                return [Send.cw(Bits("1"))]
+
+            def on_receive(self, bits, arrived_from):
+                return [Send.cw(bits)]
+
+        class _ForeverAlgo(RingAlgorithm):
+            name = "forever"
+
+            def __init__(self):
+                super().__init__("ab")
+
+            def create_processor(self, letter, is_leader):
+                return _Forever(letter, is_leader)
+
+        def message():
+            from repro.errors import RingError
+
+            with pytest.raises(RingError) as info:
+                run_unidirectional(
+                    _ForeverAlgo(), "aaaa", max_messages=10, trace="metrics"
+                )
+            return str(info.value)
+
+        batched = message()
+        monkeypatch.setenv("REPRO_NO_ROUND_BATCH", "1")
+        assert batched == message()
+        monkeypatch.delenv("REPRO_NO_ROUND_BATCH")
+
+        # Quiescing at exactly the cap raises on neither path.
+        class _Once(Processor):
+            def on_start(self):
+                self.decide(True)
+                return [Send.cw(Bits("1"))]
+
+            def on_receive(self, bits, arrived_from):
+                return ()
+
+        class _OnceAlgo(RingAlgorithm):
+            name = "once"
+
+            def __init__(self):
+                super().__init__("ab")
+
+            def create_processor(self, letter, is_leader):
+                return _Once(letter, is_leader)
+
+        stats = run_unidirectional(
+            _OnceAlgo(), "aa", max_messages=1, trace="metrics"
+        )
+        assert stats.message_count == 1
+
+    def test_uni_batch_path_never_builds_the_deque(self, monkeypatch):
+        """Poisoned deque: an engaged metrics run returns before the
+        oracle loop's pending queue is ever constructed."""
+        import repro.ring.unidirectional as module
+
+        class _Poisoned:
+            def __init__(self, *args, **kwargs):
+                raise AssertionError(
+                    "round-batched run built the oracle deque"
+                )
+
+        monkeypatch.setattr(module, "deque", _Poisoned)
+        stats, _ = _run_chaos_uni(7, 9, "metrics")
+        assert stats.decision is True
+        # Full traces still need the deque loop...
+        with pytest.raises(AssertionError, match="built the oracle"):
+            _run_chaos_uni(7, 9, "full")
+        # ...and the kill switch forces metrics back onto it too.
+        monkeypatch.setenv("REPRO_NO_ROUND_BATCH", "1")
+        with pytest.raises(AssertionError, match="built the oracle"):
+            _run_chaos_uni(7, 9, "metrics")
 
 
 class TestEngagementRules:

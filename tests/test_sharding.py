@@ -41,6 +41,7 @@ from repro.runner import (
     shard_assignment,
     shard_index,
 )
+from repro.runner.sharding import campaign_assignment
 from repro.runner.store import read_record_payload
 
 from test_campaign import FLEET, QUICK, _fleet_specs
@@ -217,10 +218,28 @@ class TestShardedCampaign:
         assert campaign.shard == (1, 3)
         assert set(campaign.executions) | set(campaign.partial) == set(FLEET)
         assert not (set(campaign.executions) & set(campaign.partial))
+        # Lossless accounting in work-item units: divisible cells ride
+        # as their subtasks, so the planned pool counts K items per
+        # divided cell, and so do the landed cells (with the hash
+        # strategy a cell's parts stay together, so every landed cell
+        # accounts for ALL of its items).
+        def items(cell: Cell) -> int:
+            return len(cell.subtasks()) if cell.divisible else 1
+
         planned = sum(
-            len(spec.cells(QUICK)) for spec in _fleet_specs()
+            items(cell)
+            for spec in _fleet_specs()
+            for cell in spec.cells(QUICK)
         )
-        assert campaign.cell_count + campaign.sharded_out == planned
+        landed = sum(
+            items(outcome.cell)
+            for execution in (
+                list(campaign.executions.values())
+                + list(campaign.partial.values())
+            )
+            for outcome in execution.outcomes
+        )
+        assert landed + campaign.sharded_out == planned
         for part in campaign.partial.values():
             assert part.landed < part.planned
             for outcome in part.outcomes:
@@ -714,10 +733,18 @@ class TestWeightStrategy:
             shard_assignment([], 2, "roundrobin")
 
     def test_weight_shards_partition_the_unsharded_store(self, tmp_path):
-        """Weight-sharded fills are disjoint and cover the baseline."""
+        """Weight-sharded legs merge back into exactly the baseline.
+
+        E9's quick cells are divisible and the weight strategy splits
+        one cell's parts across legs — so a single leg holds a mix of
+        full records (cells it owns whole) and ``.json.part`` records
+        (its share of split cells), pairwise disjoint across legs, and
+        only the ingest fold reassembles the full baseline set.
+        """
         base = RunStore(tmp_path / "base")
         execute_campaign([get_spec("E9")], QUICK, store=base)
-        shard_files = []
+        roots = []
+        leg_items: "list[set[str]]" = []
         for index in (1, 2, 3):
             store = RunStore(tmp_path / f"shard-{index}")
             execute_campaign(
@@ -727,12 +754,23 @@ class TestWeightStrategy:
                 shard=(index, 3),
                 shard_strategy="weight",
             )
-            shard_files.append(set(_store_files(store.root)))
-        base_files = set(_store_files(base.root))
-        assert set().union(*shard_files) == base_files
+            roots.append(store.root)
+            leg_items.append(
+                set(_store_files(store.root))
+                | {
+                    path.relative_to(store.root).as_posix()
+                    for path in store.root.rglob("*.json.part")
+                }
+            )
         for i in range(3):
             for j in range(i + 1, 3):
-                assert not (shard_files[i] & shard_files[j])
+                assert not (leg_items[i] & leg_items[j])
+        report = ingest_stores(roots, tmp_path / "merged")
+        assert not report.parts_carried  # every split cell reassembled
+        assert set(_store_files(tmp_path / "merged")) == set(
+            _store_files(base.root)
+        )
+        assert not list((tmp_path / "merged").rglob("*.json.part"))
 
     def test_partition_ignores_resume_state(self, tmp_path):
         """A pre-filled store must not change which cells a leg owns.
@@ -742,11 +780,30 @@ class TestWeightStrategy:
         partial store would re-balance onto cells another leg owns.
         """
         spec = get_spec("E9")
-        cells = [(spec.exp_id, cell) for cell in spec.cells(QUICK)]
-        assignment = shard_assignment(cells, 2, "weight")
-        owned_fresh = {
+        # The campaign partitions *work items* — divisible cells ride as
+        # their subtasks — so compute ownership the same way: a cell's
+        # full record lands on leg 1 only when leg 1 owns every part.
+        items: "list[tuple[str, object]]" = []
+        for cell in spec.cells(QUICK):
+            if cell.divisible:
+                items.extend(
+                    (spec.exp_id, subtask) for subtask in cell.subtasks()
+                )
+            else:
+                items.append((spec.exp_id, cell))
+        assignment = campaign_assignment(items, 2, "weight")
+        owned_items = {
             identity for identity, shard in assignment.items() if shard == 0
         }
+        owned_fresh = set()
+        for cell in spec.cells(QUICK):
+            part_keys = (
+                {(spec.exp_id, s.key) for s in cell.subtasks()}
+                if cell.divisible
+                else {(spec.exp_id, cell.key)}
+            )
+            if part_keys <= owned_items:
+                owned_fresh.add((spec.exp_id, cell.key))
         # Pre-fill the whole experiment, then resume leg 1/2: nothing to
         # measure, but the partition (sharded_out accounting) must match
         # the fresh assignment.
