@@ -43,7 +43,8 @@ def bench_build_dashboard_quick_store(benchmark, tmp_path):
         bench_dir,
     )
     assert any(path.name == "index.html" for path in written)
-    assert sum(1 for path in written if path.suffix == ".html") == 13
+    # index + E1..E12 + telemetry.html
+    assert sum(1 for path in written if path.suffix == ".html") == 14
 
 
 def bench_dashboard_render_is_store_bound(benchmark, tmp_path):

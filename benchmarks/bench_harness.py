@@ -11,7 +11,45 @@ claimed shape held.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 from repro.experiments import get_experiment
+
+
+def bench_record(
+    name: str, value, unit: str = "", context: str = ""
+) -> dict:
+    """One canonical measurement: ``{name, value, unit, context}``.
+
+    This is the schema ``repro.obs.ledger`` normalizes every historical
+    ``BENCH_*.json`` layout *to*; new emitters should write it directly
+    so the ledger ingests them verbatim instead of via the recursive
+    fallback walk.
+    """
+    return {"name": name, "value": value, "unit": unit, "context": context}
+
+
+def write_bench_records(
+    path, records: "list[dict]", date: str = "", machine: str = ""
+) -> Path:
+    """Write one canonical bench payload: ``{records: [...]}`` + metadata.
+
+    Serialized like every other repo artifact (sorted keys, one-space
+    indent, trailing newline) so two runs of the same measurement diff
+    clean outside the ``value`` fields.
+    """
+    payload: dict = {"records": list(records)}
+    if date:
+        payload["date"] = date
+    if machine:
+        payload["machine"] = machine
+    path = Path(path)
+    path.write_text(
+        json.dumps(payload, sort_keys=True, indent=1) + "\n",
+        encoding="utf-8",
+    )
+    return path
 
 
 def run_experiment_benchmark(benchmark, exp_id: str, quick: bool = False):

@@ -1,0 +1,72 @@
+"""Benchmarks for the telemetry layer: journal overhead and parity.
+
+The span journal promises two things: it is cheap (one buffered JSON
+line per event, flushed per write) and it is *invisible* — a campaign
+with telemetry on must render byte-identical tables to one with
+``REPRO_NO_TELEMETRY=1``.  The timing pair here measures the same quick
+fleet with the journal on and off (compare their means across a bench
+trajectory to bound the overhead — locally it is under 2%); the parity
+bench asserts the invisibility contract directly, so CI's
+``--benchmark-disable`` pass still exercises it as a correctness test.
+
+Run with ``pytest benchmarks/bench_telemetry.py``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import RunProfile, get_spec
+from repro.runner import execute_campaign
+
+QUICK = RunProfile(preset="quick")
+
+# The cheap counter-style pair: enough cells to exercise spans from
+# both dispatch loops without making the on/off pair dominate the
+# bench-smoke budget.
+FLEET = ("E8", "E11")
+
+
+def _specs():
+    return [get_spec(exp_id) for exp_id in FLEET]
+
+
+def _render(campaign) -> str:
+    return "\n".join(
+        campaign.executions[exp_id].result.render() for exp_id in FLEET
+    )
+
+
+def bench_campaign_journal_on(benchmark, tmp_path, monkeypatch):
+    """The quick pair with the span journal writing its sidecar."""
+    monkeypatch.delenv("REPRO_NO_TELEMETRY", raising=False)
+    monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(tmp_path / "telemetry"))
+    campaign = benchmark(execute_campaign, _specs(), QUICK, 2)
+    assert campaign.journal is not None
+    # The journal saw every landed cell: spans are paired start/stop
+    # events, so the event stream is strictly larger than the cell count.
+    assert len(campaign.journal.events) > campaign.cell_count
+    for exp_id in FLEET:
+        campaign.executions[exp_id].result.require_passed()
+
+
+def bench_campaign_journal_off(benchmark, monkeypatch):
+    """The same fleet under the kill switch — the overhead baseline."""
+    monkeypatch.setenv("REPRO_NO_TELEMETRY", "1")
+    campaign = benchmark(execute_campaign, _specs(), QUICK, 2)
+    assert campaign.journal is None
+    for exp_id in FLEET:
+        campaign.executions[exp_id].result.require_passed()
+
+
+def bench_telemetry_render_parity(benchmark, tmp_path, monkeypatch):
+    """Telemetry on vs off must not change a byte of any table."""
+    monkeypatch.delenv("REPRO_NO_TELEMETRY", raising=False)
+    monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(tmp_path / "telemetry"))
+    on = benchmark.pedantic(
+        execute_campaign, args=(_specs(), QUICK, 2), rounds=1, iterations=1
+    )
+    monkeypatch.setenv("REPRO_NO_TELEMETRY", "1")
+    off = execute_campaign(_specs(), QUICK, 2)
+    assert _render(on) == _render(off)
+    # The instrumented run still measured real cells — parity is not
+    # vacuous agreement between two empty campaigns.
+    assert on.cell_count == off.cell_count > 0

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""One cheap bench run for the perf-regression ledger.
+
+Runs the counter-style quick fleet (E1, E7, E8, E11 — a fast
+end-to-end workload in the spirit of ``bench_campaign.py``'s timing
+subset) through one shared 2-worker pool with no store, and emits one
+canonical ``{records: [...]}`` payload:
+
+* ``quick_fleet.wall_s`` / ``quick_fleet.measured_cell_s`` — timing
+  metrics the ledger's drift bands watch for step-change regressions;
+* ``quick_fleet.cells`` / ``quick_fleet.subtasks`` — deterministic
+  work-item counts (a plan that silently grows or shrinks drifts);
+* ``quick_fleet.<exp>.rows`` — per-experiment result-table row counts
+  (deterministic; a table that changes shape drifts).
+
+Usage (CI's ledger-gate job, or locally to extend the history)::
+
+    PYTHONPATH=src python benchmarks/quick_bench.py --out BENCH.json
+    PYTHONPATH=src python -m repro.cli ledger append BENCH.json --run-id r1
+    PYTHONPATH=src python -m repro.cli ledger check
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import platform
+
+from bench_harness import bench_record, write_bench_records
+from repro.experiments import RunProfile, get_spec
+from repro.runner import execute_campaign
+
+FLEET = ("E1", "E7", "E8", "E11")
+QUICK = RunProfile(preset="quick")
+
+
+def collect(jobs: int = 2) -> "list[dict]":
+    """Run the quick fleet once and return its canonical records."""
+    specs = [get_spec(exp_id) for exp_id in FLEET]
+    campaign = execute_campaign(specs, QUICK, jobs=jobs)
+    context = f"{'+'.join(FLEET)} --quick --jobs {jobs}"
+    records = [
+        bench_record(
+            "quick_fleet.wall_s",
+            round(campaign.wall_seconds, 6),
+            "s",
+            context,
+        ),
+        bench_record(
+            "quick_fleet.measured_cell_s",
+            round(campaign.measured_seconds, 6),
+            "s",
+            context,
+        ),
+        bench_record(
+            "quick_fleet.cells", campaign.cell_count, "cells", context
+        ),
+        bench_record(
+            "quick_fleet.subtasks",
+            campaign.subtasks_run,
+            "subtasks",
+            context,
+        ),
+    ]
+    for exp_id in FLEET:
+        execution = campaign.executions[exp_id]
+        execution.result.require_passed()
+        records.append(
+            bench_record(
+                f"quick_fleet.{exp_id}.rows",
+                len(execution.result.rows),
+                "rows",
+                context,
+            )
+        )
+    return records
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default="",
+        help="write the canonical payload here (default: stdout)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=2, help="pool size (default 2)"
+    )
+    args = parser.parse_args(argv)
+    records = collect(jobs=args.jobs)
+    date = datetime.date.today().isoformat()
+    machine = platform.machine() or "unknown"
+    if args.out:
+        write_bench_records(args.out, records, date=date, machine=machine)
+        print(f"wrote {len(records)} record(s) to {args.out}")
+    else:
+        payload = {"date": date, "machine": machine, "records": records}
+        print(json.dumps(payload, sort_keys=True, indent=1))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,6 +22,11 @@ Usage::
     ring-repro all --quick --shard 2/3 --store shard-2  # fleet leg 2 of 3
     ring-repro ingest shard-1 shard-2 shard-3 --into runs  # merge the fleet
     ring-repro ingest shard-* --into fleet --strip-seconds # byte-diffable
+    ring-repro trace                # replay the latest campaign journal
+    ring-repro trace --campaign ID  # ...or a specific one
+    ring-repro ledger seed          # fold BENCH_*.json into the ledger
+    ring-repro ledger append FILE --run-id ID  # record one bench run
+    ring-repro ledger check         # gate: newest run vs drift bands
     python -m repro.cli E9          # equivalent module form
 
 Presets select a sweep variant per experiment: ``quick`` (unit-test
@@ -115,6 +120,17 @@ cost as the *sum of per-cell wall clocks* (meaningful under any
 ``--jobs``), sorted heaviest first, plus a campaign utilization line
 (busy worker-seconds / wall * jobs).  Exit status is non-zero when any
 executed experiment's claim check fails.
+
+Every campaign also journals its spans — cells, subtasks, folds,
+finalizes, store writes — to an append-only JSONL sidecar under
+``runs/_telemetry`` (:mod:`repro.obs.journal`; ``REPRO_TELEMETRY_DIR``
+relocates it, ``REPRO_NO_TELEMETRY=1`` disables it, and stores, tables,
+and dashboards are byte-identical either way).  ``trace`` replays a
+journal into a critical-path report with per-worker idle attribution
+and declared-weight calibration; ``ledger`` maintains
+``benchmarks/LEDGER.jsonl`` — the append-only perf-regression ledger —
+and ``ledger check`` exits nonzero when the newest bench run drifts
+out of its robust trailing bands (the CI gate).
 """
 
 from __future__ import annotations
@@ -238,6 +254,31 @@ def _calibration_line(campaign: CampaignExecution) -> "str | None":
     )
 
 
+def _idle_line(campaign: CampaignExecution) -> "str | None":
+    """The ``--profile`` idle-attribution line, from the span journal.
+
+    Shares :func:`repro.obs.report.idle_summary` with ``ring-repro
+    trace``, so the two reports agree by construction.  None when
+    telemetry is off (``REPRO_NO_TELEMETRY=1``) or nothing was measured.
+    """
+    if campaign.journal is None:
+        return None
+    from repro.obs.report import idle_summary, load_trace
+
+    summary = idle_summary(load_trace(campaign.journal.events))
+    if summary is None:
+        return None
+    shares = summary["shares"]
+    return (
+        f"[idle: {summary['idle_s']:.2f} worker-second(s) across "
+        f"{summary['lanes']} lane(s): "
+        f"{shares['straggler']:.0%} straggler, "
+        f"{shares['queue-empty']:.0%} queue-empty, "
+        f"{shares['fold-barrier']:.0%} fold-barrier"
+        " — 'ring-repro trace' breaks this down per worker]"
+    )
+
+
 def _print_profile(campaign: CampaignExecution) -> None:
     """Per-experiment cell time, heaviest first, then pool utilization."""
     ordered = sorted(
@@ -249,6 +290,52 @@ def _print_profile(campaign: CampaignExecution) -> None:
     calibration = _calibration_line(campaign)
     if calibration is not None:
         print(calibration)
+    idle = _idle_line(campaign)
+    if idle is not None:
+        print(idle)
+
+
+def _warn_weights(campaign: CampaignExecution) -> None:
+    """Flag cells whose declared LPT weight belies their measured cost.
+
+    Computed from the campaign's own outcomes (works with telemetry
+    off), printed to stderr so byte-diffed stdout never sees it.  The
+    class of bug this catches: a divisible witness cell declaring
+    weight 24 for a ~15 s BFS, which LPT then scheduled last.
+    """
+    from repro.obs.report import WEIGHT_RATIO_CAP, weight_calibration
+
+    entries = [
+        (
+            outcome.cell.exp_id,
+            outcome.cell.key,
+            outcome.cell.weight,
+            outcome.seconds,
+        )
+        for outcome in campaign._outcomes()
+        if not outcome.cached
+    ]
+    flagged = [
+        row for row in weight_calibration(entries) if row["flagged"]
+    ]
+    if not flagged:
+        return
+    print(
+        f"[weight-calibration: {len(flagged)} cell(s) whose declared "
+        f"Cell.weight is >{WEIGHT_RATIO_CAP:g}x off their experiment's "
+        "measured seconds-per-weight scale — LPT schedules them "
+        "dishonestly:",
+        file=sys.stderr,
+    )
+    for row in flagged:
+        print(
+            f"  {row['exp']}/{row['key']}: weight {row['weight']:g} "
+            f"predicts {row['predicted_s']:.2f}s, measured "
+            f"{row['seconds']:.2f}s "
+            f"({max(row['ratio'], 1 / row['ratio']):.1f}x off)",
+            file=sys.stderr,
+        )
+    print("  fix the weight hints in the experiment spec]", file=sys.stderr)
 
 
 def _stale_bytes(paths) -> int:
@@ -435,6 +522,131 @@ def _run_ingest(args, sources: "list[str]") -> int:
     return 0
 
 
+def _run_trace(args) -> int:
+    """The ``trace`` subcommand: replay a span journal into a report.
+
+    Renders the newest campaign journal under the telemetry root (or
+    the one ``--campaign ID`` names): critical path, per-worker
+    utilization with idle attribution, weight calibration, rollups.
+    Reads only the journal sidecar — never the run store.
+    """
+    from repro.obs.journal import (
+        read_journal,
+        resolve_journal,
+        telemetry_root,
+    )
+    from repro.obs.report import load_trace, render_trace
+
+    wanted = args.campaign if args.campaign is not None else "latest"
+    path = resolve_journal(wanted)
+    if path is None:
+        where = (
+            "no campaign journals"
+            if wanted == "latest"
+            else f"no journal {wanted!r}"
+        )
+        print(
+            f"{where} under {telemetry_root()} — run a campaign first "
+            "(journals are off under REPRO_NO_TELEMETRY=1)",
+            file=sys.stderr,
+        )
+        return 1
+    events, dropped = read_journal(path)
+    trace = load_trace(events, dropped)
+    print(render_trace(trace))
+    return 0
+
+
+def _run_ledger(args, rest: "list[str]") -> int:
+    """The ``ledger`` subcommand: seed / append / check the perf ledger.
+
+    ``seed`` folds every ``BENCH_*.json`` under ``--bench-dir`` into the
+    ledger (idempotent); ``append FILE`` records one fresh bench run;
+    ``check`` validates the newest run against its trailing drift bands
+    and exits nonzero on violation (the CI gate).
+    """
+    import json as json_mod
+    from pathlib import Path
+
+    from repro.obs.ledger import (
+        DEFAULT_LEDGER,
+        append_run,
+        check_ledger,
+        normalize_bench_file,
+        seed_ledger,
+    )
+
+    action = rest[0].lower() if rest else ""
+    operands = rest[1:]
+    path = args.ledger if args.ledger is not None else str(DEFAULT_LEDGER)
+    try:
+        if action == "seed":
+            if operands:
+                raise ReproError(
+                    "ledger seed takes no operands; point --bench-dir at "
+                    "the BENCH_*.json directory"
+                )
+            bench_dir = (
+                args.bench_dir if args.bench_dir is not None else "benchmarks"
+            )
+            added, skipped = seed_ledger(bench_dir, path)
+            print(
+                f"ledger seed: {added} entr{'y' if added == 1 else 'ies'} "
+                f"added to {path} from {bench_dir} "
+                f"({skipped} file(s) skipped: already seeded or empty)"
+            )
+            return 0
+        if action == "append":
+            if len(operands) != 1:
+                raise ReproError(
+                    "ledger append takes exactly one bench JSON file "
+                    "(usage: ring-repro ledger append FILE [--run-id ID])"
+                )
+            bench_path = Path(operands[0])
+            records = normalize_bench_file(bench_path)
+            if not records:
+                raise ReproError(
+                    f"{bench_path} holds no numeric measurements to append"
+                )
+            run = args.run_id if args.run_id is not None else bench_path.name
+            recorded = ""
+            try:
+                data = json_mod.loads(bench_path.read_text(encoding="utf-8"))
+                if isinstance(data, dict):
+                    stamp = data.get("date") or data.get("snapshot")
+                    recorded = stamp if isinstance(stamp, str) else ""
+            except (OSError, ValueError):
+                pass
+            count = append_run(path, run, records, recorded=recorded)
+            print(
+                f"ledger append: run {run!r} recorded {count} metric(s) "
+                f"into {path}"
+            )
+            return 0
+        if action == "check":
+            if operands:
+                raise ReproError("ledger check takes no operands")
+            check = check_ledger(
+                path,
+                window=args.window if args.window is not None else 8,
+                band_k=args.band_k if args.band_k is not None else 5.0,
+                rel_floor=(
+                    args.rel_floor if args.rel_floor is not None else 0.25
+                ),
+                min_history=(
+                    args.min_history if args.min_history is not None else 3
+                ),
+            )
+            print(check.render())
+            return 0 if check.passed else 1
+        raise ReproError(
+            f"unknown ledger action {action!r}; pick seed, append, or check"
+        )
+    except ReproError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+
 def _shard_summary(campaign: CampaignExecution, store: RunStore) -> str:
     """The sharded-run outcome: what this leg measured, what remains.
 
@@ -472,8 +684,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="experiment ids (E1..E12) or 'all'; prefix with 'report' to "
         "re-render tables from stored cell records without simulating, "
         "use 'dashboard' to render the static HTML+JSON/CSV site from "
-        "the store, or 'ingest SRC...' to merge shard stores into one "
-        "fleet store",
+        "the store, 'ingest SRC...' to merge shard stores into one "
+        "fleet store, 'trace' to replay a campaign's span journal into "
+        "a critical-path report, or 'ledger seed|append|check' to "
+        "maintain the perf-regression ledger",
     )
     parser.add_argument(
         "--shard",
@@ -619,8 +833,63 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--bench-dir",
         metavar="DIR",
         default=None,
-        help="with dashboard: directory scanned for BENCH_*.json records "
-        "folded into bench-trajectory.json (default: benchmarks/)",
+        help="with dashboard or ledger seed: directory scanned for "
+        "BENCH_*.json records (default: benchmarks/)",
+    )
+    parser.add_argument(
+        "--campaign",
+        metavar="ID",
+        default=None,
+        help="with trace: which journal to replay — a campaign id (or "
+        ".jsonl filename) under the telemetry root, or 'latest' "
+        "(default)",
+    )
+    parser.add_argument(
+        "--ledger",
+        metavar="PATH",
+        default=None,
+        help="with ledger: the ledger file "
+        "(default: benchmarks/LEDGER.jsonl)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with ledger check: trailing history window per metric "
+        "(default: 8 prior runs)",
+    )
+    parser.add_argument(
+        "--band-k",
+        type=float,
+        default=None,
+        metavar="K",
+        help="with ledger check: band halfwidth in MADs around the "
+        "trailing median (default: 5.0)",
+    )
+    parser.add_argument(
+        "--rel-floor",
+        type=float,
+        default=None,
+        metavar="F",
+        help="with ledger check: minimum band halfwidth as a fraction "
+        "of the median, keeping deterministic metrics (MAD 0) from "
+        "failing every change (default: 0.25)",
+    )
+    parser.add_argument(
+        "--min-history",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with ledger check: metrics with fewer prior points are "
+        "reported as new and pass (default: 3)",
+    )
+    parser.add_argument(
+        "--run-id",
+        metavar="ID",
+        default=None,
+        help="with ledger append: the run id to record under "
+        "(default: the bench file's name)",
     )
     args = parser.parse_args(argv)
     try:
@@ -643,17 +912,50 @@ def main(argv: Sequence[str] | None = None) -> int:
     report_mode = command == "report"
     dashboard_mode = command == "dashboard"
     ingest_mode = command == "ingest"
+    trace_mode = command == "trace"
+    ledger_mode = command == "ledger"
     if args.dry_run and not args.prune_stale:
         parser.error("--dry-run only applies to report --prune-stale")
     if not dashboard_mode:
         for flag, name in (
             (args.open, "--open"),
             (args.out is not None, "--out"),
-            (args.bench_dir is not None, "--bench-dir"),
             (args.fleet is not None, "--fleet"),
         ):
             if flag:
                 parser.error(f"{name} only applies to dashboard mode")
+    if args.bench_dir is not None and not (dashboard_mode or ledger_mode):
+        parser.error("--bench-dir only applies to dashboard and ledger modes")
+    if args.campaign is not None and not trace_mode:
+        parser.error("--campaign only applies to trace mode")
+    if not ledger_mode:
+        for flag, name in (
+            (args.ledger is not None, "--ledger"),
+            (args.window is not None, "--window"),
+            (args.band_k is not None, "--band-k"),
+            (args.rel_floor is not None, "--rel-floor"),
+            (args.min_history is not None, "--min-history"),
+            (args.run_id is not None, "--run-id"),
+        ):
+            if flag:
+                parser.error(f"{name} only applies to ledger mode")
+    if trace_mode or ledger_mode:
+        for flag, name in (
+            (args.no_store, "--no-store"),
+            (args.resume, "--resume"),
+            (args.profile, "--profile"),
+            (args.all, "--all"),
+            (args.refit, "--refit"),
+            (args.prune_stale, "--prune-stale"),
+            (args.quick, "--quick"),
+            (args.preset is not None, "--preset"),
+            (args.sizes is not None, "--sizes"),
+            (args.mode != "sim", "--mode"),
+            (args.jobs != 1, "--jobs"),
+            (args.store != DEFAULT_STORE_ROOT, "--store"),
+        ):
+            if flag:
+                parser.error(f"{name} does not apply to {command} mode")
     if not ingest_mode:
         for flag, name in (
             (args.into is not None, "--into"),
@@ -663,7 +965,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                 parser.error(f"{name} only applies to ingest mode")
     shard = None
     if args.shard is not None:
-        if report_mode or dashboard_mode or ingest_mode:
+        if (
+            report_mode
+            or dashboard_mode
+            or ingest_mode
+            or trace_mode
+            or ledger_mode
+        ):
             parser.error(
                 f"--shard only applies when running experiments; a "
                 f"{command} reads stores, it does not measure"
@@ -711,6 +1019,19 @@ def main(argv: Sequence[str] | None = None) -> int:
                 )
                 parser.error(f"{name} does not apply to ingest mode{hint}")
         return _run_ingest(args, sources)
+    if trace_mode:
+        if requested[1:]:
+            parser.error(
+                "trace takes no experiment ids; pick a journal with "
+                "--campaign ID (usage: ring-repro trace [--campaign ID])"
+            )
+        return _run_trace(args)
+    if ledger_mode:
+        if not requested[1:]:
+            parser.error(
+                "ledger needs an action: seed, append FILE, or check"
+            )
+        return _run_ledger(args, requested[1:])
     if report_mode:
         requested = requested[1:]
         if not requested and not args.all:
@@ -746,11 +1067,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             if flag:
                 parser.error(f"{name} only applies to report mode")
     if any(
-        item.lower() in ("report", "dashboard", "ingest")
+        item.lower() in ("report", "dashboard", "ingest", "trace", "ledger")
         for item in requested
     ):
         parser.error(
-            "'report'/'dashboard'/'ingest' go first: "
+            "'report'/'dashboard'/'ingest'/'trace'/'ledger' go first: "
             "ring-repro report E8 [...]"
         )
     if args.resume and args.no_store:
@@ -816,6 +1137,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             if exp_id in campaign.executions:
                 print(campaign.executions[exp_id].result.render())
                 print()
+    _warn_weights(campaign)
     if args.profile:
         _print_profile(campaign)
     failures = sum(

@@ -7,6 +7,8 @@ one page per experiment, and write the machine exports next to them.
 Output layout::
 
     <out>/index.html            campaign summary, LPT timeline, exports
+    <out>/telemetry.html        latest campaign journal: worker lanes,
+                                critical path, idle attribution
     <out>/E1.html .. E12.html   per-experiment pages
     <out>/style.css             shared stylesheet (palette, marks, text)
     <out>/campaign.json         the whole campaign as data
@@ -234,6 +236,197 @@ def _experiment_page(view: ExperimentView, campaign: CampaignView) -> str:
     return page(f"{view.exp_id} · {view.title}", "\n".join(body))
 
 
+def _telemetry_page() -> str:
+    """The telemetry page: the latest campaign journal, replayed.
+
+    Unlike every other page this renders from the telemetry sidecar
+    (``runs/_telemetry``), not the store — *measured* worker lanes with
+    real queue waits and stalls, where the index timeline is an LPT
+    replay of stored wall clocks.  With no journal (none recorded yet,
+    or ``REPRO_NO_TELEMETRY=1``) it says so honestly; determinism is
+    per fixed journal directory, matching the store-determinism
+    contract of the other pages.
+    """
+    from repro.obs.journal import latest_journal, read_journal, telemetry_root
+    from repro.obs.report import (
+        critical_path,
+        load_trace,
+        weight_calibration,
+        calibration_entries_from_trace,
+        worker_lanes,
+        worker_utilization,
+    )
+
+    body: list[str] = [
+        "<h1>Campaign telemetry</h1>",
+        f'<p class="sub">latest span journal under '
+        f"<code>{escape(telemetry_root().as_posix())}</code> &middot; "
+        "measured worker lanes, not a replay &middot; full report: "
+        "<code>ring-repro trace</code></p>",
+    ]
+    journal_path = latest_journal()
+    if journal_path is None:
+        body.append(
+            warn_box(
+                "<strong>No campaign journal yet.</strong> Run a campaign "
+                "(any <code>ring-repro ...</code> measurement) and "
+                "rebuild; journals are disabled under "
+                "<code>REPRO_NO_TELEMETRY=1</code>."
+            )
+        )
+        return page("Campaign telemetry", "\n".join(body))
+    events, dropped = read_journal(journal_path)
+    trace = load_trace(events, dropped)
+    lo, hi = trace.window()
+    makespan = hi - lo
+    meta = trace.meta
+    body.append(
+        f'<p class="muted">campaign <code>{escape(trace.campaign_id)}'
+        f"</code> &middot; preset {escape(str(meta.get('preset', '?')))} "
+        f"&middot; mode {escape(str(meta.get('mode', '?')))} &middot; "
+        f"jobs {escape(str(meta.get('jobs', '?')))} &middot; "
+        f"{len(trace.complete_items)} measured work item(s), "
+        f"{trace.cached} from store &middot; window {makespan:.3f}s</p>"
+    )
+    if trace.dropped or trace.unpaired:
+        body.append(
+            warn_box(
+                f"<strong>journal health:</strong> {trace.dropped} "
+                f"unparseable line(s) dropped, {trace.unpaired} span(s) "
+                "never stopped (campaign crashed?)"
+            )
+        )
+
+    lanes = worker_lanes(trace)
+    if lanes:
+        exps = sorted(
+            {
+                str(item.fields.get("exp", "?"))
+                for item in trace.complete_items
+            }
+        )
+        slot_of = {exp: (index % 8) + 1 for index, exp in enumerate(exps)}
+        segments = [
+            [
+                Segment(
+                    exp_id=str(item.fields.get("exp", "?")),
+                    key=item.label,
+                    start=item.t0 - lo,
+                    seconds=item.seconds,
+                    slot=slot_of.get(str(item.fields.get("exp", "?")), 0),
+                )
+                for item in lane
+            ]
+            for lane in lanes.values()
+        ]
+        body.append(f"<h2>Worker lanes ({len(segments)} worker(s))</h2>")
+        body.append(legend([(exp, slot_of[exp]) for exp in exps]))
+        body.append(
+            timeline(
+                segments,
+                makespan,
+                title="measured worker lanes (journal spans)",
+            )
+        )
+
+        chain = critical_path(trace)
+        body.append("<h2>Critical path</h2>")
+        covered = sum(span.seconds for span in chain)
+        share = covered / makespan if makespan > 0 else 0.0
+        body.append(
+            table_html(
+                ["#", "worker", "item", "mode", "start_s", "seconds"],
+                [
+                    [
+                        str(index),
+                        str(span.fields.get("worker")),
+                        span.label,
+                        str(span.fields.get("mode", "?")),
+                        f"{span.t0 - lo:.3f}",
+                        f"{span.seconds:.3f}",
+                    ]
+                    for index, span in enumerate(chain, start=1)
+                ],
+            )
+        )
+        body.append(
+            f'<p class="muted">{len(chain)} item(s), {covered:.3f}s = '
+            f"{share:.0%} of the window; everything off this chain had "
+            "slack</p>"
+        )
+
+        body.append("<h2>Per-worker utilization</h2>")
+        body.append(
+            table_html(
+                [
+                    "worker",
+                    "items",
+                    "busy_s",
+                    "idle_s",
+                    "queue-empty_s",
+                    "fold-barrier_s",
+                    "straggler_s",
+                    "util",
+                ],
+                [
+                    [
+                        str(row["worker"]),
+                        str(row["items"]),
+                        f"{row['busy_s']:.3f}",
+                        f"{row['idle_s']:.3f}",
+                        f"{row['queue-empty']:.3f}",
+                        f"{row['fold-barrier']:.3f}",
+                        f"{row['straggler']:.3f}",
+                        f"{row['utilization']:.0%}",
+                    ]
+                    for row in worker_utilization(trace)
+                ],
+            )
+        )
+
+        flagged = [
+            row
+            for row in weight_calibration(
+                calibration_entries_from_trace(trace)
+            )
+            if row["flagged"]
+        ]
+        if flagged:
+            body.append("<h2>Weight calibration</h2>")
+            body.append(
+                warn_box(
+                    f"<strong>{len(flagged)} item(s)</strong> whose "
+                    "declared <code>Cell.weight</code> is off the "
+                    "experiment's measured seconds-per-weight scale — "
+                    "LPT schedules them dishonestly."
+                )
+            )
+            body.append(
+                table_html(
+                    ["exp", "item", "weight", "seconds", "predicted_s"],
+                    [
+                        [
+                            row["exp"],
+                            row["key"],
+                            f"{row['weight']:g}",
+                            f"{row['seconds']:.3f}",
+                            f"{row['predicted_s']:.3f}",
+                        ]
+                        for row in flagged
+                    ],
+                )
+            )
+    else:
+        body.append(
+            warn_box(
+                "<strong>The journal holds no completed work items</strong> "
+                "(an all-cached campaign, or one that crashed before any "
+                "cell landed)."
+            )
+        )
+    return page("Campaign telemetry", "\n".join(body))
+
+
 def _index_page(
     campaign: CampaignView, timeline_jobs: int
 ) -> str:
@@ -376,6 +569,9 @@ def _index_page(
         "and provenance as data</li>"
         '<li><a href="bench-trajectory.json">bench-trajectory.json</a> — '
         "benchmark records across PRs</li>"
+        '<li><a href="telemetry.html">telemetry.html</a> — the latest '
+        "campaign's span journal: measured worker lanes, critical path, "
+        "idle attribution</li>"
         + (f"<li>per-experiment cells: {csv_links}</li>" if csv_links else "")
         + "</ul>"
     )
@@ -406,6 +602,7 @@ def build_dashboard(
     files: dict[str, str] = {
         "style.css": STYLE_CSS,
         "index.html": _index_page(campaign, timeline_jobs),
+        "telemetry.html": _telemetry_page(),
         "campaign.json": dump_json(campaign_payload(campaign)),
         "bench-trajectory.json": dump_json(bench_trajectory_payload(bench_dir)),
     }
@@ -424,8 +621,8 @@ def build_dashboard(
     # (experiment pages/csvs and the fixed names); an --out pointed at
     # a directory with unrelated content must not eat it.
     ours = re.compile(
-        r"^(E\d+\.html|E\d+\.cells\.csv|index\.html|style\.css|"
-        r"campaign\.json|bench-trajectory\.json)$"
+        r"^(E\d+\.html|E\d+\.cells\.csv|index\.html|telemetry\.html|"
+        r"style\.css|campaign\.json|bench-trajectory\.json)$"
     )
     for path in out.iterdir():
         if path.is_file() and ours.match(path.name) and path.name not in files:

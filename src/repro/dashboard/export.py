@@ -27,6 +27,7 @@ from pathlib import Path
 
 from repro.analysis.tables import rows_to_csv
 from repro.dashboard.assemble import CampaignView, ExperimentView
+from repro.obs.ledger import normalize_bench_data
 
 __all__ = [
     "bench_trajectory_payload",
@@ -42,7 +43,10 @@ __all__ = [
 # with the stored wall clock split back proportional to the planned
 # subtask weights — derived, not recorded, like "shard") in
 # campaign.json and the cells CSVs; empty under REPRO_NO_SPLIT=1.
-CAMPAIGN_SCHEMA = 3
+# v4: each bench-trajectory entry carries "records" — the file's
+# measurements normalized to the canonical {name, value, unit, context}
+# schema (repro.obs.ledger), alongside the verbatim "data".
+CAMPAIGN_SCHEMA = 4
 
 CELL_CSV_COLUMNS = (
     "exp_id",
@@ -195,6 +199,9 @@ def bench_trajectory_payload(bench_dir) -> dict:
                     data.get("date") if isinstance(data, dict) else None
                 )
                 entry["data"] = data
+                entry["records"] = normalize_bench_data(
+                    data, context=path.name
+                )
             entries.append(entry)
     payload: dict = {
         "schema": CAMPAIGN_SCHEMA,

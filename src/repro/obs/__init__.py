@@ -1,0 +1,40 @@
+"""Campaign observability: span journal, trace reports, regression ledger.
+
+Three zero-dependency pieces threaded through the runner stack:
+
+* :mod:`repro.obs.journal` — an append-only JSONL sidecar of typed
+  events (campaign/cell/subtask/fold/finalize/ingest spans) written
+  under ``runs/_telemetry/``, strictly outside the diffed run store, so
+  every byte-identity guarantee the CI enforces survives telemetry
+  untouched.  ``REPRO_NO_TELEMETRY=1`` is the kill switch.
+* :mod:`repro.obs.report` — replays a journal into a critical-path
+  decomposition, per-worker utilization with idle-gap attribution,
+  a planned-weight vs actual-seconds calibration table, and
+  per-experiment/per-mode rollups (``ring-repro trace``).
+* :mod:`repro.obs.ledger` — folds ``benchmarks/BENCH_*.json`` plus
+  fresh bench runs into an append-only ``benchmarks/LEDGER.jsonl`` with
+  robust per-benchmark drift bands (``ring-repro ledger check`` gates
+  CI on them).
+"""
+
+from repro.obs.journal import (
+    Journal,
+    activate,
+    latest_journal,
+    note,
+    read_journal,
+    resolve_journal,
+    telemetry_enabled,
+    telemetry_root,
+)
+
+__all__ = [
+    "Journal",
+    "activate",
+    "latest_journal",
+    "note",
+    "read_journal",
+    "resolve_journal",
+    "telemetry_enabled",
+    "telemetry_root",
+]

@@ -1,0 +1,246 @@
+"""Append-only JSONL span journal for campaigns and ingests.
+
+One campaign writes one sidecar file::
+
+    <telemetry root>/<campaign-id>.jsonl
+
+where the telemetry root defaults to ``runs/_telemetry`` — a *constant*
+location deliberately independent of ``--store DIR``, and a ``.jsonl``
+extension no store walk matches (:meth:`RunStore.existing_files` and
+ingest look only at ``*.json``/``*.json.part`` names) — so telemetry
+can never perturb the byte-diffed stores, reports, or dashboards the CI
+compares.  ``REPRO_TELEMETRY_DIR`` relocates the root;
+``REPRO_NO_TELEMETRY=1`` is the kill switch (no file, no events, same
+campaign output to the byte — the ``telemetry-parity`` CI job diffs
+whole campaigns across this switch).
+
+Events are one JSON object per line, written with a single ``write()``
+of the full line and flushed immediately, so a campaign killed mid-run
+leaves a journal whose every complete line still parses — at worst the
+final line is truncated and :func:`read_journal` drops it.  Span events
+come in ``<kind>_start``/``<kind>_stop`` pairs sharing a ``span`` id;
+timestamps are ``time.perf_counter()`` values (CLOCK_MONOTONIC on
+Linux, comparable across the pool's worker processes), normalized by
+consumers against the ``campaign_start`` timestamp.
+
+The module-level *current journal* (:func:`activate` / :func:`note`)
+lets deep layers — the run store's ``save``, ingest's ``write_payload``
+— emit events without threading a journal through every signature; a
+``note`` outside any active journal is a no-op.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "Journal",
+    "activate",
+    "latest_journal",
+    "list_journals",
+    "note",
+    "read_journal",
+    "resolve_journal",
+    "telemetry_enabled",
+    "telemetry_root",
+]
+
+JOURNAL_SCHEMA = 1
+
+DEFAULT_TELEMETRY_ROOT = os.path.join("runs", "_telemetry")
+
+# Distinguishes journals started in the same second by the same process
+# (test suites run many campaigns back to back).
+_SEQUENCE = itertools.count()
+
+_CURRENT: "Journal | None" = None
+
+
+def telemetry_enabled() -> bool:
+    """Whether journals are written (``REPRO_NO_TELEMETRY`` kill switch).
+
+    Telemetry never changes what a campaign computes or stores — the
+    switch exists so any byte-level comparison can also be run with the
+    journal machinery fully out of the picture, and so library users
+    can opt out wholesale.
+    """
+    return not os.environ.get("REPRO_NO_TELEMETRY")
+
+
+def telemetry_root() -> Path:
+    """Where journals live: ``$REPRO_TELEMETRY_DIR`` or ``runs/_telemetry``.
+
+    Deliberately *not* derived from ``--store``: CI byte-diffs whole
+    store directories (fleet merges, split parity), so the sidecar
+    location must be constant no matter where records go.
+    """
+    return Path(os.environ.get("REPRO_TELEMETRY_DIR") or DEFAULT_TELEMETRY_ROOT)
+
+
+class Journal:
+    """One run's append-only event sidecar, line-atomic on disk.
+
+    Events are also kept in memory (``events``) so the process that
+    wrote them — ``--profile``, tests — can analyze the run without
+    re-reading the file.
+    """
+
+    def __init__(self, path: "Path | None", campaign_id: str) -> None:
+        self.path = path
+        self.campaign_id = campaign_id
+        self.events: "list[dict]" = []
+        self._spans = itertools.count()
+        self._fh = None
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = path.open("w", encoding="utf-8")
+
+    @classmethod
+    def open(
+        cls, kind: str = "campaign", root: "Path | None" = None
+    ) -> "Journal | None":
+        """Start a journal of the given kind, or None when disabled."""
+        if not telemetry_enabled():
+            return None
+        stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+        campaign_id = (
+            f"{kind}-{stamp}-{os.getpid()}-{next(_SEQUENCE):04d}"
+        )
+        root = telemetry_root() if root is None else Path(root)
+        try:
+            return cls(root / f"{campaign_id}.jsonl", campaign_id)
+        except OSError:
+            # A read-only or unreachable telemetry root must never take
+            # a campaign down: fall back to in-memory events (which is
+            # all --profile needs anyway).
+            return cls(None, campaign_id)
+
+    def emit(self, ev: str, **fields) -> dict:
+        """Record one event; write it as one flushed line if on disk."""
+        event = {"ev": ev, **fields}
+        self.events.append(event)
+        if self._fh is not None:
+            # One write of the complete line, then flush: a crash
+            # between events never leaves a partial line, and a crash
+            # mid-write truncates only the final line.
+            self._fh.write(
+                json.dumps(event, sort_keys=True, separators=(",", ":"))
+                + "\n"
+            )
+            self._fh.flush()
+        return event
+
+    def span(self, kind: str, t0: float, t1: float, **fields) -> int:
+        """Record a completed ``kind`` span as a start/stop event pair.
+
+        Spans are emitted retrospectively (the campaign learns a cell's
+        worker-side clock only when its result lands), so the pair is
+        written together; ``t0``/``t1`` carry when the work actually
+        ran, not when it was journaled.
+        """
+        span_id = next(self._spans)
+        self.emit(
+            f"{kind}_start", span=span_id, t=round(t0, 6), **fields
+        )
+        self.emit(f"{kind}_stop", span=span_id, t=round(t1, 6))
+        return span_id
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+@contextmanager
+def activate(journal: "Journal | None"):
+    """Make ``journal`` the process-wide target of :func:`note`.
+
+    Nesting restores the previous journal on exit; activating ``None``
+    (telemetry off) is allowed and leaves :func:`note` a no-op.
+    """
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = journal
+    try:
+        yield journal
+    finally:
+        _CURRENT = previous
+
+
+def note(ev: str, **fields) -> None:
+    """Emit an event to the active journal, if any.
+
+    The deep-layer hook: the run store and ingest call this without
+    knowing whether anything is listening.
+    """
+    if _CURRENT is not None:
+        _CURRENT.emit(ev, t=round(time.perf_counter(), 6), **fields)
+
+
+def read_journal(path: "str | os.PathLike") -> "tuple[list[dict], int]":
+    """Parse a journal back into events; returns ``(events, dropped)``.
+
+    Tolerant by design: a campaign killed mid-write leaves a truncated
+    final line, and a journal must stay useful after a crash — that is
+    half its point.  Unparseable or non-object lines are dropped and
+    counted, never fatal.
+    """
+    events: "list[dict]" = []
+    dropped = 0
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                dropped += 1
+                continue
+            if isinstance(event, dict) and "ev" in event:
+                events.append(event)
+            else:
+                dropped += 1
+    return events, dropped
+
+
+def list_journals(
+    root: "Path | None" = None, kind: "str | None" = None
+) -> "list[Path]":
+    """Every journal under the root, oldest first (mtime, then name)."""
+    root = telemetry_root() if root is None else Path(root)
+    if not root.is_dir():
+        return []
+    pattern = f"{kind}-*.jsonl" if kind else "*.jsonl"
+    paths = [path for path in root.glob(pattern) if path.is_file()]
+    return sorted(paths, key=lambda p: (p.stat().st_mtime, p.name))
+
+
+def latest_journal(
+    root: "Path | None" = None, kind: "str | None" = "campaign"
+) -> "Path | None":
+    """The newest journal of the given kind, or None."""
+    journals = list_journals(root, kind)
+    return journals[-1] if journals else None
+
+
+def resolve_journal(
+    campaign: str = "latest", root: "Path | None" = None
+) -> "Path | None":
+    """Find a journal by campaign id (or the literal ``"latest"``).
+
+    Accepts the bare campaign id or the ``.jsonl`` filename; returns
+    None when nothing matches (callers render the honest error).
+    """
+    root = telemetry_root() if root is None else Path(root)
+    if campaign == "latest":
+        return latest_journal(root)
+    name = campaign if campaign.endswith(".jsonl") else f"{campaign}.jsonl"
+    path = root / name
+    return path if path.is_file() else None

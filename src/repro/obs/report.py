@@ -1,0 +1,554 @@
+"""Replay a span journal into trace reports (``ring-repro trace``).
+
+A journal (:mod:`repro.obs.journal`) is a flat event stream; this module
+reconstructs the campaign's *shape* from it:
+
+* :func:`load_trace` pairs ``<kind>_start``/``<kind>_stop`` events back
+  into spans and indexes them by kind;
+* :func:`critical_path` walks backwards from the last-finishing work
+  item through same-worker back-to-back predecessors — the chain of
+  cells that actually bounded the makespan (anything off this chain
+  could have run slower for free);
+* :func:`worker_utilization` attributes every worker's idle gaps to a
+  cause: **fold-barrier** (the dispatcher was folding/finalizing, so
+  nothing could be handed out), **straggler** (this worker drained the
+  queue and sat waiting for the campaign's tail), or **queue-empty**
+  (no work was available — pool startup, dispatch latency);
+* :func:`weight_calibration` compares each item's declared LPT weight
+  against its measured seconds through a per-experiment robust scale —
+  weights are per-experiment cost *hints* in arbitrary units (ring
+  sizes, BFS vertex counts), so only the ratio to the experiment's own
+  median seconds-per-weight is meaningful — and flags items off by more
+  than ``WEIGHT_RATIO_CAP`` (the class of bug PR 8 fixed by hand when
+  E2's witness cell declared weight 24 for a ~15 s BFS);
+* :func:`render_trace` composes all of it into the CLI report.
+
+Everything here is a pure function of the event list: ``--profile`` and
+``ring-repro trace`` share these attributions, so their numbers agree
+by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median
+
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "Trace",
+    "WEIGHT_RATIO_CAP",
+    "WEIGHT_FLOOR_SECONDS",
+    "critical_path",
+    "idle_summary",
+    "load_trace",
+    "render_trace",
+    "rollup_rows",
+    "weight_calibration",
+    "worker_utilization",
+]
+
+# An item is flagged when measured seconds disagree with the weight's
+# prediction by more than this factor either way...
+WEIGHT_RATIO_CAP = 4.0
+# ...and the disagreement is material: both the measurement and the
+# prediction under a fraction of a second is scheduling noise, not a
+# mis-declared weight.
+WEIGHT_FLOOR_SECONDS = 0.2
+
+# Two work items on one worker with a gap under this are "back to back"
+# for the critical-path walk (process pools hand the next future over
+# in well under a millisecond; anything larger is a real stall).
+PATH_EPSILON = 0.005
+
+
+@dataclass(frozen=True)
+class Span:
+    """One reconstructed span: ``kind`` plus its start event's fields."""
+
+    kind: str  # "cell" | "subtask" | "fold" | "finalize"
+    t0: float
+    t1: "float | None"  # None: the journal ended before the stop landed
+    fields: dict
+
+    @property
+    def seconds(self) -> float:
+        return (self.t1 - self.t0) if self.t1 is not None else 0.0
+
+    @property
+    def label(self) -> str:
+        exp = self.fields.get("exp", "?")
+        key = self.fields.get("key", "?")
+        part = self.fields.get("part")
+        return f"{exp}/{key}" + (f"#part={part}" if part else "")
+
+
+@dataclass
+class Trace:
+    """One journal, reconstructed."""
+
+    campaign_id: str
+    meta: dict = field(default_factory=dict)  # campaign_start fields
+    t_start: "float | None" = None
+    pool_start: "float | None" = None
+    t_stop: "float | None" = None
+    stop: dict = field(default_factory=dict)  # campaign_stop fields
+    items: "list[Span]" = field(default_factory=list)  # cells + subtasks
+    dispatch: "list[Span]" = field(default_factory=list)  # folds + finalizes
+    cached: int = 0
+    store_saves: int = 0
+    dropped: int = 0
+    unpaired: int = 0  # start events whose stop never landed (a crash)
+
+    @property
+    def complete_items(self) -> "list[Span]":
+        return [item for item in self.items if item.t1 is not None]
+
+    def window(self) -> "tuple[float, float]":
+        """The idle-attribution window: pool start to campaign stop.
+
+        Falls back to the observed item extent for crashed journals.
+        """
+        times0 = [item.t0 for item in self.complete_items]
+        times1 = [item.t1 for item in self.complete_items]
+        lo = self.pool_start
+        if lo is None:
+            lo = min(times0) if times0 else (self.t_start or 0.0)
+        hi = self.t_stop
+        if hi is None:
+            hi = max(times1) if times1 else lo
+        return lo, max(lo, hi)
+
+
+_SPAN_KINDS = ("cell", "subtask", "fold", "finalize", "ingest")
+
+
+def load_trace(events: "list[dict]", dropped: int = 0) -> Trace:
+    """Rebuild a :class:`Trace` from a journal's event list.
+
+    Tolerates crashed journals: a start without a stop becomes an open
+    span (counted in ``unpaired``); the report renders what landed.
+    """
+    trace = Trace(campaign_id="?", dropped=dropped)
+    open_spans: "dict[tuple[str, int], Span]" = {}
+    for event in events:
+        ev = event.get("ev")
+        if ev == "campaign_start":
+            trace.meta = {
+                k: v for k, v in event.items() if k not in ("ev", "t")
+            }
+            trace.campaign_id = str(event.get("id", "?"))
+            trace.t_start = event.get("t")
+        elif ev == "pool_start":
+            trace.pool_start = event.get("t")
+        elif ev == "campaign_stop":
+            trace.t_stop = event.get("t")
+            trace.stop = {
+                k: v for k, v in event.items() if k not in ("ev", "t")
+            }
+        elif ev == "cell_cached":
+            trace.cached += 1
+        elif ev == "store_save":
+            trace.store_saves += 1
+        elif isinstance(ev, str) and ev.endswith("_start"):
+            kind = ev[: -len("_start")]
+            if kind not in _SPAN_KINDS:
+                continue
+            span = Span(
+                kind=kind,
+                t0=float(event.get("t", 0.0)),
+                t1=None,
+                fields={
+                    k: v
+                    for k, v in event.items()
+                    if k not in ("ev", "t", "span")
+                },
+            )
+            open_spans[(kind, event.get("span", -1))] = span
+        elif isinstance(ev, str) and ev.endswith("_stop"):
+            kind = ev[: -len("_stop")]
+            started = open_spans.pop((kind, event.get("span", -1)), None)
+            if started is None:
+                continue
+            closed = Span(
+                kind=kind,
+                t0=started.t0,
+                t1=float(event.get("t", started.t0)),
+                fields=started.fields,
+            )
+            _file_span(trace, closed)
+    for span in open_spans.values():
+        trace.unpaired += 1
+        _file_span(trace, span)
+    return trace
+
+
+def _file_span(trace: Trace, span: Span) -> None:
+    if span.kind in ("cell", "subtask"):
+        trace.items.append(span)
+    elif span.kind in ("fold", "finalize"):
+        trace.dispatch.append(span)
+
+
+def _overlap(a0: float, a1: float, intervals) -> float:
+    """Total overlap of ``[a0, a1]`` with a list of ``(t0, t1)`` pairs."""
+    total = 0.0
+    for b0, b1 in intervals:
+        total += max(0.0, min(a1, b1) - max(a0, b0))
+    return total
+
+
+def worker_lanes(trace: Trace) -> "dict[object, list[Span]]":
+    """Complete work items grouped by worker, each lane in start order,
+    lanes ordered by first appearance in the schedule."""
+    lanes: "dict[object, list[Span]]" = {}
+    for item in sorted(trace.complete_items, key=lambda s: (s.t0, s.t1)):
+        lanes.setdefault(item.fields.get("worker"), []).append(item)
+    return lanes
+
+
+def worker_utilization(trace: Trace) -> "list[dict]":
+    """Per-worker busy/idle rows with the idle time attributed by cause.
+
+    The window runs from pool start to campaign stop.  Gaps in a
+    worker's lane are attributed in priority order: overlap with the
+    dispatcher's fold/finalize spans is **fold-barrier** (the dispatcher
+    could not hand work out while reducing), the tail gap after a
+    worker's last item is **straggler** (it drained the queue and waited
+    for the campaign's stragglers), and the rest is **queue-empty**
+    (startup and dispatch latency).
+    """
+    lo, hi = trace.window()
+    dispatch = [
+        (span.t0, span.t1)
+        for span in trace.dispatch
+        if span.t1 is not None
+    ]
+    rows = []
+    for worker, lane in worker_lanes(trace).items():
+        busy = sum(item.seconds for item in lane)
+        buckets = {"queue-empty": 0.0, "fold-barrier": 0.0, "straggler": 0.0}
+        cursor = lo
+        edges = [(item.t0, item.t1) for item in lane] + [(hi, hi)]
+        for index, (t0, t1) in enumerate(edges):
+            gap0, gap1 = cursor, max(cursor, t0)
+            if gap1 > gap0:
+                fold = min(_overlap(gap0, gap1, dispatch), gap1 - gap0)
+                rest = (gap1 - gap0) - fold
+                buckets["fold-barrier"] += fold
+                tail = index == len(edges) - 1
+                buckets["straggler" if tail else "queue-empty"] += rest
+            cursor = max(cursor, t1)
+        span = hi - lo
+        rows.append(
+            {
+                "worker": worker,
+                "items": len(lane),
+                "busy_s": busy,
+                "idle_s": max(0.0, span - busy),
+                **buckets,
+                "utilization": busy / span if span > 0 else 0.0,
+            }
+        )
+    return rows
+
+
+def idle_summary(trace: Trace) -> "dict | None":
+    """Campaign-wide idle attribution (the ``--profile`` satellite line).
+
+    Returns ``{"idle_s", "lanes", "shares": {cause: fraction}}`` or
+    None when the journal holds no completed work items.
+    """
+    rows = worker_utilization(trace)
+    if not rows:
+        return None
+    idle = sum(row["idle_s"] for row in rows)
+    causes = ("straggler", "queue-empty", "fold-barrier")
+    totals = {cause: sum(row[cause] for row in rows) for cause in causes}
+    return {
+        "idle_s": idle,
+        "lanes": len(rows),
+        "shares": {
+            cause: (totals[cause] / idle if idle > 0 else 0.0)
+            for cause in causes
+        },
+    }
+
+
+def critical_path(
+    trace: Trace, epsilon: float = PATH_EPSILON
+) -> "list[Span]":
+    """The chain of work items that bounded the makespan, in time order.
+
+    Starts at the last-finishing item and repeatedly hops to the
+    same-worker predecessor that ended back-to-back with the current
+    item's start (gap under ``epsilon``): as long as the worker was
+    continuously busy, shrinking any chain member would have moved the
+    makespan.  The walk stops at the first real idle gap — before it,
+    the item started as soon as work existed, so the bound lies
+    elsewhere (queue order, not this chain).
+    """
+    items = trace.complete_items
+    if not items:
+        return []
+    current = max(items, key=lambda s: s.t1)
+    chain = [current]
+    visited = {id(current)}
+    while True:
+        worker = current.fields.get("worker")
+        # A predecessor must genuinely start earlier (items faster than
+        # epsilon would otherwise admit each other and cycle) and end
+        # within epsilon of the current item's start, either side —
+        # worker clocks round to microseconds, so tiny overlaps happen.
+        predecessors = [
+            item
+            for item in items
+            if id(item) not in visited
+            and item.fields.get("worker") == worker
+            and item.t0 < current.t0
+            and abs(current.t0 - item.t1) <= epsilon
+        ]
+        if not predecessors:
+            break
+        current = max(predecessors, key=lambda s: s.t1)
+        chain.append(current)
+        visited.add(id(current))
+    return list(reversed(chain))
+
+
+def weight_calibration(
+    entries,
+    cap: float = WEIGHT_RATIO_CAP,
+    floor_seconds: float = WEIGHT_FLOOR_SECONDS,
+) -> "list[dict]":
+    """Judge declared weights against measured seconds, per experiment.
+
+    ``entries`` is an iterable of ``(exp, key, weight, seconds)``.  Each
+    experiment's scale is the *median* measured seconds-per-weight over
+    its items (robust to the very outliers being hunted); an item is
+    flagged when its measured seconds and the scale's prediction
+    disagree by more than ``cap`` either way AND the larger of the two
+    is at least ``floor_seconds`` (sub-second disagreements are noise).
+    Experiments with fewer than two items have no peers to define a
+    scale and are never flagged.
+    """
+    by_exp: "dict[str, list[tuple[str, float, float]]]" = {}
+    for exp, key, weight, seconds in entries:
+        by_exp.setdefault(exp, []).append((key, float(weight), float(seconds)))
+    rows = []
+    for exp in sorted(by_exp):
+        items = by_exp[exp]
+        ratios = [s / w for _k, w, s in items if w > 0 and s > 0]
+        scale = median(ratios) if ratios else 0.0
+        for key, weight, seconds in items:
+            predicted = weight * scale
+            ratio = (
+                seconds / predicted if predicted > 0 else 0.0
+            )
+            flagged = (
+                len(items) >= 2
+                and scale > 0
+                and weight > 0
+                and ratio > 0
+                and (ratio > cap or ratio < 1.0 / cap)
+                and max(seconds, predicted) >= floor_seconds
+            )
+            rows.append(
+                {
+                    "exp": exp,
+                    "key": key,
+                    "weight": weight,
+                    "seconds": seconds,
+                    "predicted_s": predicted,
+                    "ratio": ratio,
+                    "flagged": flagged,
+                }
+            )
+    return rows
+
+
+def calibration_entries_from_trace(trace: Trace):
+    """``weight_calibration`` inputs from a journal's work items."""
+    return [
+        (
+            str(item.fields.get("exp", "?")),
+            item.label.split("/", 1)[1] if "/" in item.label else item.label,
+            float(item.fields.get("weight", 0.0)),
+            item.seconds,
+        )
+        for item in trace.complete_items
+    ]
+
+
+def rollup_rows(trace: Trace, group: str) -> "list[dict]":
+    """Per-``group`` (``"exp"`` or ``"mode"``) item counts and busy time."""
+    totals: "dict[str, tuple[int, float]]" = {}
+    for item in trace.complete_items:
+        key = str(item.fields.get(group, "?"))
+        count, busy = totals.get(key, (0, 0.0))
+        totals[key] = (count + 1, busy + item.seconds)
+    grand_busy = sum(busy for _count, busy in totals.values())
+    return [
+        {
+            group: key,
+            "items": count,
+            "busy_s": round(busy, 3),
+            "share": f"{busy / grand_busy:.0%}" if grand_busy > 0 else "0%",
+        }
+        for key, (count, busy) in sorted(
+            totals.items(), key=lambda kv: -kv[1][1]
+        )
+    ]
+
+
+def _fmt_s(value: float) -> str:
+    return f"{value:.3f}"
+
+
+def render_trace(trace: Trace) -> str:
+    """The full ``ring-repro trace`` report as text."""
+    lo, hi = trace.window()
+    makespan = hi - lo
+    meta = trace.meta
+    shard = meta.get("shard")
+    out: "list[str]" = [
+        f"== trace {trace.campaign_id} ==",
+        (
+            f"campaign: preset {meta.get('preset', '?')}, "
+            f"mode {meta.get('mode', '?')}, jobs {meta.get('jobs', '?')}"
+            + (f", shard {shard[0]}/{shard[1]}" if shard else "")
+            + f"; {len(trace.complete_items)} measured work item(s), "
+            f"{trace.cached} from store, {trace.store_saves} store write(s); "
+            f"window {makespan:.3f}s"
+        ),
+    ]
+    health = []
+    if trace.dropped:
+        health.append(f"{trace.dropped} unparseable line(s) dropped")
+    if trace.unpaired:
+        health.append(
+            f"{trace.unpaired} span(s) never stopped (campaign crashed?)"
+        )
+    if health:
+        out.append(f"[journal: {'; '.join(health)}]")
+
+    chain = critical_path(trace)
+    out.append("")
+    out.append("-- critical path (the chain that bounded the makespan) --")
+    if chain:
+        rows = [
+            {
+                "#": index,
+                "worker": span.fields.get("worker"),
+                "item": span.label,
+                "mode": span.fields.get("mode", "?"),
+                "start_s": _fmt_s(span.t0 - lo),
+                "seconds": _fmt_s(span.seconds),
+            }
+            for index, span in enumerate(chain, start=1)
+        ]
+        out.append(
+            format_table(
+                rows, ["#", "worker", "item", "mode", "start_s", "seconds"]
+            )
+        )
+        covered = sum(span.seconds for span in chain)
+        share = covered / makespan if makespan > 0 else 0.0
+        out.append(
+            f"chain: {len(chain)} item(s), {covered:.3f}s = {share:.0%} of "
+            "the window; everything off this chain had slack"
+        )
+    else:
+        out.append("(no completed work items in this journal)")
+
+    out.append("")
+    out.append("-- per-worker utilization (idle attributed by cause) --")
+    util = worker_utilization(trace)
+    if util:
+        rows = [
+            {
+                "worker": row["worker"],
+                "items": row["items"],
+                "busy_s": _fmt_s(row["busy_s"]),
+                "idle_s": _fmt_s(row["idle_s"]),
+                "queue-empty_s": _fmt_s(row["queue-empty"]),
+                "fold-barrier_s": _fmt_s(row["fold-barrier"]),
+                "straggler_s": _fmt_s(row["straggler"]),
+                "util": f"{row['utilization']:.0%}",
+            }
+            for row in util
+        ]
+        out.append(
+            format_table(
+                rows,
+                [
+                    "worker",
+                    "items",
+                    "busy_s",
+                    "idle_s",
+                    "queue-empty_s",
+                    "fold-barrier_s",
+                    "straggler_s",
+                    "util",
+                ],
+            )
+        )
+        summary = idle_summary(trace)
+        if summary is not None:
+            shares = summary["shares"]
+            out.append(
+                f"idle {summary['idle_s']:.3f} worker-second(s) across "
+                f"{summary['lanes']} lane(s): "
+                f"{shares['straggler']:.0%} straggler, "
+                f"{shares['queue-empty']:.0%} queue-empty, "
+                f"{shares['fold-barrier']:.0%} fold-barrier"
+            )
+    else:
+        out.append("(no worker lanes)")
+
+    out.append("")
+    out.append("-- weight calibration (declared LPT weight vs measured) --")
+    calibration = weight_calibration(calibration_entries_from_trace(trace))
+    flagged = [row for row in calibration if row["flagged"]]
+    if flagged:
+        rows = [
+            {
+                "exp": row["exp"],
+                "item": row["key"],
+                "weight": f"{row['weight']:g}",
+                "seconds": _fmt_s(row["seconds"]),
+                "predicted_s": _fmt_s(row["predicted_s"]),
+                "off-by": f"{max(row['ratio'], 1 / row['ratio']):.1f}x",
+            }
+            for row in flagged
+        ]
+        out.append(
+            format_table(
+                rows,
+                ["exp", "item", "weight", "seconds", "predicted_s", "off-by"],
+            )
+        )
+        out.append(
+            f"{len(flagged)} item(s) whose declared Cell.weight is "
+            f">{WEIGHT_RATIO_CAP:g}x off the experiment's measured "
+            "seconds-per-weight scale — fix the weight hints so LPT "
+            "schedules them honestly"
+        )
+    elif calibration:
+        out.append(
+            f"all {len(calibration)} measured item(s) within "
+            f"{WEIGHT_RATIO_CAP:g}x of their experiment's "
+            "seconds-per-weight scale"
+        )
+    else:
+        out.append("(nothing measured)")
+
+    for group, title in (("exp", "per-experiment"), ("mode", "per-mode")):
+        rows = rollup_rows(trace, group)
+        if rows:
+            out.append("")
+            out.append(f"-- {title} rollup --")
+            out.append(
+                format_table(rows, [group, "items", "busy_s", "share"])
+            )
+    return "\n".join(out)

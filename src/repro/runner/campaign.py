@@ -35,6 +35,7 @@ the pool utilization that ``--profile`` reports.
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -49,6 +50,7 @@ from repro.experiments.base import (
     fold_cell,
     splitting_enabled,
 )
+from repro.obs.journal import JOURNAL_SCHEMA, Journal, activate
 from repro.runner.executor import (
     CellOutcome,
     PlanExecution,
@@ -111,6 +113,10 @@ class CampaignExecution:
     fold_seconds: float = 0.0
     finalize_seconds: float = 0.0
     partial_fresh_seconds: float = 0.0
+    # The campaign's span journal (None under REPRO_NO_TELEMETRY=1):
+    # events stay in memory here so --profile can attribute idle time
+    # without re-reading the sidecar file.
+    journal: "Journal | None" = None
 
     def _outcomes(self):
         for ex in self.executions.values():
@@ -260,7 +266,47 @@ def execute_campaign(
     Failure semantics match :func:`~repro.runner.executor.execute_plan`:
     serial runs raise at the failing cell, pooled runs drain every
     sibling (persisting them) before re-raising the first failure.
+
+    Every campaign journals its spans (cells, subtasks, folds,
+    finalizes, store writes) to an append-only JSONL sidecar under the
+    telemetry root (:mod:`repro.obs.journal`) — strictly outside the
+    run store, so records, tables, and reports are byte-identical with
+    telemetry disabled (``REPRO_NO_TELEMETRY=1``).  The journal rides
+    back on ``CampaignExecution.journal`` for ``--profile``'s idle
+    attribution and the weight-calibration warnings.
     """
+    journal = Journal.open("campaign")
+    try:
+        # Activated for the whole run so deep layers (store saves) can
+        # note events without threading the journal through signatures.
+        with activate(journal):
+            return _run_campaign(
+                specs,
+                profile,
+                jobs,
+                store,
+                resume,
+                on_result,
+                shard,
+                shard_strategy,
+                journal,
+            )
+    finally:
+        if journal is not None:
+            journal.close()
+
+
+def _run_campaign(
+    specs: Sequence[ExperimentSpec],
+    profile: "bool | RunProfile",
+    jobs: int,
+    store: RunStore | None,
+    resume: bool,
+    on_result: ResultCallback | None,
+    shard: "tuple[int, int] | None",
+    shard_strategy: str,
+    journal: "Journal | None",
+) -> CampaignExecution:
     if jobs < 1:
         raise ReproError(f"--jobs needs a positive worker count, got {jobs}")
     if shard is not None:
@@ -281,7 +327,30 @@ def execute_campaign(
             )
         states[spec.exp_id] = _ExperimentState(spec, spec.cells(profile))
 
-    campaign = CampaignExecution(jobs=jobs, shard=shard)
+    campaign = CampaignExecution(jobs=jobs, shard=shard, journal=journal)
+
+    def emit(ev: str, **fields) -> None:
+        if journal is not None:
+            journal.emit(ev, **fields)
+
+    def span(kind: str, t0: float, t1: float, **fields) -> None:
+        if journal is not None:
+            journal.span(kind, t0, t1, **fields)
+
+    emit(
+        "campaign_start",
+        t=round(started, 6),
+        id=journal.campaign_id if journal is not None else "?",
+        schema=JOURNAL_SCHEMA,
+        pid=os.getpid(),
+        jobs=jobs,
+        preset=profile.preset,
+        mode=profile.mode,
+        sizes=list(profile.sizes) if profile.sizes else None,
+        shard=list(shard) if shard is not None else None,
+        strategy=shard_strategy,
+        experiments=[spec.exp_id for spec in specs],
+    )
 
     def finalize_if_done(state: _ExperimentState) -> None:
         if not state.done:
@@ -291,7 +360,15 @@ def execute_campaign(
         }
         finalize_started = time.perf_counter()
         result = state.spec.finalize(profile, records)
-        campaign.finalize_seconds += time.perf_counter() - finalize_started
+        finalize_stopped = time.perf_counter()
+        campaign.finalize_seconds += finalize_stopped - finalize_started
+        span(
+            "finalize",
+            finalize_started,
+            finalize_stopped,
+            exp=state.spec.exp_id,
+            worker=os.getpid(),
+        )
         execution = PlanExecution(
             result=result,
             outcomes=[state.outcomes[cell.key] for cell in state.cells],
@@ -331,6 +408,7 @@ def execute_campaign(
                 state.outcomes[cell.key] = CellOutcome(
                     cell, hit.record, hit.seconds, cached=True
                 )
+                emit("cell_cached", exp=exp_id, key=cell.key, mode=cell.mode)
                 continue
             if split_active and cell.divisible:
                 assembly = _CellAssembly(state, cell, cell.subtasks())
@@ -399,8 +477,18 @@ def execute_campaign(
         # part lands; its cost is accounted as busy (see busy_seconds).
         fold_started = time.perf_counter()
         record = fold_cell(assembly.cell, assembly.parts)
-        campaign.fold_seconds += time.perf_counter() - fold_started
+        fold_stopped = time.perf_counter()
+        campaign.fold_seconds += fold_stopped - fold_started
         campaign.cells_folded += 1
+        span(
+            "fold",
+            fold_started,
+            fold_stopped,
+            exp=assembly.state.spec.exp_id,
+            key=assembly.cell.key,
+            parts=len(assembly.expected),
+            worker=os.getpid(),
+        )
         finish(
             assembly.state,
             assembly.cell,
@@ -420,7 +508,28 @@ def execute_campaign(
         subtask: "Subtask | None",
         record,
         seconds,
+        meta: "tuple | None" = None,
     ) -> None:
+        # ``meta`` is the executor's worker-side clock: (pid, t0, t1) in
+        # perf_counter time.  The span is journaled before the result is
+        # folded in, so a crash during fold still leaves the measurement
+        # on disk.
+        if meta is not None:
+            worker, t0, t1 = meta
+            item = subtask if subtask is not None else cell
+            fields = dict(
+                exp=state.spec.exp_id,
+                key=cell.key,
+                mode=cell.mode,
+                weight=item.weight,
+                worker=worker,
+                queue_wait=round(max(0.0, t0 - pool_start), 6),
+            )
+            if subtask is not None:
+                fields["part"] = subtask.part
+            span(
+                "subtask" if subtask is not None else "cell", t0, t1, **fields
+            )
         if subtask is None:
             finish(state, cell, record, seconds)
             return
@@ -449,6 +558,14 @@ def execute_campaign(
     # flatten order (requested experiment order, then plan order, then
     # part order — stable sort).
     pending.sort(key=lambda item: -(item[2] or item[1]).weight)
+    pool_start = time.perf_counter()
+    emit(
+        "pool_start",
+        t=round(pool_start, 6),
+        pending=len(pending),
+        sharded_out=campaign.sharded_out,
+        assemblies=len(assemblies),
+    )
     if jobs > 1 and len(pending) > 1:
         with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
             futures = {
@@ -476,19 +593,19 @@ def execute_campaign(
                         if failure is None:
                             failure = error
                         continue
-                    record, seconds = future.result()
+                    record, seconds, meta = future.result()
                     state, cell, subtask = futures[future]
-                    land(state, cell, subtask, record, seconds)
+                    land(state, cell, subtask, record, seconds, meta)
             if failure is not None:
                 raise failure
     else:
         for state, cell, subtask in pending:
-            record, seconds = (
+            record, seconds, meta = (
                 _timed_run_cell(cell)
                 if subtask is None
                 else _timed_run_subtask(subtask)
             )
-            land(state, cell, subtask, record, seconds)
+            land(state, cell, subtask, record, seconds, meta)
 
     # Parts measured for cells this run could not complete (their other
     # parts belong to sibling shards) are persisted above; account their
@@ -524,4 +641,15 @@ def execute_campaign(
         "an unsharded campaign finalizes every experiment"
     )
     campaign.wall_seconds = time.perf_counter() - started
+    emit(
+        "campaign_stop",
+        t=round(started + campaign.wall_seconds, 6),
+        wall_seconds=round(campaign.wall_seconds, 6),
+        cells=campaign.cell_count,
+        cached=campaign.cached_count,
+        subtasks=campaign.subtasks_run,
+        folded=campaign.cells_folded,
+        finalized=len(campaign.executions),
+        partial=len(campaign.partial),
+    )
     return campaign

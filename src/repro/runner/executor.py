@@ -20,6 +20,7 @@ reports the elapsed dispatch time; the CLI's ``--profile`` prints both.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -91,18 +92,27 @@ class PlanExecution:
         return sum(1 for outcome in self.outcomes if outcome.cached)
 
 
-def _timed_run_cell(cell: Cell) -> tuple[dict, float]:
-    """Measure one cell, timing it where it actually runs (the worker)."""
+def _timed_run_cell(cell: Cell) -> tuple[dict, float, tuple]:
+    """Measure one cell, timing it where it actually runs (the worker).
+
+    The third element is the span's telemetry: ``(worker pid, start,
+    stop)`` in ``perf_counter`` time (CLOCK_MONOTONIC on Linux, so
+    worker clocks are comparable with the dispatcher's).  It is always
+    returned — the measurement is identical whether or not a journal is
+    listening, which is what the telemetry-parity byte diffs rely on.
+    """
     started = time.perf_counter()
     record = run_cell(cell)
-    return record, time.perf_counter() - started
+    stopped = time.perf_counter()
+    return record, stopped - started, (os.getpid(), started, stopped)
 
 
-def _timed_run_subtask(subtask: Subtask) -> tuple[dict, float]:
+def _timed_run_subtask(subtask: Subtask) -> tuple[dict, float, tuple]:
     """Measure one subtask, timing it where it actually runs."""
     started = time.perf_counter()
     record = run_subtask(subtask)
-    return record, time.perf_counter() - started
+    stopped = time.perf_counter()
+    return record, stopped - started, (os.getpid(), started, stopped)
 
 
 def execute_plan(

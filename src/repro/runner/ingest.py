@@ -56,8 +56,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
+import time
+
 from repro.errors import ReproError
 from repro.experiments.base import MODES, Cell, RunProfile, fold_cell
+from repro.obs.journal import Journal, activate
 from repro.runner.store import (
     RunStore,
     read_record_payload,
@@ -426,8 +429,33 @@ def ingest_stores(
                     report.ingested.append(written)
                 report.parts_carried.append(written)
 
-    walk(dest_store, in_dest=True)
-    for src in sources:
-        walk(RunStore(src), in_dest=False)
-    merge_parts()
+    # Ingests journal like campaigns do (an "ingest-*" sidecar under the
+    # telemetry root): one span for the whole merge, with every dest
+    # write noted by the store layer.  Strictly outside the merged
+    # store, so the fleet-ingest byte diffs never see it.
+    journal = Journal.open("ingest")
+    started = time.perf_counter()
+    try:
+        with activate(journal):
+            walk(dest_store, in_dest=True)
+            for src in sources:
+                walk(RunStore(src), in_dest=False)
+            merge_parts()
+        if journal is not None:
+            journal.span(
+                "ingest",
+                started,
+                time.perf_counter(),
+                dest=str(dest),
+                sources=[str(src) for src in sources],
+                ingested=len(report.ingested),
+                deduped=len(report.deduped),
+                pruned=len(report.pruned),
+                skipped=len(report.skipped),
+                folded=len(report.folded),
+                parts_carried=len(report.parts_carried),
+            )
+    finally:
+        if journal is not None:
+            journal.close()
     return report

@@ -36,6 +36,7 @@ from typing import Mapping
 
 from repro.errors import ReproError
 from repro.experiments.base import Cell, RunProfile
+from repro.obs.journal import note
 
 __all__ = [
     "RunStore",
@@ -191,6 +192,7 @@ class RunStore:
             json.dumps(payload, sort_keys=True, indent=1), encoding="utf-8"
         )
         os.replace(tmp, path)
+        note("store_save", exp=cell.exp_id, key=cell.key, kind="record")
         return path
 
     def subtask_path_for(
@@ -248,6 +250,9 @@ class RunStore:
             json.dumps(payload, sort_keys=True, indent=1), encoding="utf-8"
         )
         os.replace(tmp, path)
+        note(
+            "store_save", exp=cell.exp_id, key=cell.key, part=part, kind="part"
+        )
         return path
 
     def load_subtasks(
@@ -353,6 +358,12 @@ class RunStore:
             encoding="utf-8",
         )
         os.replace(tmp, path)
+        note(
+            "store_save",
+            exp=str(payload["exp_id"]),
+            key=str(payload["key"]),
+            kind="ingest-record",
+        )
         return path
 
     def subtask_payload_path(self, payload: Mapping) -> Path:
@@ -377,6 +388,13 @@ class RunStore:
             encoding="utf-8",
         )
         os.replace(tmp, path)
+        note(
+            "store_save",
+            exp=str(payload["exp_id"]),
+            key=str(payload["key"]),
+            part=str(payload["part"]),
+            kind="ingest-part",
+        )
         return path
 
     def existing_files(self) -> "set[Path]":

@@ -27,6 +27,12 @@ def _isolated_run_store(tmp_path, monkeypatch):
     monkeypatch.setattr(
         "repro.cli.DEFAULT_STORE_ROOT", str(tmp_path / "runs")
     )
+    # Same isolation for the span journal's sidecar directory: any test
+    # running a campaign would otherwise append journals under the
+    # launch directory's runs/_telemetry.
+    monkeypatch.setenv(
+        "REPRO_TELEMETRY_DIR", str(tmp_path / "telemetry")
+    )
 
 
 def random_dfa(rng: random.Random, size: int, alphabet: str = "ab") -> DFA:
